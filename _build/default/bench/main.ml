@@ -1,0 +1,56 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (scaled) plus the warehouse-side and multi-source
+   experiments, and a bechamel micro suite.
+
+     dune exec bench/main.exe            # everything, scale 1
+     dune exec bench/main.exe -- t1 f2   # selected experiments
+     dune exec bench/main.exe -- --scale 2 all
+
+   Experiment ids: t1 t2 t3 f2 f3 t4 w1 w2 s1 r1 v1 ablate micro (see DESIGN.md). *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [--scale N] [t1|t2|t3|f2|f2r|f3|t4|w1|w2|w2r|w3|s1|r1|v1|ablate|micro|all ...]";
+  exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let scale = ref 1 in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--scale" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+          scale := v;
+          parse acc rest
+        | Some _ | None -> usage ())
+    | ("-h" | "--help") :: _ -> usage ()
+    | x :: rest -> parse (String.lowercase_ascii x :: acc) rest
+  in
+  let selected = parse [] args in
+  let selected = if selected = [] || List.mem "all" selected then [ "all" ] else selected in
+  let want id = List.mem id selected || List.mem "all" selected in
+  let scale = !scale in
+  let total = Unix.gettimeofday () in
+  Printf.printf
+    "Delta-extraction experiment harness (scale %d; paper sizes are scaled to row counts, see \
+     EXPERIMENTS.md)\n"
+    scale;
+  if want "t1" then Dw_experiments.Exp_dump_load.run ~scale;
+  if want "t2" then ignore (Dw_experiments.Exp_timestamp.run_t2 ~scale);
+  if want "t3" then Dw_experiments.Exp_timestamp.run_t3 ~scale;
+  if want "f2" then Dw_experiments.Exp_trigger.run ~scale;
+  if want "f2r" then Dw_experiments.Exp_trigger.run_remote ~scale;
+  if want "f3" then Dw_experiments.Exp_opdelta.run_f3 ~scale;
+  if want "t4" then Dw_experiments.Exp_opdelta.run_t4 ~scale;
+  if want "v1" then Dw_experiments.Exp_opdelta.run_v1 ~scale;
+  if want "w1" then Dw_experiments.Exp_warehouse.run_w1 ~scale;
+  if want "w2" then Dw_experiments.Exp_warehouse.run_w2 ~scale;
+  if want "w2r" then Dw_experiments.Exp_warehouse.run_w2_real ~scale;
+  if want "w3" then Dw_experiments.Exp_warehouse.run_w3 ~scale;
+  if want "s1" then Dw_experiments.Exp_snapshot.run ~scale;
+  if want "r1" then Dw_experiments.Exp_reconcile.run ~scale;
+  if want "ablate" then Dw_experiments.Exp_ablation.run_all ~scale;
+  if want "micro" then Dw_experiments.Micro.run ();
+  Printf.printf "\ntotal harness time: %s\n"
+    (Dw_util.Fmt_util.human_duration (Unix.gettimeofday () -. total))

@@ -1,0 +1,1 @@
+examples/concurrent_warehouse.ml: Dw_core Dw_engine Dw_storage Dw_util Dw_warehouse Dw_workload List Printf

@@ -1,0 +1,1 @@
+examples/multi_source_reconciliation.ml: Dw_core Dw_cots Dw_sql Dw_workload Format List Printf

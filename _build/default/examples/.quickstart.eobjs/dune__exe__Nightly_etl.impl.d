@@ -1,0 +1,1 @@
+examples/nightly_etl.ml: Array Dw_core Dw_engine Dw_etl Dw_relation Dw_storage Dw_util Dw_warehouse Dw_workload List Printf String

@@ -1,0 +1,1 @@
+examples/nightly_etl.mli:

@@ -1,0 +1,1 @@
+examples/online_maintenance.ml: Dw_core Dw_engine Dw_relation Dw_storage Dw_util Dw_warehouse Dw_workload List Printf

@@ -1,0 +1,1 @@
+examples/online_maintenance.mli:

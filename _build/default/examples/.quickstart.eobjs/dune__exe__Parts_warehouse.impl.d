@@ -1,0 +1,1 @@
+examples/parts_warehouse.ml: Dw_core Dw_engine Dw_relation Dw_storage Dw_transport Dw_util Dw_warehouse Dw_workload List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dw_core Dw_engine Dw_relation Dw_sql Dw_storage Format List Printf String

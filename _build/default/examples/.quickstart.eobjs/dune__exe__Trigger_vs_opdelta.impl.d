@@ -1,0 +1,1 @@
+examples/trigger_vs_opdelta.ml: Dw_core Dw_engine Dw_storage Dw_workload List Printf Unix

@@ -1,0 +1,1 @@
+examples/trigger_vs_opdelta.mli:

@@ -1,0 +1,72 @@
+(* Replicated, heterogeneous sources: why value deltas need reconciliation
+   and the Op-Delta wrapper does not (paper Sections 2.2 and 4.1).
+
+     dune exec examples/multi_source_reconciliation.exe *)
+
+module Workload = Dw_workload.Workload
+module Delta = Dw_core.Delta
+module Op_delta = Dw_core.Op_delta
+module Reconcile = Dw_core.Reconcile
+module Transform = Dw_core.Transform
+module Enterprise = Dw_cots.Enterprise
+
+let () =
+  (* an enterprise where the logical PARTS table lives, replicated and
+     renamed, in three COTS-encapsulated databases *)
+  let ent =
+    Enterprise.create ~sources:3 ~logical_table:"parts"
+      ~logical_schema:Workload.parts_schema ()
+  in
+  Printf.printf "three sources hold the logical table as: %s, %s, %s\n"
+    (Enterprise.physical_table ent 0)
+    (Enterprise.physical_table ent 1)
+    (Enterprise.physical_table ent 2);
+  let rule = Enterprise.rule_to_physical ent 1 in
+  Printf.printf "source 1 renames columns, e.g. part_id -> %s\n\n"
+    (List.assoc "part_id" rule.Transform.column_map);
+
+  (* business transactions run against the logical schema; the COTS layer
+     fans them out to all replicas *)
+  let submit sql_list =
+    let stmts =
+      List.map
+        (fun sql ->
+          match Dw_sql.Parser.parse sql with Ok s -> s | Error e -> failwith e)
+        sql_list
+    in
+    match Enterprise.submit ent stmts with Ok () -> () | Error e -> failwith e
+  in
+  submit
+    [ "INSERT INTO parts VALUES (1, 'bolt', 5, 0.10, DATE 0)";
+      "INSERT INTO parts VALUES (2, 'nut', 9, 0.05, DATE 0)" ];
+  submit [ "UPDATE parts SET qty = qty + 100 WHERE part_id = 1" ];
+  submit [ "DELETE FROM parts WHERE part_id = 2" ];
+  print_endline "submitted 3 business transactions (each applied to all 3 replicas)";
+
+  (* value-delta view of the world: k streams that must be reconciled *)
+  let streams = Enterprise.extract_replica_value_deltas ent in
+  List.iteri
+    (fun i d ->
+      Printf.printf "replica %d trigger stream: %d changes, %d bytes\n" i (Delta.row_count d)
+        (Delta.size_bytes d))
+    streams;
+  let merged, stats = Reconcile.reconcile streams in
+  Printf.printf
+    "reconciled: %d input changes -> %d authoritative (dropped %d duplicates, %d conflicts)\n\n"
+    stats.Reconcile.input_changes stats.Reconcile.output_changes
+    stats.Reconcile.duplicates_dropped stats.Reconcile.conflicts_resolved;
+
+  (* op-delta view: captured once at the business level, above replication *)
+  let ods = Enterprise.business_op_deltas ent in
+  Printf.printf "Op-Delta wrapper captured %d transactions (%d bytes total):\n" (List.length ods)
+    (List.fold_left (fun a od -> a + Op_delta.size_bytes od) 0 ods);
+  List.iter (fun od -> Format.printf "  %a@." Op_delta.pp od) ods;
+
+  (* soundness: reconciled value delta replayed on empty state equals any
+     replica's contents *)
+  let replayed = Delta.apply_to_rows merged [] in
+  Printf.printf "\nreconciled delta replays to %d row(s): 2 inserts, 1 update, 1 delete -> 1\n"
+    (List.length replayed);
+  print_endline
+    "take-away: the business level has exactly one authoritative representation of each fact; \
+     extraction below the replication logic sees k of them."

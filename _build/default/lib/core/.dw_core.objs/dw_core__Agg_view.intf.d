@@ -1,0 +1,1 @@
+lib/core/agg_view.mli: Dw_relation

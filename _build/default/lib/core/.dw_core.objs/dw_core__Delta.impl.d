@@ -1,0 +1,1 @@
+lib/core/delta.ml: Dw_relation Format List Map Option Printf String

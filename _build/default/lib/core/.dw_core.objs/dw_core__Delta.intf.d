@@ -1,0 +1,1 @@
+lib/core/delta.mli: Dw_relation Format

@@ -1,0 +1,1 @@
+lib/core/log_extract.ml: Delta Dw_engine Dw_relation Dw_storage Dw_txn Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/core/log_extract.mli: Delta Dw_engine Dw_txn

@@ -1,0 +1,1 @@
+lib/core/op_delta.ml: Buffer Char Dw_relation Dw_sql Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/op_delta.mli: Dw_relation Dw_sql Format

@@ -1,0 +1,1 @@
+lib/core/opdelta_capture.ml: Array Buffer Bytes Dw_engine Dw_relation Dw_sql Dw_storage List Op_delta Option Printf Self_maintain Spj_view String

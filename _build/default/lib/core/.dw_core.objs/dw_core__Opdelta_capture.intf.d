@@ -1,0 +1,1 @@
+lib/core/opdelta_capture.mli: Dw_engine Dw_relation Dw_sql Op_delta Spj_view

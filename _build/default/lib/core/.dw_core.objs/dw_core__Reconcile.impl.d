@@ -1,0 +1,1 @@
+lib/core/reconcile.ml: Delta Dw_relation Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/core/reconcile.mli: Delta

@@ -1,0 +1,1 @@
+lib/core/self_maintain.ml: Dw_sql List Printf Spj_view

@@ -1,0 +1,1 @@
+lib/core/self_maintain.mli: Dw_sql Spj_view

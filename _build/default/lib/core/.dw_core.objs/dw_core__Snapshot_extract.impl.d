@@ -1,0 +1,1 @@
+lib/core/snapshot_extract.ml: Delta Dw_engine Dw_relation Dw_snapshot List

@@ -1,0 +1,1 @@
+lib/core/snapshot_extract.mli: Delta Dw_engine

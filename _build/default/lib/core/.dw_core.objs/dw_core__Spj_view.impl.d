@@ -1,0 +1,1 @@
+lib/core/spj_view.ml: Array Dw_relation List Map Printf

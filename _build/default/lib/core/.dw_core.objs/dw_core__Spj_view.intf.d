@@ -1,0 +1,1 @@
+lib/core/spj_view.mli: Dw_relation

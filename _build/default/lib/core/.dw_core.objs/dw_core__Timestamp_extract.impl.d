@@ -1,0 +1,1 @@
+lib/core/timestamp_extract.ml: Array Delta Dw_engine Dw_relation Dw_storage Fun List Printf

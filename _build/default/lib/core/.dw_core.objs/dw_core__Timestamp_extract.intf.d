@@ -1,0 +1,1 @@
+lib/core/timestamp_extract.mli: Delta Dw_engine Dw_relation

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Delta Dw_relation Dw_sql List Op_delta Option Printf String

@@ -1,0 +1,1 @@
+lib/core/transform.mli: Delta Dw_relation Dw_sql Op_delta

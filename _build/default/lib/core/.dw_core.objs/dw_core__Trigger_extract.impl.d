@@ -1,0 +1,1 @@
+lib/core/trigger_extract.ml: Array Delta Dw_engine Dw_relation Dw_storage List Printf

@@ -1,0 +1,1 @@
+lib/core/trigger_extract.mli: Delta Dw_engine Dw_relation

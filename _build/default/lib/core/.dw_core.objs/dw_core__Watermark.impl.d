@@ -1,0 +1,1 @@
+lib/core/watermark.ml: Buffer Bytes Dw_storage Dw_txn Hashtbl List Printf String

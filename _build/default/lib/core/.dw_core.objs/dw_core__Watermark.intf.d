@@ -1,0 +1,1 @@
+lib/core/watermark.mli: Dw_storage Dw_txn

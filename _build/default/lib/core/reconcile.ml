@@ -1,0 +1,79 @@
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+
+type stats = {
+  input_changes : int;
+  output_changes : int;
+  duplicates_dropped : int;
+  conflicts_resolved : int;
+}
+
+let kind_tag = function
+  | Delta.Insert _ -> 0
+  | Delta.Delete _ -> 1
+  | Delta.Update _ -> 2
+  | Delta.Upsert _ -> 3
+
+let images_equal a b =
+  match a, b with
+  | Delta.Insert x, Delta.Insert y
+  | Delta.Delete x, Delta.Delete y
+  | Delta.Upsert x, Delta.Upsert y ->
+    Tuple.equal x y
+  | Delta.Update (bx, ax), Delta.Update (by, ay) -> Tuple.equal bx by && Tuple.equal ax ay
+  | (Delta.Insert _ | Delta.Delete _ | Delta.Update _ | Delta.Upsert _), _ -> false
+
+let reconcile deltas =
+  match deltas with
+  | [] -> invalid_arg "Reconcile.reconcile: empty input"
+  | first :: rest ->
+    List.iter
+      (fun d ->
+        if d.Delta.table <> first.Delta.table || not (Schema.equal d.Delta.schema first.Delta.schema)
+        then invalid_arg "Reconcile.reconcile: replica streams disagree on table/schema")
+      rest;
+    let schema = first.Delta.schema in
+    let input_changes =
+      List.fold_left (fun acc d -> acc + List.length d.Delta.changes) 0 deltas
+    in
+    (* occurrence-indexed matching: the i-th (key, kind) occurrence in one
+       stream matches the i-th occurrence in every other stream, so
+       repeated changes to the same key are preserved *)
+    let occurrence_key change counter_of =
+      let key = Delta.change_key schema change in
+      let base = Printf.sprintf "%s/%d" (Tuple.to_string key) (kind_tag change) in
+      let n = counter_of base in
+      Printf.sprintf "%s/%d" base n
+    in
+    let kept : (string, Delta.change) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    let duplicates = ref 0 in
+    let conflicts = ref 0 in
+    List.iteri
+      (fun _priority d ->
+        let counters : (string, int) Hashtbl.t = Hashtbl.create 16 in
+        let counter_of base =
+          let n = match Hashtbl.find_opt counters base with Some n -> n | None -> 0 in
+          Hashtbl.replace counters base (n + 1);
+          n
+        in
+        List.iter
+          (fun change ->
+            let okey = occurrence_key change counter_of in
+            match Hashtbl.find_opt kept okey with
+            | None ->
+              Hashtbl.add kept okey change;
+              order := okey :: !order
+            | Some authoritative ->
+              incr duplicates;
+              if not (images_equal authoritative change) then incr conflicts)
+          d.Delta.changes)
+      deltas;
+    let changes = List.rev_map (fun okey -> Hashtbl.find kept okey) !order in
+    ( Delta.make ~table:first.Delta.table ~schema changes,
+      {
+        input_changes;
+        output_changes = List.length changes;
+        duplicates_dropped = !duplicates;
+        conflicts_resolved = !conflicts;
+      } )

@@ -1,0 +1,26 @@
+(** Reconciliation of deltas extracted from replicated sources
+    (paper Sections 2.2 and 4.1).
+
+    When the same logical entity is replicated across k source databases,
+    every low-level value-delta method (trigger, log, snapshot) observes k
+    physical copies of each change.  Before integration the copies must be
+    reduced to one {e authoritative} delta.  Op-Delta avoids this entirely
+    by capturing at the business-transaction level, above the replication
+    logic; this module is the price value deltas pay.
+
+    Policy: replica streams are listed in priority order (first =
+    authoritative).  Changes are matched across streams by (key, kind);
+    matched duplicates are dropped, and when matched copies disagree on
+    the images (replicas that are "not exact replicas"), the highest-
+    priority copy wins and the disagreement is counted as a conflict. *)
+
+type stats = {
+  input_changes : int;     (** across all replica streams *)
+  output_changes : int;    (** authoritative changes kept *)
+  duplicates_dropped : int;
+  conflicts_resolved : int;
+}
+
+val reconcile : Delta.t list -> Delta.t * stats
+(** All deltas must target the same table/schema (the replicas).
+    Raises [Invalid_argument] on mismatch or empty input. *)

@@ -1,0 +1,65 @@
+module Ast = Dw_sql.Ast
+
+type op_kind = K_insert | K_update | K_delete
+
+let kind_of_stmt = function
+  | Ast.Insert _ -> Some K_insert
+  | Ast.Update _ -> Some K_update
+  | Ast.Delete _ -> Some K_delete
+  | Ast.Select _ | Ast.Create_table _ -> None
+
+type verdict = {
+  self_maintainable : bool;
+  needs_before_images : bool;
+  reason : string;
+}
+
+let analyze view kind ~replicas =
+  if replicas then
+    {
+      self_maintainable = true;
+      needs_before_images = false;
+      reason = "warehouse keeps source replicas: the operation replays locally";
+    }
+  else
+    match view, kind with
+    | Spj_view.Select_project _, K_insert ->
+      {
+        self_maintainable = true;
+        needs_before_images = false;
+        reason = "INSERT carries the full tuple; project/select it directly";
+      }
+    | Spj_view.Select_project _, (K_update | K_delete) ->
+      {
+        self_maintainable = true;
+        needs_before_images = true;
+        reason =
+          "without replicas the warehouse cannot resolve the statement's \
+           predicate to rows; ship the before images (hybrid capture)";
+      }
+    | Spj_view.Join _, _ ->
+      {
+        self_maintainable = false;
+        needs_before_images = false;
+        reason = "join view needs the other side's rows; keep replicas at the warehouse";
+      }
+
+let requirement ~views ~replicas stmt =
+  match kind_of_stmt stmt with
+  | None -> `Op_only
+  | Some kind ->
+    let table = Ast.table_of stmt in
+    let relevant =
+      List.filter (fun v -> List.mem table (Spj_view.source_tables v)) views
+    in
+    let verdicts = List.map (fun v -> (v, analyze v kind ~replicas)) relevant in
+    let not_sm =
+      List.find_opt (fun (_, verdict) -> not verdict.self_maintainable) verdicts
+    in
+    (match not_sm with
+     | Some (v, verdict) ->
+       `Not_self_maintainable (Printf.sprintf "view %s: %s" (Spj_view.name v) verdict.reason)
+     | None ->
+       if List.exists (fun (_, verdict) -> verdict.needs_before_images) verdicts then
+         `Op_with_before_images
+       else `Op_only)

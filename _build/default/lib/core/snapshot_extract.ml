@@ -1,0 +1,77 @@
+module Db = Dw_engine.Db
+module Table = Dw_engine.Table
+module Ascii_util = Dw_engine.Ascii_util
+module Snapshot_diff = Dw_snapshot.Snapshot_diff
+module Codec = Dw_relation.Codec
+
+type algorithm = Sort_merge | Partitioned_hash of int | Window of int | External_sort of int
+
+type stats = { rows : int; dumped_rows : int; dump_bytes : int; scratch_bytes : int }
+
+let entry_to_change = function
+  | Snapshot_diff.Added t -> Delta.Insert t
+  | Snapshot_diff.Removed t -> Delta.Delete t
+  | Snapshot_diff.Changed (before, after) -> Delta.Update (before, after)
+
+let read_rows db schema file =
+  let rows = ref [] in
+  match
+    Ascii_util.iter_lines (Db.vfs db) file ~f:(fun line ->
+        match Codec.decode_ascii schema line with
+        | Ok t -> rows := t :: !rows
+        | Error e -> failwith e)
+  with
+  | Ok _ -> Ok (List.rev !rows)
+  | Error e -> Error e
+  | exception Failure e -> Error e
+
+let extract db ~table ~prev_snapshot ~snapshot_dest ~algorithm =
+  let tbl = Db.table db table in
+  let schema = Table.schema tbl in
+  let dump = Ascii_util.dump db ~table ~dest:snapshot_dest () in
+  let finish entries scratch_bytes =
+    let changes = List.map entry_to_change entries in
+    Ok
+      ( Delta.make ~table ~schema changes,
+        {
+          rows = List.length changes;
+          dumped_rows = dump.Ascii_util.rows;
+          dump_bytes = dump.Ascii_util.bytes;
+          scratch_bytes;
+        } )
+  in
+  match prev_snapshot with
+  | None -> (
+      match read_rows db schema snapshot_dest with
+      | Error e -> Error e
+      | Ok rows ->
+        finish (List.map (fun r -> Snapshot_diff.Added r) rows) 0)
+  | Some prev -> (
+      match algorithm with
+      | Sort_merge -> (
+          match read_rows db schema prev, read_rows db schema snapshot_dest with
+          | Ok old_rows, Ok new_rows ->
+            let entries, s = Snapshot_diff.sort_merge schema ~old_rows ~new_rows in
+            finish entries s.Snapshot_diff.scratch_bytes
+          | Error e, _ | _, Error e -> Error e)
+      | Partitioned_hash buckets -> (
+          match
+            Snapshot_diff.partitioned_hash ~buckets (Db.vfs db) schema ~old_file:prev
+              ~new_file:snapshot_dest
+          with
+          | Ok (entries, s) -> finish entries s.Snapshot_diff.scratch_bytes
+          | Error e -> Error e)
+      | Window window_rows -> (
+          match
+            Snapshot_diff.window ~window_rows (Db.vfs db) schema ~old_file:prev
+              ~new_file:snapshot_dest
+          with
+          | Ok (entries, s) -> finish entries s.Snapshot_diff.scratch_bytes
+          | Error e -> Error e)
+      | External_sort run_rows -> (
+          match
+            Snapshot_diff.external_sort_merge ~run_rows (Db.vfs db) schema ~old_file:prev
+              ~new_file:snapshot_dest
+          with
+          | Ok (entries, s) -> finish entries s.Snapshot_diff.scratch_bytes
+          | Error e -> Error e))

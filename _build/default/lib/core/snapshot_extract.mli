@@ -1,0 +1,36 @@
+(** Differential-snapshot delta extraction (paper Section 3, method 2;
+    analysed in 3.1.2).
+
+    Dumps the current table state to an ASCII snapshot file and, when a
+    previous snapshot exists, computes the differential with one of the
+    {!Dw_snapshot.Snapshot_diff} algorithms.  Like the timestamp method it
+    sees only final states; unlike it, it {e does} observe deletes.
+    The paper's verdict — most expensive method, applicable only when
+    snapshots are the sole access path — falls out of the costs: a full
+    dump plus a full diff per extraction. *)
+
+module Db = Dw_engine.Db
+
+type algorithm =
+  | Sort_merge
+  | Partitioned_hash of int   (** bucket count *)
+  | Window of int             (** aging-buffer rows (Labio & Garcia-Molina) *)
+  | External_sort of int      (** sorted-run rows (bounded-memory sort-merge) *)
+
+type stats = {
+  rows : int;             (** delta entries *)
+  dumped_rows : int;      (** current snapshot size *)
+  dump_bytes : int;
+  scratch_bytes : int;    (** partition traffic (Partitioned_hash only) *)
+}
+
+val extract :
+  Db.t ->
+  table:string ->
+  prev_snapshot:string option ->
+  snapshot_dest:string ->
+  algorithm:algorithm ->
+  (Delta.t * stats, string) result
+(** With [prev_snapshot = None] the delta is every current row as an
+    insert (initial load).  [snapshot_dest] receives the new snapshot for
+    the next round. *)

@@ -1,0 +1,176 @@
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Value = Dw_relation.Value
+module Expr = Dw_relation.Expr
+
+type side = L | R
+
+type projection = { out_name : string; from_side : side; from_col : string }
+
+type t =
+  | Select_project of {
+      name : string;
+      table : string;
+      schema : Schema.t;
+      filter : Expr.t option;
+      project : projection list;
+    }
+  | Join of {
+      name : string;
+      left_table : string;
+      left_schema : Schema.t;
+      right_table : string;
+      right_schema : Schema.t;
+      on : (string * string) list;
+      left_filter : Expr.t option;
+      right_filter : Expr.t option;
+      project : projection list;
+    }
+
+let name = function Select_project { name; _ } | Join { name; _ } -> name
+
+let source_tables = function
+  | Select_project { table; _ } -> [ table ]
+  | Join { left_table; right_table; _ } -> [ left_table; right_table ]
+
+let check_cols schema expr_opt cols =
+  let missing = List.filter (fun c -> not (Schema.mem schema c)) cols in
+  let expr_missing =
+    match expr_opt with
+    | None -> []
+    | Some e -> List.filter (fun c -> not (Schema.mem schema c)) (Expr.columns e)
+  in
+  missing @ expr_missing
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match t with
+  | Select_project { project = []; _ } | Join { project = []; _ } ->
+    err "view %s: empty projection" (name t)
+  | Select_project { schema; filter; project; _ } -> (
+      match check_cols schema filter (List.map (fun p -> p.from_col) project) with
+      | [] -> Ok ()
+      | c :: _ -> err "view %s: unknown column %s" (name t) c)
+  | Join { left_schema; right_schema; on; left_filter; right_filter; project; _ } -> (
+      if on = [] then err "view %s: join without equi-join columns" (name t)
+      else
+        let lcols =
+          List.map fst on
+          @ List.filter_map (fun p -> if p.from_side = L then Some p.from_col else None) project
+        in
+        let rcols =
+          List.map snd on
+          @ List.filter_map (fun p -> if p.from_side = R then Some p.from_col else None) project
+        in
+        match
+          check_cols left_schema left_filter lcols @ check_cols right_schema right_filter rcols
+        with
+        | [] ->
+          (* join key types must match *)
+          let mismatched =
+            List.filter
+              (fun (lc, rc) ->
+                (Schema.column left_schema (Schema.index_of left_schema lc)).Schema.ty
+                <> (Schema.column right_schema (Schema.index_of right_schema rc)).Schema.ty)
+              on
+          in
+          (match mismatched with
+           | [] -> Ok ()
+           | (lc, rc) :: _ -> err "view %s: join key type mismatch %s/%s" (name t) lc rc)
+        | c :: _ -> err "view %s: unknown column %s" (name t) c)
+
+let output_schema t =
+  let col_of schema p =
+    let src = Schema.column schema (Schema.index_of schema p.from_col) in
+    { Schema.name = p.out_name; ty = src.Schema.ty; nullable = src.Schema.nullable }
+  in
+  match t with
+  | Select_project { schema; project; _ } ->
+    Schema.make ~key_arity:(List.length project) (List.map (col_of schema) project)
+  | Join { left_schema; right_schema; project; _ } ->
+    Schema.make ~key_arity:(List.length project)
+      (List.map
+         (fun p -> col_of (match p.from_side with L -> left_schema | R -> right_schema) p)
+         project)
+
+let passes schema filter tuple =
+  match filter with None -> true | Some e -> Expr.eval_pred schema tuple e
+
+let project_row schema project tuple =
+  Array.of_list (List.map (fun p -> tuple.(Schema.index_of schema p.from_col)) project)
+
+let project_sp t tuple =
+  match t with
+  | Select_project { schema; filter; project; _ } ->
+    if passes schema filter tuple then Some (project_row schema project tuple) else None
+  | Join _ -> invalid_arg "Spj_view.project_sp: join view"
+
+let join_pairs ~on ~left_schema ~right_schema l r =
+  List.for_all
+    (fun (lc, rc) ->
+      Value.equal l.(Schema.index_of left_schema lc) r.(Schema.index_of right_schema rc))
+    on
+
+let project_join project ~left_schema ~right_schema l r =
+  Array.of_list
+    (List.map
+       (fun p ->
+         match p.from_side with
+         | L -> l.(Schema.index_of left_schema p.from_col)
+         | R -> r.(Schema.index_of right_schema p.from_col))
+       project)
+
+let join_contribution t side tuple ~other_rows =
+  match t with
+  | Select_project _ -> invalid_arg "Spj_view.join_contribution: select-project view"
+  | Join { left_schema; right_schema; on; left_filter; right_filter; project; _ } -> (
+      match side with
+      | L ->
+        if not (passes left_schema left_filter tuple) then []
+        else
+          other_rows
+          |> List.filter (fun r ->
+                 passes right_schema right_filter r
+                 && join_pairs ~on ~left_schema ~right_schema tuple r)
+          |> List.map (fun r -> project_join project ~left_schema ~right_schema tuple r)
+      | R ->
+        if not (passes right_schema right_filter tuple) then []
+        else
+          other_rows
+          |> List.filter (fun l ->
+                 passes left_schema left_filter l
+                 && join_pairs ~on ~left_schema ~right_schema l tuple)
+          |> List.map (fun l -> project_join project ~left_schema ~right_schema l tuple))
+
+module RowMap = Map.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+let bag_of_list rows =
+  List.fold_left
+    (fun acc row ->
+      RowMap.update row (function None -> Some 1 | Some n -> Some (n + 1)) acc)
+    RowMap.empty rows
+
+let eval t ~rows_of =
+  let rows =
+    match t with
+    | Select_project { table; _ } ->
+      List.filter_map (project_sp t) (rows_of table)
+    | Join { left_table; right_table; left_schema; right_schema; on; left_filter; right_filter;
+             project; _ } ->
+      let lefts = List.filter (passes left_schema left_filter) (rows_of left_table) in
+      let rights = List.filter (passes right_schema right_filter) (rows_of right_table) in
+      List.concat_map
+        (fun l ->
+          List.filter_map
+            (fun r ->
+              if join_pairs ~on ~left_schema ~right_schema l r then
+                Some (project_join project ~left_schema ~right_schema l r)
+              else None)
+            rights)
+        lefts
+  in
+  RowMap.bindings (bag_of_list rows)

@@ -1,0 +1,47 @@
+(** Time-stamp based delta extraction (paper Section 3, method 1;
+    analysed in 3.1.1, measured in Tables 2 and 3).
+
+    [SELECT * FROM t WHERE last_modified > since] — the result is the set
+    of rows inserted or updated since the watermark.  Deletes are
+    invisible and intermediate states are lost, hence the delta contains
+    only {!Delta.Upsert} entries.
+
+    Three output modes, matching the paper's rows:
+    - {b file output}: write matching rows to an ASCII file (cheap;
+      composes with the DBMS Loader at the warehouse — Table 3 row 1);
+    - {b table output}: insert matching rows into a local delta table
+      through the transactional path (expensive — Table 2 row 2);
+    - {b table output + Export}: additionally run the Export utility on
+      the delta table (Table 2 row 3; composes with Import — Table 3
+      row 2). *)
+
+module Expr = Dw_relation.Expr
+module Db = Dw_engine.Db
+
+type output =
+  | To_file of string
+  | To_table of string
+  | To_table_export of { delta_table : string; export_file : string }
+
+type stats = {
+  rows : int;
+  bytes_out : int;      (** bytes written to the file / export dump *)
+  scanned_rows : int;   (** rows visited at the source *)
+}
+
+val extract :
+  ?via:[ `Scan | `Ts_index ] ->  (* default `Scan: the paper's common case *)
+  ?restrict:Expr.t ->
+  (* extra predicate ANDed with the timestamp condition — the paper's
+     "restricting ... deltas during the extraction process" *)
+  ?project:string list ->
+  (* column subset to extract (must include the key columns) — the
+     paper's "sub-setting".  The delta then carries the projected schema. *)
+  Db.t ->
+  table:string ->
+  since:int ->
+  output:output ->
+  Delta.t * stats
+(** The source table must have a timestamp column.  [To_table]/[To_table_export]
+    create the delta table (dropping an existing one) with the (projected)
+    source schema. *)

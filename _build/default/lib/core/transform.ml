@@ -1,0 +1,214 @@
+module Ast = Dw_sql.Ast
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Value = Dw_relation.Value
+module Expr = Dw_relation.Expr
+
+type rule = {
+  src_table : string;
+  dst_table : string;
+  column_map : (string * string) list;
+  constants : (string * Value.t) list;
+}
+
+let validate rule ~src ~dst =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let missing_src = List.filter (fun (s, _) -> not (Schema.mem src s)) rule.column_map in
+  let missing_dst =
+    List.filter (fun (_, d) -> not (Schema.mem dst d)) rule.column_map
+    @ List.filter_map
+        (fun (d, _) -> if Schema.mem dst d then None else Some (d, d))
+        rule.constants
+  in
+  if rule.column_map = [] then err "rule %s->%s maps no columns" rule.src_table rule.dst_table
+  else
+    match missing_src, missing_dst with
+    | (s, _) :: _, _ -> err "rule: source column %s missing" s
+    | _, (d, _) :: _ -> err "rule: destination column %s missing" d
+    | [], [] ->
+      let covered =
+        List.map snd rule.column_map @ List.map fst rule.constants
+      in
+      let uncovered =
+        List.filter
+          (fun c -> (not c.Schema.nullable) && not (List.mem c.Schema.name covered))
+          (Schema.columns dst)
+      in
+      (match uncovered with
+       | [] -> Ok ()
+       | c :: _ -> err "rule: non-nullable destination column %s not covered" c.Schema.name)
+
+let dst_schema rule ~src =
+  let key_arity = ref 0 in
+  let mapped =
+    List.map
+      (fun (s, d) ->
+        let i = Schema.index_of src s in
+        let col = Schema.column src i in
+        if i < Schema.key_arity src then incr key_arity;
+        { Schema.name = d; ty = col.Schema.ty; nullable = col.Schema.nullable })
+      (* keep key columns first, preserving source order *)
+      (List.stable_sort
+         (fun (a, _) (b, _) ->
+           let ka = Schema.index_of src a < Schema.key_arity src in
+           let kb = Schema.index_of src b < Schema.key_arity src in
+           compare (not ka) (not kb))
+         rule.column_map)
+  in
+  let const_cols =
+    List.map
+      (fun (d, v) ->
+        let ty =
+          match v with
+          | Value.Int _ -> Value.Tint
+          | Value.Float _ -> Value.Tfloat
+          | Value.Bool _ -> Value.Tbool
+          | Value.Date _ -> Value.Tdate
+          | Value.Str s -> Value.Tstring (max 1 (String.length s))
+          | Value.Null -> Value.Tint
+        in
+        { Schema.name = d; ty; nullable = Value.is_null v })
+      rule.constants
+  in
+  Schema.make ~key_arity:(max 1 !key_arity) (mapped @ const_cols)
+
+let apply_tuple rule ~src ~dst tuple =
+  let out = Array.make (Schema.arity dst) Value.Null in
+  List.iter
+    (fun (s, d) -> out.(Schema.index_of dst d) <- tuple.(Schema.index_of src s))
+    rule.column_map;
+  List.iter (fun (d, v) -> out.(Schema.index_of dst d) <- v) rule.constants;
+  out
+
+let apply_delta rule ~src ~dst delta =
+  if delta.Delta.table <> rule.src_table then
+    invalid_arg "Transform.apply_delta: delta is for a different table";
+  let f = apply_tuple rule ~src ~dst in
+  let changes =
+    List.map
+      (fun change ->
+        match change with
+        | Delta.Insert t -> Delta.Insert (f t)
+        | Delta.Delete t -> Delta.Delete (f t)
+        | Delta.Update (b, a) -> Delta.Update (f b, f a)
+        | Delta.Upsert t -> Delta.Upsert (f t))
+      delta.Delta.changes
+  in
+  Delta.make ~table:rule.dst_table ~schema:dst changes
+
+exception Dropped of string
+
+let rename_col rule col =
+  match List.assoc_opt col rule.column_map with
+  | Some d -> d
+  | None -> raise (Dropped col)
+
+let rec rename_expr rule e =
+  match e with
+  | Expr.Col c -> Expr.Col (rename_col rule c)
+  | Expr.Lit _ -> e
+  | Expr.Binop (op, a, b) -> Expr.Binop (op, rename_expr rule a, rename_expr rule b)
+  | Expr.Cmp (op, a, b) -> Expr.Cmp (op, rename_expr rule a, rename_expr rule b)
+  | Expr.And (a, b) -> Expr.And (rename_expr rule a, rename_expr rule b)
+  | Expr.Or (a, b) -> Expr.Or (rename_expr rule a, rename_expr rule b)
+  | Expr.Not a -> Expr.Not (rename_expr rule a)
+  | Expr.Is_null a -> Expr.Is_null (rename_expr rule a)
+  | Expr.Is_not_null a -> Expr.Is_not_null (rename_expr rule a)
+
+let apply_stmt rule ~src stmt =
+  if Ast.table_of stmt <> rule.src_table then Ok None
+  else
+    try
+      match stmt with
+      | Ast.Insert { columns; rows; _ } ->
+        (* resolve each row to (source column -> value), then project *)
+        let src_cols =
+          match columns with
+          | Some cols -> cols
+          | None -> List.map (fun c -> c.Schema.name) (Schema.columns src)
+        in
+        let dst_cols = List.map (fun (_, d) -> d) rule.column_map in
+        let project row =
+          if List.length row <> List.length src_cols then
+            raise (Dropped "arity mismatch in INSERT");
+          let assoc = List.combine src_cols row in
+          let mapped =
+            List.map
+              (fun (s, _) ->
+                match List.assoc_opt s assoc with
+                | Some v -> v
+                | None -> Value.Null)
+              rule.column_map
+          in
+          mapped @ List.map snd rule.constants
+        in
+        Ok
+          (Some
+             (Ast.Insert
+                {
+                  table = rule.dst_table;
+                  columns = Some (dst_cols @ List.map fst rule.constants);
+                  rows = List.map project rows;
+                }))
+      | Ast.Update { sets; where; _ } ->
+        let kept_sets =
+          List.filter_map
+            (fun (col, e) ->
+              match List.assoc_opt col rule.column_map with
+              | Some d -> Some (d, rename_expr rule e)
+              | None ->
+                (* assignment to a dropped column is invisible downstream,
+                   but only if its RHS is pure w.r.t. kept columns — it is,
+                   expressions have no side effects *)
+                None)
+            sets
+        in
+        let where = Option.map (rename_expr rule) where in
+        if kept_sets = [] then Ok None
+        else Ok (Some (Ast.Update { table = rule.dst_table; sets = kept_sets; where }))
+      | Ast.Delete { where; _ } ->
+        Ok (Some (Ast.Delete { table = rule.dst_table; where = Option.map (rename_expr rule) where }))
+      | Ast.Select { items; where; group_by; order_by; _ } ->
+        let items =
+          List.map
+            (function
+              | Ast.Star -> Ast.Star
+              | Ast.Item (e, alias) -> Ast.Item (rename_expr rule e, alias)
+              | Ast.Agg (fn, e, alias) -> Ast.Agg (fn, Option.map (rename_expr rule) e, alias))
+            items
+        in
+        Ok
+          (Some
+             (Ast.Select
+                {
+                  items;
+                  table = rule.dst_table;
+                  where = Option.map (rename_expr rule) where;
+                  group_by = List.map (rename_col rule) group_by;
+                  order_by = List.map (rename_col rule) order_by;
+                }))
+      | Ast.Create_table _ -> Ok None
+    with Dropped col ->
+      Error
+        (Printf.sprintf
+           "statement references source column %s which the rule drops; capture before images \
+            instead"
+           col)
+
+let apply_op_delta rule ~src od =
+  let rec go acc = function
+    | [] -> Ok { od with Op_delta.ops = List.rev acc }
+    | (op : Op_delta.op) :: rest -> (
+        if Ast.table_of op.Op_delta.stmt <> rule.src_table then go (op :: acc) rest
+        else
+          match apply_stmt rule ~src op.Op_delta.stmt with
+          | Error e -> Error e
+          | Ok None -> go acc rest
+          | Ok (Some stmt) ->
+            let dst = dst_schema rule ~src in
+            let before_images =
+              List.map (apply_tuple rule ~src ~dst) op.Op_delta.before_images
+            in
+            go ({ Op_delta.stmt; before_images } :: acc) rest)
+  in
+  go [] od.Op_delta.ops

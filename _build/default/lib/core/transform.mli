@@ -1,0 +1,51 @@
+(** Transformation rules mapping source-schema deltas onto the warehouse
+    schema (paper Section 4.1: "a set of transformation rules to directly
+    apply the Op-Delta to various schema in data warehouses").
+
+    A rule renames the table, renames/keeps a subset of columns, and can
+    add constant-valued columns (e.g. a source-system tag).  Rules apply
+    both to Op-Deltas (rewriting statements) and to value deltas
+    (rewriting tuples), so every extraction method feeds the same
+    integration code. *)
+
+module Ast = Dw_sql.Ast
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Value = Dw_relation.Value
+module Expr = Dw_relation.Expr
+
+type rule = {
+  src_table : string;
+  dst_table : string;
+  column_map : (string * string) list;
+      (** (source column, destination column); unlisted source columns are
+          dropped *)
+  constants : (string * Value.t) list;
+      (** destination columns filled with a constant *)
+}
+
+val validate : rule -> src:Schema.t -> dst:Schema.t -> (unit, string) result
+(** Every mapped source column exists in [src]; every mapped destination
+    and constant column exists in [dst]; every non-nullable destination
+    column is covered. *)
+
+val dst_schema : rule -> src:Schema.t -> Schema.t
+(** Derive the destination schema a rule implies (mapped columns with
+    their source types, then constant columns; key = mapped source-key
+    columns).  Useful for creating the warehouse table. *)
+
+val apply_tuple : rule -> src:Schema.t -> dst:Schema.t -> Tuple.t -> Tuple.t
+(** Map one source row image onto the destination schema. *)
+
+val apply_delta : rule -> src:Schema.t -> dst:Schema.t -> Delta.t -> Delta.t
+
+val apply_stmt : rule -> src:Schema.t -> Ast.stmt -> (Ast.stmt option, string) result
+(** Rewrite a statement for the destination: rename table and columns,
+    project inserts, extend them with constants.  [Ok None] when the
+    statement targets a different table.  Errors when the statement's
+    WHERE or SET references a dropped column (the operation cannot be
+    replayed at the warehouse — capture before images instead). *)
+
+val apply_op_delta : rule -> src:Schema.t -> Op_delta.t -> (Op_delta.t, string) result
+(** Rewrite every op of the transaction; ops on other tables pass through
+    unchanged. *)

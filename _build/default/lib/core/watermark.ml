@@ -1,0 +1,60 @@
+module Vfs = Dw_storage.Vfs
+
+type mark = { day : int; lsn : Dw_txn.Wal.lsn }
+
+type t = {
+  vfs : Vfs.t;
+  name : string;
+  marks : (string, mark) Hashtbl.t;
+}
+
+let parse_line line =
+  match String.split_on_char '|' line with
+  | [ table; day; lsn ] -> (
+      match int_of_string_opt day, int_of_string_opt lsn with
+      | Some day, Some lsn -> Some (table, { day; lsn })
+      | _ -> None)
+  | _ -> None
+
+let load vfs ~name =
+  let marks = Hashtbl.create 8 in
+  if Vfs.exists vfs name then begin
+    let file = Vfs.open_existing vfs name in
+    let len = Vfs.size file in
+    let data = if len = 0 then "" else Bytes.to_string (Vfs.read_at file ~off:0 ~len) in
+    Vfs.close file;
+    String.split_on_char '\n' data
+    |> List.iter (fun line ->
+           match parse_line line with
+           | Some (table, mark) -> Hashtbl.replace marks table mark
+           | None -> ())
+  end;
+  { vfs; name; marks }
+
+let get t ~table =
+  match Hashtbl.find_opt t.marks table with
+  | Some mark -> mark
+  | None -> { day = -1; lsn = 0 }
+
+let persist t =
+  let buf = Buffer.create 256 in
+  Hashtbl.fold (fun table mark acc -> (table, mark) :: acc) t.marks []
+  |> List.sort compare
+  |> List.iter (fun (table, mark) ->
+         Buffer.add_string buf (Printf.sprintf "%s|%d|%d\n" table mark.day mark.lsn));
+  let file = Vfs.create t.vfs t.name in
+  ignore (Vfs.append file (Buffer.to_bytes buf) : int);
+  Vfs.fsync file;
+  Vfs.close file
+
+let advance t ~table mark =
+  let current = get t ~table in
+  if mark.day < current.day || mark.lsn < current.lsn then
+    invalid_arg
+      (Printf.sprintf "Watermark.advance: regression for %s (day %d->%d, lsn %d->%d)" table
+         current.day mark.day current.lsn mark.lsn);
+  Hashtbl.replace t.marks table mark;
+  persist t
+
+let tables t =
+  Hashtbl.fold (fun table _ acc -> table :: acc) t.marks [] |> List.sort String.compare

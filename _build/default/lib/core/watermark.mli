@@ -1,0 +1,28 @@
+(** Extraction watermarks: the persistent per-table "where did the last
+    extraction round stop" state that every periodic delta-extraction
+    deployment needs (the [last_modified_date > 12/5/99] of the paper's
+    running example, plus the log position for the log-based method).
+
+    State is persisted to a {!Dw_storage.Vfs.t} file on every {!advance},
+    so an extraction agent that crashes re-extracts at most one round
+    (at-least-once, pairing with the transport queue's redelivery). *)
+
+type t
+
+type mark = {
+  day : int;                  (** last timestamp-watermark extracted through *)
+  lsn : Dw_txn.Wal.lsn;       (** first log position NOT yet extracted *)
+}
+
+val load : Dw_storage.Vfs.t -> name:string -> t
+(** Open (or create) the watermark store file [name]. *)
+
+val get : t -> table:string -> mark
+(** [{ day = -1; lsn = 0 }] for a table never extracted. *)
+
+val advance : t -> table:string -> mark -> unit
+(** Persist a new mark.  Marks may only move forward; raises
+    [Invalid_argument] on regression. *)
+
+val tables : t -> string list
+(** Tables with recorded marks, sorted. *)

@@ -1,0 +1,1 @@
+lib/cots/enterprise.ml: Array Dw_core Dw_engine Dw_relation Dw_sql Dw_storage List Printf

@@ -1,0 +1,1 @@
+lib/cots/enterprise.mli: Dw_core Dw_engine Dw_relation Dw_sql

@@ -1,0 +1,1 @@
+lib/engine/ascii_util.mli: Db Dw_relation Dw_storage

@@ -1,0 +1,1 @@
+lib/engine/db.ml: Array Dw_relation Dw_sql Dw_storage Dw_txn Fun Hashtbl List Map Option Printf String Table Trigger

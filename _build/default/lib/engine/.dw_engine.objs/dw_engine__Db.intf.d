@@ -1,0 +1,1 @@
+lib/engine/db.mli: Dw_relation Dw_sql Dw_storage Dw_txn Dw_util Table Trigger

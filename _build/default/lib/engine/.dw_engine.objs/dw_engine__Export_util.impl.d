@@ -1,0 +1,1 @@
+lib/engine/export_util.ml: Buffer Bytes Db Dw_relation Dw_storage List Printf String Table

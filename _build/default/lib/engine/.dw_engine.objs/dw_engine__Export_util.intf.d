@@ -1,0 +1,1 @@
+lib/engine/export_util.mli: Db Dw_relation Dw_storage

@@ -1,0 +1,1 @@
+lib/engine/import_util.ml: Array Bytes Db Dw_relation Dw_sql Dw_storage Export_util Printf Table

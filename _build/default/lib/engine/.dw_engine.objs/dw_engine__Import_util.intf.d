@@ -1,0 +1,1 @@
+lib/engine/import_util.mli: Db

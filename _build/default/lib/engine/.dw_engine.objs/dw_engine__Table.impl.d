@@ -1,0 +1,1 @@
+lib/engine/table.ml: Array Dw_relation Dw_storage List Printf

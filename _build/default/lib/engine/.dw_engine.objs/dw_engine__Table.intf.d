@@ -1,0 +1,1 @@
+lib/engine/table.mli: Dw_relation Dw_storage

@@ -1,0 +1,1 @@
+lib/engine/trigger.ml: Dw_relation Dw_storage List

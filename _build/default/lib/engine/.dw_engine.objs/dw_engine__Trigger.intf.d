@@ -1,0 +1,1 @@
+lib/engine/trigger.mli: Dw_relation Dw_storage

@@ -1,0 +1,28 @@
+(** ASCII dump / load.
+
+    The dump side is the timestamp-based extractor's "output to file"
+    path; the load side is the DBMS Loader of Table 1: it parses each
+    line and writes the record {e directly into database blocks} — no
+    WAL, no per-row index maintenance (indexes are rebuilt once at the
+    end), no transaction overhead.  That is why it beats Import. *)
+
+type dump_stats = { rows : int; bytes : int }
+type load_stats = { rows : int; bad_lines : int }
+
+val dump :
+  Db.t -> table:string -> ?where:Dw_relation.Expr.t -> dest:string -> unit -> dump_stats
+(** One ASCII line per matching row ({!Dw_relation.Codec.encode_ascii}). *)
+
+val dump_tuples :
+  Dw_storage.Vfs.t -> schema:Dw_relation.Schema.t -> dest:string ->
+  Dw_relation.Tuple.t list -> dump_stats
+(** Dump an explicit tuple list (used by extractors writing delta files). *)
+
+val load :
+  Db.t -> table:string -> src:string -> (load_stats, string) result
+(** Direct block load into an existing table.  Lines that fail to decode
+    are counted in [bad_lines] and skipped (loader semantics). *)
+
+val iter_lines :
+  Dw_storage.Vfs.t -> string -> f:(string -> unit) -> (int, string) result
+(** Stream the lines of an ASCII file (no trailing-newline pedantry). *)

@@ -1,0 +1,706 @@
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Value = Dw_relation.Value
+module Expr = Dw_relation.Expr
+module Codec = Dw_relation.Codec
+module Vfs = Dw_storage.Vfs
+module Buffer_pool = Dw_storage.Buffer_pool
+module Heap_file = Dw_storage.Heap_file
+module Wal = Dw_txn.Wal
+module Log_record = Dw_txn.Log_record
+module Lock_manager = Dw_txn.Lock_manager
+module Recovery = Dw_txn.Recovery
+module Ast = Dw_sql.Ast
+
+exception Would_block of { tx : int; blockers : int list }
+exception Deadlock_abort of { tx : int; blockers : int list }
+
+type undo =
+  | U_insert of string * Heap_file.rid * Tuple.t
+  | U_delete of string * Tuple.t
+  | U_update of string * Heap_file.rid * Tuple.t * Tuple.t  (* before, after *)
+
+type txn = {
+  id : int;
+  mutable undo_log : undo list;
+  mutable in_trigger : bool;
+  mutable finished : bool;
+}
+
+type trigger_ctx = { ctx_db : t; ctx_txn : txn }
+
+and t = {
+  db_name : string;
+  vfs : Vfs.t;
+  pool : Buffer_pool.t;
+  wal : Wal.t;
+  locks : Lock_manager.t;
+  tables : (string, Table.t) Hashtbl.t;
+  triggers : (string, trigger_ctx Trigger.t list ref) Hashtbl.t;
+  mutable next_txid : int;
+  mutable active : (int, txn) Hashtbl.t;
+  mutable day : int;
+  mutable plan_mode : [ `Scan_only | `Index_preferred ];
+  mutable sync_mode : [ `Every_commit | `Group of int ];
+  mutable commits_since_sync : int;
+  mutable yield_hook : (unit -> unit) option;
+  mutable block_hook : (txid:int -> blockers:int list -> unit) option;
+}
+
+let create ?(pool_pages = 256) ?(archive_log = false) ~vfs ~name () =
+  {
+    db_name = name;
+    vfs;
+    pool = Buffer_pool.create ~vfs ~capacity:pool_pages;
+    wal = Wal.create vfs ~name:(name ^ ".wal") ~archive:archive_log;
+    locks = Lock_manager.create ();
+    tables = Hashtbl.create 16;
+    triggers = Hashtbl.create 16;
+    next_txid = 1;
+    active = Hashtbl.create 8;
+    day = Value.(match date_of_ymd ~year:1999 ~month:12 ~day:5 with Date d -> d | _ -> 0);
+    plan_mode = `Scan_only;
+    sync_mode = `Every_commit;
+    commits_since_sync = 0;
+    yield_hook = None;
+    block_hook = None;
+  }
+
+let name t = t.db_name
+let vfs t = t.vfs
+let metrics t = Vfs.metrics t.vfs
+let wal t = t.wal
+let locks t = t.locks
+let pool t = t.pool
+
+let plan_mode t = t.plan_mode
+let set_plan_mode t mode = t.plan_mode <- mode
+
+let sync_mode t = t.sync_mode
+
+let set_sync_mode t mode =
+  (match mode with
+   | `Group n when n < 1 -> invalid_arg "Db.set_sync_mode: group size < 1"
+   | `Group _ | `Every_commit -> ());
+  t.sync_mode <- mode
+
+let set_yield_hook t hook = t.yield_hook <- hook
+let set_block_hook t hook = t.block_hook <- hook
+
+let statement_boundary t = match t.yield_hook with Some f -> f () | None -> ()
+
+let current_day t = t.day
+let set_day t d = t.day <- d
+let advance_day t = t.day <- t.day + 1
+
+(* schema *)
+
+let heap_file_name db_name table_name = Printf.sprintf "%s.%s.heap" db_name table_name
+
+let create_table t ~name ?ts_column schema =
+  if Hashtbl.mem t.tables name then
+    invalid_arg (Printf.sprintf "Db.create_table: table %s exists" name);
+  let file = Vfs.create t.vfs (heap_file_name t.db_name name) in
+  let table = Table.create ~pool:t.pool ~file ~name ~schema ~ts_column in
+  Hashtbl.add t.tables name table;
+  table
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some table -> table
+  | None -> raise Not_found
+
+let table_opt t name = Hashtbl.find_opt t.tables name
+
+let tables t =
+  Hashtbl.fold (fun _ table acc -> table :: acc) t.tables []
+  |> List.sort (fun a b -> String.compare (Table.name a) (Table.name b))
+
+let drop_table t name =
+  match Hashtbl.find_opt t.tables name with
+  | None -> raise Not_found
+  | Some table ->
+    Hashtbl.remove t.tables name;
+    Hashtbl.remove t.triggers name;
+    let file = Heap_file.file (Table.heap table) in
+    Buffer_pool.invalidate_file t.pool file;
+    Vfs.close file;
+    Vfs.delete t.vfs (heap_file_name t.db_name name)
+
+(* transactions *)
+
+let begin_txn t =
+  let id = t.next_txid in
+  t.next_txid <- id + 1;
+  let txn = { id; undo_log = []; in_trigger = false; finished = false } in
+  Hashtbl.add t.active id txn;
+  ignore (Wal.append t.wal { Log_record.tx = id; body = Log_record.Begin } : Wal.lsn);
+  txn
+
+let txid txn = txn.id
+
+let check_live txn =
+  if txn.finished then invalid_arg "Db: transaction already finished"
+
+let finish t txn =
+  txn.finished <- true;
+  Hashtbl.remove t.active txn.id;
+  Lock_manager.release_all t.locks txn.id
+
+let commit t txn =
+  check_live txn;
+  ignore (Wal.append t.wal { Log_record.tx = txn.id; body = Log_record.Commit } : Wal.lsn);
+  (match t.sync_mode with
+   | `Every_commit -> Wal.flush t.wal
+   | `Group n ->
+     t.commits_since_sync <- t.commits_since_sync + 1;
+     if t.commits_since_sync >= n then begin
+       Wal.flush t.wal;
+       t.commits_since_sync <- 0
+     end);
+  finish t txn
+
+let abort t txn =
+  check_live txn;
+  (* reverse-apply undo entries; raw ops keep indexes consistent *)
+  List.iter
+    (fun entry ->
+      match entry with
+      | U_insert (tname, rid, tuple) ->
+        (match table_opt t tname with
+         | Some table -> Table.raw_delete table rid ~old_tuple:tuple
+         | None -> ())
+      | U_delete (tname, tuple) ->
+        (match table_opt t tname with
+         | Some table -> ignore (Table.raw_insert table tuple : Heap_file.rid)
+         | None -> ())
+      | U_update (tname, rid, before, after) ->
+        (match table_opt t tname with
+         | Some table -> Table.raw_update table rid ~old_tuple:after before
+         | None -> ()))
+    txn.undo_log;
+  txn.undo_log <- [];
+  ignore (Wal.append t.wal { Log_record.tx = txn.id; body = Log_record.Abort } : Wal.lsn);
+  Wal.flush t.wal;
+  finish t txn
+
+let with_txn t f =
+  let txn = begin_txn t in
+  match f txn with
+  | result ->
+    commit t txn;
+    result
+  | exception e ->
+    if not txn.finished then abort t txn;
+    raise e
+
+let active_txns t = Hashtbl.fold (fun id _ acc -> id :: acc) t.active [] |> List.sort compare
+
+(* locking *)
+
+let rec acquire t txn resource mode =
+  match Lock_manager.acquire t.locks txn.id resource mode with
+  | Lock_manager.Granted -> ()
+  | Lock_manager.Blocked blockers -> (
+      match t.block_hook with
+      | Some wait ->
+        wait ~txid:txn.id ~blockers;
+        acquire t txn resource mode
+      | None -> raise (Would_block { tx = txn.id; blockers }))
+  | Lock_manager.Deadlock blockers -> raise (Deadlock_abort { tx = txn.id; blockers })
+
+(* triggers *)
+
+let triggers_for t tname =
+  match Hashtbl.find_opt t.triggers tname with Some l -> !l | None -> []
+
+let add_trigger t ~table trigger =
+  if not (Hashtbl.mem t.tables table) then raise Not_found;
+  let cell =
+    match Hashtbl.find_opt t.triggers table with
+    | Some cell -> cell
+    | None ->
+      let cell = ref [] in
+      Hashtbl.add t.triggers table cell;
+      cell
+  in
+  if List.exists (fun (tr : trigger_ctx Trigger.t) -> tr.Trigger.name = trigger.Trigger.name) !cell
+  then invalid_arg (Printf.sprintf "Db.add_trigger: trigger %s exists" trigger.Trigger.name);
+  cell := !cell @ [ trigger ]
+
+let remove_trigger t ~table name =
+  match Hashtbl.find_opt t.triggers table with
+  | None -> ()
+  | Some cell ->
+    cell := List.filter (fun (tr : trigger_ctx Trigger.t) -> tr.Trigger.name <> name) !cell
+
+let triggers_on t tname =
+  List.map (fun (tr : trigger_ctx Trigger.t) -> tr.Trigger.name) (triggers_for t tname)
+
+let fire t txn tname event =
+  if not txn.in_trigger then begin
+    let relevant = List.filter (fun tr -> Trigger.fires_on tr event) (triggers_for t tname) in
+    if relevant <> [] then begin
+      txn.in_trigger <- true;
+      Fun.protect
+        ~finally:(fun () -> txn.in_trigger <- false)
+        (fun () -> List.iter (fun tr -> tr.Trigger.action { ctx_db = t; ctx_txn = txn } event) relevant)
+    end
+  end
+
+(* timestamp maintenance *)
+
+let stamp t table tuple =
+  match Table.ts_column table with
+  | None -> tuple
+  | Some col -> Tuple.set (Table.schema table) tuple col (Value.Date t.day)
+
+(* DML *)
+
+let log_dml t body = ignore (Wal.append t.wal body : Wal.lsn)
+
+let insert t txn tname tuple =
+  check_live txn;
+  statement_boundary t;
+  let table = table t tname in
+  acquire t txn (Lock_manager.Table tname) Lock_manager.X;
+  let tuple = stamp t table tuple in
+  let rid = Table.raw_insert table tuple in
+  log_dml t
+    {
+      Log_record.tx = txn.id;
+      body =
+        Log_record.Insert
+          { table = tname; rid; after = Codec.encode_binary (Table.schema table) tuple };
+    };
+  txn.undo_log <- U_insert (tname, rid, tuple) :: txn.undo_log;
+  fire t txn tname (Trigger.Inserted (rid, tuple));
+  rid
+
+let insert_values t txn tname ~columns values =
+  let tbl = table t tname in
+  let schema = Table.schema tbl in
+  let tuple =
+    match columns with
+    | None ->
+      if List.length values <> Schema.arity schema then
+        invalid_arg "Db.insert_values: arity mismatch";
+      Array.of_list values
+    | Some cols ->
+      if List.length cols <> List.length values then
+        invalid_arg "Db.insert_values: columns/values length mismatch";
+      let tuple = Array.make (Schema.arity schema) Value.Null in
+      List.iter2 (fun col v -> tuple.(Schema.index_of schema col) <- v) cols values;
+      tuple
+  in
+  insert t txn tname tuple
+
+let check_columns schema expr =
+  List.iter
+    (fun col ->
+      if not (Schema.mem schema col) then
+        invalid_arg (Printf.sprintf "unknown column %s" col))
+    (Expr.columns expr)
+
+(* conservative bound extraction: conjunctions of comparisons between the
+   leading key column and literals imply an index range; anything else
+   contributes no bound (still sound: bounds only narrow the scan and the
+   full predicate re-filters) *)
+let key_bounds schema where =
+  let key_col = (Schema.column schema 0).Schema.name in
+  let max_v a b = if Value.compare a b >= 0 then a else b in
+  let min_v a b = if Value.compare a b <= 0 then a else b in
+  let lo = ref None and hi = ref None in
+  let set_lo v = lo := (match !lo with None -> Some v | Some x -> Some (max_v x v)) in
+  let set_hi v = hi := (match !hi with None -> Some v | Some x -> Some (min_v x v)) in
+  let succ_v = function Value.Int n -> Some (Value.Int (n + 1)) | Value.Date n -> Some (Value.Date (n + 1)) | _ -> None in
+  let pred_v = function Value.Int n -> Some (Value.Int (n - 1)) | Value.Date n -> Some (Value.Date (n - 1)) | _ -> None in
+  let rec go e =
+    match e with
+    | Expr.And (a, b) -> go a; go b
+    | Expr.Cmp (op, Expr.Col c, Expr.Lit v) when c = key_col && not (Value.is_null v) ->
+      (match op with
+       | Expr.Eq -> set_lo v; set_hi v
+       | Expr.Ge -> set_lo v
+       | Expr.Gt -> (match succ_v v with Some v' -> set_lo v' | None -> ())
+       | Expr.Le -> set_hi v
+       | Expr.Lt -> (match pred_v v with Some v' -> set_hi v' | None -> ())
+       | Expr.Neq -> ())
+    | Expr.Cmp (op, Expr.Lit v, Expr.Col c) when c = key_col && not (Value.is_null v) ->
+      (match op with
+       | Expr.Eq -> set_lo v; set_hi v
+       | Expr.Le -> set_lo v
+       | Expr.Lt -> (match succ_v v with Some v' -> set_lo v' | None -> ())
+       | Expr.Ge -> set_hi v
+       | Expr.Gt -> (match pred_v v with Some v' -> set_hi v' | None -> ())
+       | Expr.Neq -> ())
+    | Expr.Cmp _ | Expr.Or _ | Expr.Not _ | Expr.Is_null _ | Expr.Is_not_null _
+    | Expr.Col _ | Expr.Lit _ | Expr.Binop _ ->
+      ()
+  in
+  go where;
+  (!lo, !hi)
+
+let matching ?(mode = `Scan_only) table where =
+  let schema = Table.schema table in
+  (match where with Some e -> check_columns schema e | None -> ());
+  let acc = ref [] in
+  let visit rid tuple =
+    let keep = match where with None -> true | Some e -> Expr.eval_pred schema tuple e in
+    if keep then acc := (rid, tuple) :: !acc
+  in
+  (match mode, where with
+   | `Index_preferred, Some e -> (
+       match key_bounds schema e with
+       | (None, None) -> Table.scan table visit
+       | (lo, hi) -> Table.key_range table ~lo ~hi visit)
+   | (`Scan_only | `Index_preferred), _ -> Table.scan table visit);
+  List.sort (fun (a, _) (b, _) -> Heap_file.rid_compare a b) (List.rev !acc)
+
+let update_where t txn tname ~set ~where =
+  check_live txn;
+  statement_boundary t;
+  let table = table t tname in
+  acquire t txn (Lock_manager.Table tname) Lock_manager.X;
+  let schema = Table.schema table in
+  List.iter
+    (fun (col, e) ->
+      if not (Schema.mem schema col) then invalid_arg (Printf.sprintf "unknown column %s" col);
+      check_columns schema e)
+    set;
+  let victims = matching ~mode:t.plan_mode table where in
+  List.iter
+    (fun (rid, before) ->
+      let after0 =
+        List.fold_left
+          (fun tuple (col, e) -> Tuple.set schema tuple col (Expr.eval schema before e))
+          before set
+      in
+      let after = stamp t table after0 in
+      Table.raw_update table rid ~old_tuple:before after;
+      log_dml t
+        {
+          Log_record.tx = txn.id;
+          body =
+            Log_record.Update
+              {
+                table = tname;
+                rid;
+                before = Codec.encode_binary schema before;
+                after = Codec.encode_binary schema after;
+              };
+        };
+      txn.undo_log <- U_update (tname, rid, before, after) :: txn.undo_log;
+      fire t txn tname (Trigger.Updated (rid, before, after)))
+    victims;
+  List.length victims
+
+let delete_where t txn tname ~where =
+  check_live txn;
+  statement_boundary t;
+  let table = table t tname in
+  acquire t txn (Lock_manager.Table tname) Lock_manager.X;
+  let schema = Table.schema table in
+  let victims = matching ~mode:t.plan_mode table where in
+  List.iter
+    (fun (rid, before) ->
+      Table.raw_delete table rid ~old_tuple:before;
+      log_dml t
+        {
+          Log_record.tx = txn.id;
+          body =
+            Log_record.Delete { table = tname; rid; before = Codec.encode_binary schema before };
+        };
+      txn.undo_log <- U_delete (tname, before) :: txn.undo_log;
+      fire t txn tname (Trigger.Deleted (rid, before)))
+    victims;
+  List.length victims
+
+(* row-level DML *)
+
+let find_by_key t txn tname key =
+  check_live txn;
+  let table = table t tname in
+  match Table.find_key table key with
+  | None -> None
+  | Some (rid, tuple) as hit ->
+    acquire t txn (Lock_manager.Row (tname, rid)) Lock_manager.S;
+    ignore tuple;
+    hit
+
+let insert_row t txn tname tuple =
+  check_live txn;
+  let table = table t tname in
+  let tuple = stamp t table tuple in
+  let rid = Table.raw_insert table tuple in
+  acquire t txn (Lock_manager.Row (tname, rid)) Lock_manager.X;
+  log_dml t
+    {
+      Log_record.tx = txn.id;
+      body =
+        Log_record.Insert
+          { table = tname; rid; after = Codec.encode_binary (Table.schema table) tuple };
+    };
+  txn.undo_log <- U_insert (tname, rid, tuple) :: txn.undo_log;
+  fire t txn tname (Trigger.Inserted (rid, tuple));
+  rid
+
+let update_rid t txn tname rid tuple =
+  check_live txn;
+  let table = table t tname in
+  acquire t txn (Lock_manager.Row (tname, rid)) Lock_manager.X;
+  let schema = Table.schema table in
+  let before = Heap_file.get (Table.heap table) rid in
+  let after = stamp t table tuple in
+  Table.raw_update table rid ~old_tuple:before after;
+  log_dml t
+    {
+      Log_record.tx = txn.id;
+      body =
+        Log_record.Update
+          {
+            table = tname;
+            rid;
+            before = Codec.encode_binary schema before;
+            after = Codec.encode_binary schema after;
+          };
+    };
+  txn.undo_log <- U_update (tname, rid, before, after) :: txn.undo_log;
+  fire t txn tname (Trigger.Updated (rid, before, after))
+
+let delete_rid t txn tname rid =
+  check_live txn;
+  let table = table t tname in
+  acquire t txn (Lock_manager.Row (tname, rid)) Lock_manager.X;
+  let schema = Table.schema table in
+  let before = Heap_file.get (Table.heap table) rid in
+  Table.raw_delete table rid ~old_tuple:before;
+  log_dml t
+    {
+      Log_record.tx = txn.id;
+      body = Log_record.Delete { table = tname; rid; before = Codec.encode_binary schema before };
+    };
+  txn.undo_log <- U_delete (tname, before) :: txn.undo_log;
+  fire t txn tname (Trigger.Deleted (rid, before))
+
+let select t txn tname ?where () =
+  check_live txn;
+  statement_boundary t;
+  let table = table t tname in
+  acquire t txn (Lock_manager.Table tname) Lock_manager.S;
+  List.map snd (matching ~mode:t.plan_mode table where)
+
+(* SQL execution *)
+
+type exec_result =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Affected of int
+  | Created
+
+let schema_of_defs defs =
+  (* key columns first (relative order preserved), then the rest *)
+  let keys, others = List.partition (fun d -> d.Ast.col_key) defs in
+  if keys = [] then invalid_arg "CREATE TABLE: at least one KEY column required";
+  let to_col d =
+    { Schema.name = d.Ast.col_name; ty = d.Ast.col_ty; nullable = d.Ast.col_nullable }
+  in
+  Schema.make ~key_arity:(List.length keys) (List.map to_col (keys @ others))
+
+(* GROUP BY / aggregate SELECT evaluation *)
+let exec_aggregate _t schema ~items ~group_by ~order_by tuples =
+  List.iter
+    (fun col ->
+      if not (Schema.mem schema col) then
+        invalid_arg (Printf.sprintf "GROUP BY: unknown column %s" col))
+    group_by;
+  let group_idxs = List.map (Schema.index_of schema) group_by in
+  let module RowMap = Map.Make (struct
+    type t = Value.t array
+
+    let compare a b = Tuple.compare a b
+  end) in
+  let groups =
+    if group_by = [] then
+      (* one global group, present even over an empty input *)
+      RowMap.singleton [||] tuples
+    else
+      List.fold_left
+        (fun acc tuple ->
+          let key = Array.of_list (List.map (fun i -> tuple.(i)) group_idxs) in
+          RowMap.update key
+            (function None -> Some [ tuple ] | Some l -> Some (tuple :: l))
+            acc)
+        RowMap.empty tuples
+  in
+  let agg_over rows fn e =
+    let values () =
+      List.filter_map
+        (fun row ->
+          let v = Expr.eval schema row e in
+          if Value.is_null v then None else Some v)
+        rows
+    in
+    match fn with
+    | Ast.Count_star -> Value.Int (List.length rows)
+    | Ast.Count -> Value.Int (List.length (values ()))
+    | Ast.Sum -> List.fold_left Value.add (Value.Int 0) (values ())
+    | Ast.Avg -> (
+        match values () with
+        | [] -> Value.Null
+        | vs ->
+          let total = List.fold_left Value.add (Value.Int 0) vs in
+          Value.div
+            (match total with Value.Int n -> Value.Float (float_of_int n) | v -> v)
+            (Value.Float (float_of_int (List.length vs))))
+    | Ast.Min -> (
+        match values () with
+        | [] -> Value.Null
+        | v :: vs -> List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) v vs)
+    | Ast.Max -> (
+        match values () with
+        | [] -> Value.Null
+        | v :: vs -> List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v vs)
+  in
+  let names =
+    List.mapi
+      (fun i item ->
+        match item with
+        | Ast.Star -> invalid_arg "SELECT: * not allowed with aggregates/GROUP BY"
+        | Ast.Item (_, Some alias) | Ast.Agg (_, _, Some alias) -> alias
+        | Ast.Item (Expr.Col c, None) -> c
+        | Ast.Item (_, None) | Ast.Agg (_, _, None) -> Printf.sprintf "col%d" i)
+      items
+  in
+  let eval_group _key rows =
+    (* non-aggregate items must be functionally determined by the group:
+       enforce plain group-column references *)
+    List.map
+      (fun item ->
+        match item with
+        | Ast.Star -> assert false
+        | Ast.Agg (Ast.Count_star, _, _) -> agg_over rows Ast.Count_star (Expr.Lit Value.Null)
+        | Ast.Agg (fn, Some e, _) -> agg_over rows fn e
+        | Ast.Agg (fn, None, _) ->
+          if fn = Ast.Count_star then agg_over rows Ast.Count_star (Expr.Lit Value.Null)
+          else invalid_arg "aggregate without argument"
+        | Ast.Item (Expr.Col c, _) when List.mem c group_by -> (
+            match rows with
+            | row :: _ -> row.(Schema.index_of schema c)
+            | [] -> Value.Null)
+        | Ast.Item _ ->
+          invalid_arg "SELECT with GROUP BY: non-aggregate items must be grouping columns")
+      items
+    |> Array.of_list
+  in
+  let out_rows = RowMap.fold (fun key rows acc -> eval_group key rows :: acc) groups [] in
+  let out_rows = List.rev out_rows in
+  let out_rows =
+    if order_by = [] then out_rows
+    else begin
+      let idx_of name =
+        match List.find_index (fun n -> n = name) names with
+        | Some i -> i
+        | None -> invalid_arg (Printf.sprintf "ORDER BY: unknown output column %s" name)
+      in
+      let idxs = List.map idx_of order_by in
+      List.sort
+        (fun a b ->
+          let rec go = function
+            | [] -> 0
+            | i :: rest ->
+              let c = Value.compare a.(i) b.(i) in
+              if c <> 0 then c else go rest
+          in
+          go idxs)
+        out_rows
+    end
+  in
+  Rows { columns = names; rows = out_rows }
+
+let exec t txn stmt =
+  match stmt with
+  | Ast.Create_table { table = tname; columns } ->
+    let schema = schema_of_defs columns in
+    ignore (create_table t ~name:tname schema : Table.t);
+    Created
+  | Ast.Insert { table = tname; columns; rows } ->
+    List.iter
+      (fun row -> ignore (insert_values t txn tname ~columns row : Heap_file.rid))
+      rows;
+    Affected (List.length rows)
+  | Ast.Update { table = tname; sets; where } -> Affected (update_where t txn tname ~set:sets ~where)
+  | Ast.Delete { table = tname; where } -> Affected (delete_where t txn tname ~where)
+  | Ast.Select { items; table = tname; where; group_by; order_by } ->
+    let tbl = table t tname in
+    let schema = Table.schema tbl in
+    let tuples = select t txn tname ?where () in
+    let has_agg =
+      List.exists (function Ast.Agg _ -> true | Ast.Star | Ast.Item _ -> false) items
+    in
+    if has_agg || group_by <> [] then exec_aggregate t schema ~items ~group_by ~order_by tuples
+    else begin
+      let tuples =
+        if order_by = [] then tuples
+        else
+          let idxs = List.map (Schema.index_of schema) order_by in
+          List.sort
+            (fun a b ->
+              let rec go = function
+                | [] -> 0
+                | i :: rest ->
+                  let c = Value.compare a.(i) b.(i) in
+                  if c <> 0 then c else go rest
+              in
+              go idxs)
+            tuples
+      in
+      let columns, project =
+        match items with
+        | [ Ast.Star ] ->
+          ( List.map (fun c -> c.Schema.name) (Schema.columns schema),
+            fun (tuple : Tuple.t) -> Array.copy tuple )
+        | items ->
+          let names =
+            List.mapi
+              (fun i item ->
+                match item with
+                | Ast.Star -> "*"
+                | Ast.Item (_, Some alias) | Ast.Agg (_, _, Some alias) -> alias
+                | Ast.Item (Expr.Col c, None) -> c
+                | Ast.Item (_, None) | Ast.Agg (_, _, None) -> Printf.sprintf "col%d" i)
+              items
+          in
+          let eval_item tuple item =
+            match item with
+            | Ast.Star -> invalid_arg "SELECT: * must be the only item"
+            | Ast.Agg _ -> assert false
+            | Ast.Item (e, _) -> Expr.eval schema tuple e
+          in
+          (names, fun tuple -> Array.of_list (List.map (eval_item tuple) items))
+      in
+      Rows { columns; rows = List.map project tuples }
+    end
+
+let exec_sql t txn input =
+  match Dw_sql.Parser.parse input with
+  | Error e -> Error e
+  | Ok stmt -> (
+      match exec t txn stmt with
+      | result -> Ok result
+      | exception Invalid_argument msg -> Error msg
+      | exception Not_found -> Error (Printf.sprintf "unknown table %s" (Ast.table_of stmt)))
+
+(* maintenance *)
+
+let flush_all t = Buffer_pool.flush_all t.pool
+
+let checkpoint t =
+  flush_all t;
+  t.commits_since_sync <- 0;
+  ignore (Wal.checkpoint t.wal ~active:(active_txns t) : Wal.lsn)
+
+let recover t =
+  let resolve tname = Option.map Table.heap (table_opt t tname) in
+  let stats = Recovery.run ~wal:t.wal ~resolve in
+  Hashtbl.iter (fun _ table -> Table.rebuild_indexes table) t.tables;
+  stats

@@ -1,0 +1,165 @@
+(** The source-system DBMS: transactions (2PL + WAL), DML, row-level
+    triggers, timestamp-column maintenance, SQL execution, checkpointing
+    and crash recovery.
+
+    One [Db.t] models one operational database in the paper's reference
+    architecture.  Everything the delta-extraction methods need is here:
+
+    - a {b timestamp column} per table (maintained on insert/update) for
+      the timestamp-based method;
+    - {b row-level AFTER triggers} running inside the user transaction for
+      the trigger-based method;
+    - a {b redo log with archive mode} for the log-based method;
+    - plain scans/dumps for the differential-snapshot method. *)
+
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Value = Dw_relation.Value
+module Expr = Dw_relation.Expr
+module Heap_file = Dw_storage.Heap_file
+
+type t
+type txn
+
+exception Would_block of { tx : int; blockers : int list }
+exception Deadlock_abort of { tx : int; blockers : int list }
+(** Raised by DML when 2PL cannot grant a lock.  In single-user flows
+    (all of Section 3/4 source-side experiments) they never occur; the
+    warehouse scheduler manages locks itself and does not use these. *)
+
+val create :
+  ?pool_pages:int ->  (* buffer-pool frames, default 256 *)
+  ?archive_log:bool ->  (* the paper's "archiving turned on", default false *)
+  vfs:Dw_storage.Vfs.t ->
+  name:string ->
+  unit ->
+  t
+
+val name : t -> string
+val vfs : t -> Dw_storage.Vfs.t
+
+(** {2 Plan mode} — how statement-level DML/SELECT resolve their WHERE
+    clause.  [`Scan_only] (default) always scans, which is the behaviour
+    of the paper's source DBMS ("each update transaction performs a table
+    scan").  [`Index_preferred] uses the primary-key index whenever the
+    predicate implies bounds on the leading key column — the warehouse
+    runs in this mode. *)
+
+val plan_mode : t -> [ `Scan_only | `Index_preferred ]
+val set_plan_mode : t -> [ `Scan_only | `Index_preferred ] -> unit
+
+(** {2 Commit durability} — [`Every_commit] (default) fsyncs the log at
+    each commit; [`Group n] fsyncs every [n]-th commit (group commit) and
+    at checkpoints, trading a bounded durability window for throughput.
+    Only observable on the on-disk Vfs backend. *)
+
+val sync_mode : t -> [ `Every_commit | `Group of int ]
+val set_sync_mode : t -> [ `Every_commit | `Group of int ] -> unit
+val metrics : t -> Dw_util.Metrics.t
+val wal : t -> Dw_txn.Wal.t
+val locks : t -> Dw_txn.Lock_manager.t
+val pool : t -> Dw_storage.Buffer_pool.t
+
+(** {2 Logical date} — drives timestamp columns ("last_modified"). *)
+
+val current_day : t -> int
+val set_day : t -> int -> unit
+val advance_day : t -> unit
+
+(** {2 Schema} *)
+
+val create_table :
+  t -> name:string -> ?ts_column:string -> Schema.t -> Table.t
+val table : t -> string -> Table.t
+(** Raises [Not_found]. *)
+
+val table_opt : t -> string -> Table.t option
+val tables : t -> Table.t list
+val drop_table : t -> string -> unit
+
+(** {2 Transactions} *)
+
+val begin_txn : t -> txn
+val txid : txn -> int
+val commit : t -> txn -> unit
+(** Writes the commit record and flushes the log (durability point). *)
+
+val abort : t -> txn -> unit
+(** Rolls back all of the transaction's changes. *)
+
+val with_txn : t -> (txn -> 'a) -> 'a
+(** Commit on return, abort on exception (re-raised). *)
+
+val active_txns : t -> int list
+
+(** {2 DML} — each call acquires statement locks, logs images, maintains
+    the timestamp column, and fires AFTER triggers per affected row. *)
+
+val insert : t -> txn -> string -> Tuple.t -> Heap_file.rid
+val insert_values : t -> txn -> string -> columns:string list option -> Value.t list -> Heap_file.rid
+(** Build the tuple in schema order, [Null] for unnamed columns. *)
+
+val update_where : t -> txn -> string -> set:(string * Expr.t) list -> where:Expr.t option -> int
+(** Returns number of rows updated.  SET right-hand sides are evaluated
+    against the before image. *)
+
+val delete_where : t -> txn -> string -> where:Expr.t option -> int
+
+val select : t -> txn -> string -> ?where:Expr.t -> unit -> Tuple.t list
+(** Full tuples of matching rows (shared table lock). *)
+
+(** {2 Row-level DML} — key/rid addressed, row-granularity locks.  Used by
+    the warehouse integrators so that short maintenance transactions can
+    interleave with readers.  Same logging / trigger / undo behaviour as
+    the statement-level DML. *)
+
+val find_by_key : t -> txn -> string -> Tuple.t -> (Heap_file.rid * Tuple.t) option
+(** Primary-key lookup (shared row lock on hit). *)
+
+val insert_row : t -> txn -> string -> Tuple.t -> Heap_file.rid
+(** Like {!insert} but takes only a row lock on the new rid, not a table
+    lock. *)
+
+val update_rid : t -> txn -> string -> Heap_file.rid -> Tuple.t -> unit
+val delete_rid : t -> txn -> string -> Heap_file.rid -> unit
+
+(** {2 Cooperative scheduling hooks} — used by {!Scheduler} to interleave
+    logical sessions over the single-threaded engine.  [yield_hook] is
+    invoked at every statement boundary; [block_hook] is invoked instead
+    of raising {!Would_block} when a lock conflicts, and the acquisition
+    is retried after it returns.  Not set = the default raising
+    behaviour. *)
+
+val set_yield_hook : t -> (unit -> unit) option -> unit
+val set_block_hook : t -> (txid:int -> blockers:int list -> unit) option -> unit
+
+(** {2 Triggers} *)
+
+type trigger_ctx = { ctx_db : t; ctx_txn : txn }
+
+val add_trigger : t -> table:string -> trigger_ctx Trigger.t -> unit
+val remove_trigger : t -> table:string -> string -> unit
+val triggers_on : t -> string -> string list
+
+(** {2 SQL} *)
+
+type exec_result =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Affected of int
+  | Created
+
+val exec : t -> txn -> Dw_sql.Ast.stmt -> exec_result
+val exec_sql : t -> txn -> string -> (exec_result, string) result
+(** Parse then {!exec}. *)
+
+(** {2 Maintenance} *)
+
+val checkpoint : t -> unit
+(** Flush dirty pages, checkpoint (and rotate) the log. *)
+
+val recover : t -> Dw_txn.Recovery.stats
+(** Replay the retained log into the current heap files (used by tests
+    that simulate a crash by discarding in-memory state). Rebuilds
+    indexes. *)
+
+val flush_all : t -> unit

@@ -1,0 +1,185 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Yield : unit Effect.t | Lock_wait : int list -> unit Effect.t
+
+type session = {
+  name : string;
+  start_at : int;
+  work : unit -> unit;
+}
+
+type session_report = {
+  session : string;
+  arrived : int;
+  started : int;
+  finished : int;
+  blocked_slices : int;
+  failed : string option;
+}
+
+type report = {
+  total_slices : int;
+  sessions : session_report list;
+}
+
+type pause_kind = P_yield | P_blocked
+
+type status =
+  | Not_started
+  | Paused of (unit, unit) continuation * pause_kind
+  | Finished_ok
+  | Finished_exn of string
+
+type state = {
+  spec : session;
+  mutable status : status;
+  mutable started_slice : int;   (* -1 until first run *)
+  mutable finished_slice : int;
+  mutable blocked_from : int;    (* -1 when not in a blocked episode *)
+  mutable blocked_total : int;
+}
+
+let run db sessions =
+  let states =
+    List.map
+      (fun spec ->
+        { spec; status = Not_started; started_slice = -1; finished_slice = -1;
+          blocked_from = -1; blocked_total = 0 })
+      sessions
+  in
+  let slice = ref 0 in
+  Db.set_yield_hook db (Some (fun () -> perform Yield));
+  Db.set_block_hook db (Some (fun ~txid:_ ~blockers -> perform (Lock_wait blockers)));
+  let close_blocked_episode st =
+    if st.blocked_from >= 0 then begin
+      st.blocked_total <- st.blocked_total + (!slice - st.blocked_from);
+      st.blocked_from <- -1
+    end
+  in
+  (* run one step of a session: returns true if global progress was made *)
+  let step st =
+    let dispatch thunk =
+      match_with thunk ()
+        {
+          retc =
+            (fun () ->
+              close_blocked_episode st;
+              st.status <- Finished_ok;
+              st.finished_slice <- !slice;
+              incr slice);
+          exnc =
+            (fun e ->
+              close_blocked_episode st;
+              st.status <- Finished_exn (Printexc.to_string e);
+              st.finished_slice <- !slice;
+              incr slice);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Yield ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    close_blocked_episode st;
+                    st.status <- Paused (k, P_yield);
+                    incr slice)
+              | Lock_wait _ ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    if st.blocked_from < 0 then st.blocked_from <- !slice;
+                    st.status <- Paused (k, P_blocked))
+              | _ -> None);
+        }
+    in
+    match st.status with
+    | Not_started ->
+      st.started_slice <- !slice;
+      dispatch st.spec.work;
+      true
+    | Paused (k, kind) ->
+      (* resume the one-shot continuation bare: its original deep handler
+         (installed at first dispatch) processes the next suspension and
+         updates [st.status] before [continue] returns here.  Wrapping the
+         resume in a fresh [match_with] would make this frame's [retc]
+         fire as soon as the inner handler returns — wrongly finishing the
+         session after one step. *)
+      let was_blocked = kind = P_blocked in
+      continue k ();
+      (* progress = it did something other than immediately re-block *)
+      (match st.status, was_blocked with
+       | Paused (_, P_blocked), true -> false
+       | _ -> true)
+    | Finished_ok | Finished_exn _ -> false
+  in
+  let all_done () =
+    List.for_all
+      (fun st -> match st.status with Finished_ok | Finished_exn _ -> true | _ -> false)
+      states
+  in
+  let runnable st =
+    match st.status with
+    | Finished_ok | Finished_exn _ -> false
+    | Not_started -> st.spec.start_at <= !slice
+    | Paused _ -> true
+  in
+  (* if only future arrivals remain, jump the clock to the next arrival *)
+  let advance_to_next_arrival () =
+    let pending =
+      List.filter_map
+        (fun st -> match st.status with Not_started -> Some st.spec.start_at | _ -> None)
+        states
+    in
+    match pending with
+    | [] -> ()
+    | arrivals ->
+      let next = List.fold_left min max_int arrivals in
+      if next > !slice then slice := next
+  in
+  (try
+     while not (all_done ()) do
+       let progressed = ref false in
+       List.iter (fun st -> if runnable st then if step st then progressed := true) states;
+       if not !progressed then begin
+         (* nothing ran: either waiting for arrivals, or every live session
+            is lock-blocked with no one to release (should be prevented by
+            deadlock detection) *)
+         let had_arrivals =
+           List.exists (fun st -> st.status = Not_started) states
+         in
+         if had_arrivals then advance_to_next_arrival ()
+         else begin
+           List.iter
+             (fun st ->
+               match st.status with
+               | Paused (k, _) ->
+                 close_blocked_episode st;
+                 st.status <- Finished_exn "stalled: mutual lock wait";
+                 st.finished_slice <- !slice;
+                 discontinue k Exit |> ignore
+               | _ -> ())
+             states;
+           raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  Db.set_yield_hook db None;
+  Db.set_block_hook db None;
+  {
+    total_slices = !slice;
+    sessions =
+      List.map
+        (fun st ->
+          {
+            session = st.spec.name;
+            arrived = st.spec.start_at;
+            started = st.started_slice;
+            finished = st.finished_slice;
+            blocked_slices = st.blocked_total;
+            failed =
+              (match st.status with
+               | Finished_exn msg -> Some msg
+               | Finished_ok | Not_started | Paused _ -> None);
+          })
+        states;
+  }

@@ -1,0 +1,44 @@
+(** Cooperative session scheduler over a single {!Db.t}, built on OCaml 5
+    effect handlers.
+
+    Each {!session} is a logical client (an OLAP query, an integration
+    transaction stream, …) running ordinary [Db] code.  The scheduler
+    interleaves sessions at {e statement} boundaries (via the engine's
+    yield hook) and suspends a session whose lock request conflicts (via
+    the block hook) until its blockers release — so 2PL interactions
+    between concurrent clients are exercised for real, not simulated.
+
+    Logical time: one {b slice} per statement executed by any session.
+    The per-session report accounts arrival, first-run, completion and
+    the number of slices spent blocked on locks — the availability
+    metrics of experiment W2, measured against the real lock manager. *)
+
+type session = {
+  name : string;
+  start_at : int;          (** arrival slice; the session is held until then *)
+  work : unit -> unit;     (** ordinary Db code; runs inside the scheduler *)
+}
+
+type session_report = {
+  session : string;
+  arrived : int;
+  started : int;           (** first slice the session ran *)
+  finished : int;
+  blocked_slices : int;    (** slices spent suspended on lock conflicts *)
+  failed : string option;  (** exception message, e.g. a deadlock abort *)
+}
+
+type report = {
+  total_slices : int;
+  sessions : session_report list;  (** in input order *)
+}
+
+val run : Db.t -> session list -> report
+(** Round-robin over runnable sessions; a blocked session retries its
+    lock acquisition whenever it is rescheduled and is accounted blocked
+    until it is granted.  The hooks are restored on exit.  A session that
+    raises is recorded as [failed] (its transaction, if any, is the
+    session's responsibility — use {!Db.with_txn}).
+
+    Deadlocks: the engine raises {!Db.Deadlock_abort} into the requesting
+    session rather than suspending it, so scheduled workloads cannot hang. *)

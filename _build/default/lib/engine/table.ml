@@ -1,0 +1,145 @@
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Value = Dw_relation.Value
+module Heap_file = Dw_storage.Heap_file
+module Btree = Dw_storage.Btree
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  heap : Heap_file.t;
+  mutable pk : Heap_file.rid Btree.t;
+  ts_column : string option;
+  ts_col_idx : int option;
+  mutable ts_index : Heap_file.rid Btree.t option;  (* keyed by ts :: key columns *)
+}
+
+let create ~pool ~file ~name ~schema ~ts_column =
+  let ts_col_idx =
+    match ts_column with
+    | None -> None
+    | Some col ->
+      let i =
+        match Schema.index_of_opt schema col with
+        | Some i -> i
+        | None -> invalid_arg (Printf.sprintf "Table.create %s: no column %s" name col)
+      in
+      (match (Schema.column schema i).Schema.ty with
+       | Value.Tdate -> Some i
+       | Value.Tint | Value.Tfloat | Value.Tbool | Value.Tstring _ ->
+         invalid_arg (Printf.sprintf "Table.create %s: ts column %s is not DATE" name col))
+  in
+  {
+    name;
+    schema;
+    heap = Heap_file.create pool file schema;
+    pk = Btree.create ();
+    ts_column;
+    ts_col_idx;
+    ts_index = (match ts_col_idx with Some _ -> Some (Btree.create ()) | None -> None);
+  }
+
+let name t = t.name
+let schema t = t.schema
+let heap t = t.heap
+let ts_column t = t.ts_column
+
+let ts_key t tuple =
+  match t.ts_col_idx with
+  | None -> assert false
+  | Some i -> Array.append [| tuple.(i) |] (Tuple.key t.schema tuple)
+
+let index_insert t rid tuple =
+  Btree.insert t.pk (Tuple.key t.schema tuple) rid;
+  match t.ts_index with
+  | Some idx -> Btree.insert idx (ts_key t tuple) rid
+  | None -> ()
+
+let index_remove t tuple =
+  ignore (Btree.remove t.pk (Tuple.key t.schema tuple) : bool);
+  match t.ts_index with
+  | Some idx -> ignore (Btree.remove idx (ts_key t tuple) : bool)
+  | None -> ()
+
+let find_key t key =
+  match Btree.find t.pk key with
+  | None -> None
+  | Some rid -> Some (rid, Heap_file.get t.heap rid)
+
+let raw_insert t tuple =
+  Tuple.validate_exn t.schema tuple;
+  let key = Tuple.key t.schema tuple in
+  if Btree.mem t.pk key then
+    invalid_arg
+      (Printf.sprintf "Table %s: duplicate primary key %s" t.name (Tuple.to_string key));
+  let rid = Heap_file.insert t.heap tuple in
+  index_insert t rid tuple;
+  rid
+
+let raw_insert_blind t record = Heap_file.insert_raw t.heap record
+
+let raw_update t rid ~old_tuple tuple =
+  Tuple.validate_exn t.schema tuple;
+  let old_key = Tuple.key t.schema old_tuple in
+  let new_key = Tuple.key t.schema tuple in
+  if Tuple.compare old_key new_key <> 0 then begin
+    if Btree.mem t.pk new_key then
+      invalid_arg
+        (Printf.sprintf "Table %s: update collides on key %s" t.name (Tuple.to_string new_key))
+  end;
+  Heap_file.update t.heap rid tuple;
+  index_remove t old_tuple;
+  index_insert t rid tuple
+
+let raw_delete t rid ~old_tuple =
+  Heap_file.delete t.heap rid;
+  index_remove t old_tuple
+
+let rebuild_indexes t =
+  (* collect, sort once, bulk-load packed trees *)
+  let pk_bindings = ref [] in
+  let ts_bindings = ref [] in
+  Heap_file.iter t.heap (fun rid tuple ->
+      pk_bindings := (Tuple.key t.schema tuple, rid) :: !pk_bindings;
+      match t.ts_col_idx with
+      | Some i when t.ts_index <> None ->
+        ts_bindings := (Array.append [| tuple.(i) |] (Tuple.key t.schema tuple), rid)
+                       :: !ts_bindings
+      | Some _ | None -> ());
+  let sort l = List.sort (fun (a, _) (b, _) -> Tuple.compare a b) l in
+  t.pk <- Btree.of_sorted (sort !pk_bindings);
+  t.ts_index <-
+    (match t.ts_index with Some _ -> Some (Btree.of_sorted (sort !ts_bindings)) | None -> None)
+
+let scan t f = Heap_file.iter t.heap f
+
+let ts_range t ~after f =
+  match t.ts_index, t.ts_col_idx with
+  | Some idx, Some _ ->
+    (* dates are integral days: ts > after  <=>  ts >= after + 1, and the
+       length-1 bound tuple is a prefix-minimum for all composite keys *)
+    Btree.iter_range idx ~lo:(Btree.Incl [| Value.Date (after + 1) |]) ~hi:Btree.Unbounded
+      (fun _key rid -> f rid (Heap_file.get t.heap rid))
+  | (None, _ | _, None) ->
+    invalid_arg (Printf.sprintf "Table %s has no timestamp column" t.name)
+
+let key_range t ~lo ~hi f =
+  let lo = match lo with Some v -> Btree.Incl [| v |] | None -> Btree.Unbounded in
+  let hi =
+    (* a length-1 bound tuple compares below every longer tuple with the
+       same first component, so an inclusive upper bound must be widened
+       for composite keys: use Excl of the successor where possible *)
+    match hi with
+    | None -> Btree.Unbounded
+    | Some (Value.Int n) when n < max_int -> Btree.Excl [| Value.Int (n + 1) |]
+    | Some (Value.Date n) when n < max_int -> Btree.Excl [| Value.Date (n + 1) |]
+    | Some v ->
+      (* fall back: inclusive bound with a max sentinel second component
+         is not expressible generally; include equal-first-column keys by
+         using the raw bound when the key is single-column *)
+      if Schema.key_arity t.schema = 1 then Btree.Incl [| v |] else Btree.Unbounded
+  in
+  Btree.iter_range t.pk ~lo ~hi (fun _key rid -> f rid (Heap_file.get t.heap rid))
+
+let row_count t = Heap_file.count t.heap
+let cardinality t = Btree.cardinal t.pk

@@ -1,0 +1,67 @@
+(** A table: heap file + primary-key B+tree + optional timestamp column
+    with its own index + attached triggers.
+
+    This module provides the *non-transactional* primitives; {!Db} wraps
+    them with locking, logging and trigger firing.  The timestamp column,
+    when configured, is set by {!Db} on every insert/update — it is how
+    the timestamp-based extraction method of the paper finds deltas. *)
+
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Heap_file = Dw_storage.Heap_file
+module Btree = Dw_storage.Btree
+
+type t
+
+val create :
+  pool:Dw_storage.Buffer_pool.t ->
+  file:Dw_storage.Vfs.file ->
+  name:string ->
+  schema:Schema.t ->
+  ts_column:string option ->
+  t
+(** [ts_column], if given, must name a [Tdate] column of the schema;
+    it gets a secondary index. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val heap : t -> Heap_file.t
+val ts_column : t -> string option
+
+val raw_insert : t -> Tuple.t -> Heap_file.rid
+(** Inserts and maintains indexes.  Raises [Invalid_argument] on a
+    duplicate primary key. *)
+
+val raw_insert_blind : t -> bytes -> Heap_file.rid
+(** Direct-block load path (ASCII Loader): no key-uniqueness check, no
+    index maintenance; call {!rebuild_indexes} afterwards.  This is what
+    makes the Loader structurally cheaper than Import in Table 1. *)
+
+val raw_update : t -> Heap_file.rid -> old_tuple:Tuple.t -> Tuple.t -> unit
+val raw_delete : t -> Heap_file.rid -> old_tuple:Tuple.t -> unit
+
+val rebuild_indexes : t -> unit
+
+val find_key : t -> Tuple.t -> (Heap_file.rid * Tuple.t) option
+(** Lookup by primary-key tuple (key columns only). *)
+
+val scan : t -> (Heap_file.rid -> Tuple.t -> unit) -> unit
+
+val ts_range : t -> after:int -> (Heap_file.rid -> Tuple.t -> unit) -> unit
+(** Rows whose timestamp column is strictly greater than [after], via the
+    timestamp index.  Raises [Invalid_argument] if the table has no
+    timestamp column. *)
+
+val key_range :
+  t ->
+  lo:Dw_relation.Value.t option ->
+  hi:Dw_relation.Value.t option ->
+  (Heap_file.rid -> Tuple.t -> unit) ->
+  unit
+(** Rows whose first key column lies in the inclusive range, via the
+    primary-key index. *)
+
+val row_count : t -> int
+val cardinality : t -> int
+(** Index cardinality (O(1)); equals {!row_count} when indexes are fresh.
+    After {!raw_insert_blind} call {!rebuild_indexes} first. *)

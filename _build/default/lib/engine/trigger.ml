@@ -1,0 +1,20 @@
+module Tuple = Dw_relation.Tuple
+
+type event =
+  | Inserted of Dw_storage.Heap_file.rid * Tuple.t
+  | Deleted of Dw_storage.Heap_file.rid * Tuple.t
+  | Updated of Dw_storage.Heap_file.rid * Tuple.t * Tuple.t
+
+type on = On_insert | On_delete | On_update
+
+type 'ctx t = {
+  name : string;
+  on : on list;
+  action : 'ctx -> event -> unit;
+}
+
+let fires_on t event =
+  match event with
+  | Inserted _ -> List.mem On_insert t.on
+  | Deleted _ -> List.mem On_delete t.on
+  | Updated _ -> List.mem On_update t.on

@@ -1,0 +1,28 @@
+(** Row-level AFTER triggers.
+
+    A trigger fires once per affected row, inside the transaction that
+    performed the change (the paper, Section 3.1.3: "Triggers execute in
+    the same transaction context as the triggering event").  The action
+    receives the firing transaction and typically performs additional DML
+    (e.g. inserting before/after images into a delta table), which is
+    exactly where the measured trigger overhead comes from.
+
+    Trigger actions do not fire triggers recursively. *)
+
+module Tuple = Dw_relation.Tuple
+
+type event =
+  | Inserted of Dw_storage.Heap_file.rid * Tuple.t
+  | Deleted of Dw_storage.Heap_file.rid * Tuple.t
+  | Updated of Dw_storage.Heap_file.rid * Tuple.t * Tuple.t
+      (** rid, before image, after image *)
+
+type on = On_insert | On_delete | On_update
+
+type 'ctx t = {
+  name : string;
+  on : on list;
+  action : 'ctx -> event -> unit;
+}
+
+val fires_on : 'ctx t -> event -> bool

@@ -1,0 +1,1 @@
+lib/etl/pipeline.ml: Dw_core Dw_engine Dw_storage Dw_transport Dw_txn Dw_warehouse List Option Printf String Unix

@@ -1,0 +1,1 @@
+lib/etl/pipeline.mli: Dw_core Dw_engine Dw_warehouse

@@ -1,0 +1,247 @@
+module Db = Dw_engine.Db
+module Table = Dw_engine.Table
+module Wal = Dw_txn.Wal
+module Vfs = Dw_storage.Vfs
+module Warehouse = Dw_warehouse.Warehouse
+module Delta = Dw_core.Delta
+module Op_delta = Dw_core.Op_delta
+module Transform = Dw_core.Transform
+module Watermark = Dw_core.Watermark
+module Timestamp_extract = Dw_core.Timestamp_extract
+module Trigger_extract = Dw_core.Trigger_extract
+module Log_extract = Dw_core.Log_extract
+module Snapshot_extract = Dw_core.Snapshot_extract
+module Opdelta_capture = Dw_core.Opdelta_capture
+module Persistent_queue = Dw_transport.Persistent_queue
+
+type method_ =
+  | Timestamp
+  | Trigger
+  | Log
+  | Snapshot of Snapshot_extract.algorithm
+  | Op_delta_wrapper
+
+type transport = Direct | Queued of string
+
+type t = {
+  source : Db.t;
+  warehouse : Warehouse.t;
+  table : string;
+  dst_table : string;
+  method_ : method_;
+  transport : transport;
+  transform : Transform.rule option;
+  compact : bool;
+  wm : Watermark.t;
+  trigger_handle : Trigger_extract.handle option;
+  cap : Opdelta_capture.t option;
+  queue : Persistent_queue.t option;
+  mutable op_consumed : int;
+  mutable snapshot_round : int;
+  mutable rounds_run : int;
+}
+
+let method_name t =
+  match t.method_ with
+  | Timestamp -> "timestamp"
+  | Trigger -> "trigger"
+  | Log -> "log"
+  | Snapshot _ -> "snapshot"
+  | Op_delta_wrapper -> "op-delta"
+
+let create ?transform ?(compact = false) ~source ~warehouse ~table ~method_ ~transport () =
+  let dst_table =
+    match transform with Some rule -> rule.Transform.dst_table | None -> table
+  in
+  (match Db.table_opt (Warehouse.db warehouse) dst_table with
+   | Some _ -> ()
+   | None ->
+     invalid_arg
+       (Printf.sprintf "Pipeline.create: warehouse has no replica table %s" dst_table));
+  (match transform with
+   | Some rule ->
+     let src_schema = Table.schema (Db.table source table) in
+     let dst_schema = Table.schema (Db.table (Warehouse.db warehouse) dst_table) in
+     (match Transform.validate rule ~src:src_schema ~dst:dst_schema with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Pipeline.create: " ^ e))
+   | None -> ());
+  let trigger_handle =
+    match method_ with Trigger -> Some (Trigger_extract.install source ~table) | _ -> None
+  in
+  let cap =
+    match method_ with
+    | Op_delta_wrapper ->
+      Some
+        (Opdelta_capture.create source
+           ~sink:(Opdelta_capture.To_file (Printf.sprintf "pipeline.%s.oplog" table)))
+    | _ -> None
+  in
+  let queue =
+    match transport with
+    | Direct -> None
+    | Queued name -> Some (Persistent_queue.open_ (Db.vfs (Warehouse.db warehouse)) ~name)
+  in
+  {
+    source;
+    warehouse;
+    table;
+    dst_table;
+    method_;
+    transport;
+    transform;
+    compact;
+    wm = Watermark.load (Db.vfs source) ~name:(Printf.sprintf "pipeline.%s.wm" table);
+    trigger_handle;
+    cap;
+    queue;
+    op_consumed = 0;
+    snapshot_round = 0;
+    rounds_run = 0;
+  }
+
+let capture t = t.cap
+
+type round_stats = {
+  round : int;
+  extracted_changes : int;
+  shipped_bytes : int;
+  integration : Warehouse.stats;
+  total_seconds : float;
+}
+
+let src_schema t = Table.schema (Db.table t.source t.table)
+let dst_schema t = Table.schema (Db.table (Warehouse.db t.warehouse) t.dst_table)
+
+(* ship a payload through the transport and hand it back at the other
+   side, counting wire bytes; queued transport round-trips the encoded
+   form through the persistent queue (crash-safe hand-off) *)
+let ship t payloads =
+  match t.queue with
+  | None -> (payloads, List.fold_left (fun acc p -> acc + String.length p) 0 payloads)
+  | Some q ->
+    List.iter (Persistent_queue.enqueue q) payloads;
+    let rec drain acc bytes =
+      match Persistent_queue.peek q with
+      | None -> (List.rev acc, bytes)
+      | Some payload ->
+        Persistent_queue.ack q;
+        drain (payload :: acc) (bytes + String.length payload)
+    in
+    drain [] 0
+
+let extract_value_delta t =
+  let mark = Watermark.get t.wm ~table:t.table in
+  match t.method_ with
+  | Timestamp ->
+    let delta, _ =
+      Timestamp_extract.extract t.source ~table:t.table ~since:mark.Watermark.day
+        ~output:(Timestamp_extract.To_file (Printf.sprintf "pipeline.%s.ts.asc" t.table))
+    in
+    Ok delta
+  | Trigger -> (
+      match t.trigger_handle with
+      | Some handle -> Ok (Trigger_extract.collect ~drain:true t.source handle)
+      | None -> Error "trigger pipeline without handle")
+  | Log ->
+    let delta, _ = Log_extract.extract ~since_lsn:mark.Watermark.lsn t.source ~table:t.table () in
+    Ok delta
+  | Snapshot algorithm ->
+    let name round = Printf.sprintf "pipeline.%s.snap.%d" t.table round in
+    let prev = if t.snapshot_round = 0 then None else Some (name t.snapshot_round) in
+    let dest = name (t.snapshot_round + 1) in
+    (match
+       Snapshot_extract.extract t.source ~table:t.table ~prev_snapshot:prev
+         ~snapshot_dest:dest ~algorithm
+     with
+     | Ok (delta, _) ->
+       (* retire the pre-previous snapshot to bound space *)
+       if t.snapshot_round > 1 then Vfs.delete (Db.vfs t.source) (name (t.snapshot_round - 1));
+       t.snapshot_round <- t.snapshot_round + 1;
+       Ok delta
+     | Error e -> Error e)
+  | Op_delta_wrapper -> Error "op-delta pipeline extracts transactions, not value deltas"
+
+let integrate_value t delta =
+  (* optional compaction and transform, then wire round-trip, then batch
+     integration *)
+  let delta = if t.compact then Delta.compact delta else delta in
+  let delta =
+    match t.transform with
+    | None -> delta
+    | Some rule -> Transform.apply_delta rule ~src:(src_schema t) ~dst:(dst_schema t) delta
+  in
+  let lines = Delta.to_lines delta in
+  let shipped, bytes = ship t lines in
+  match Delta.of_lines ~table:t.dst_table ~schema:(dst_schema t) shipped with
+  | Error e -> Error e
+  | Ok received -> Ok (bytes, Warehouse.integrate_value_delta t.warehouse received)
+
+let integrate_ops t =
+  match t.cap with
+  | None -> Error "not an op-delta pipeline"
+  | Some cap ->
+    let all = Opdelta_capture.captured cap in
+    let fresh = List.filteri (fun i _ -> i >= t.op_consumed) all in
+    t.op_consumed <- List.length all;
+    let rec transform acc = function
+      | [] -> Ok (List.rev acc)
+      | od :: rest -> (
+          match t.transform with
+          | None -> transform (od :: acc) rest
+          | Some rule -> (
+              match Transform.apply_op_delta rule ~src:(src_schema t) od with
+              | Ok od' -> transform (od' :: acc) rest
+              | Error e -> Error e))
+    in
+    (match transform [] fresh with
+     | Error e -> Error e
+     | Ok ods ->
+       let wh_db = Warehouse.db t.warehouse in
+       let schema_of name = Option.map Table.schema (Db.table_opt wh_db name) in
+       let lines = List.map (Op_delta.encode_line ~schema_of) ods in
+       let shipped, bytes = ship t lines in
+       let rec decode acc = function
+         | [] -> Ok (List.rev acc)
+         | line :: rest -> (
+             match Op_delta.decode_line ~schema_of line with
+             | Ok od -> decode (od :: acc) rest
+             | Error e -> Error e)
+       in
+       (match decode [] shipped with
+        | Error e -> Error e
+        | Ok received ->
+          let count =
+            List.fold_left (fun acc od -> acc + List.length od.Op_delta.ops) 0 received
+          in
+          Ok (count, bytes, Warehouse.integrate_op_deltas t.warehouse received)))
+
+let run_round t =
+  let start = Unix.gettimeofday () in
+  let finish extracted_changes shipped_bytes integration =
+    t.rounds_run <- t.rounds_run + 1;
+    Watermark.advance t.wm ~table:t.table
+      { Watermark.day = Db.current_day t.source; lsn = Wal.next_lsn (Db.wal t.source) };
+    Ok
+      {
+        round = t.rounds_run;
+        extracted_changes;
+        shipped_bytes;
+        integration;
+        total_seconds = Unix.gettimeofday () -. start;
+      }
+  in
+  match t.method_ with
+  | Op_delta_wrapper -> (
+      match integrate_ops t with
+      | Error e -> Error e
+      | Ok (count, bytes, stats) -> finish count bytes stats)
+  | Timestamp | Trigger | Log | Snapshot _ -> (
+      match extract_value_delta t with
+      | Error e -> Error e
+      | Ok delta -> (
+          match integrate_value t delta with
+          | Error e -> Error e
+          | Ok (bytes, stats) -> finish (Delta.row_count delta) bytes stats))
+
+let rounds t = t.rounds_run

@@ -1,0 +1,68 @@
+(** End-to-end incremental maintenance pipelines — the paper's Figure 1
+    reference architecture as a library: {e extraction} (any of the five
+    methods) → {e transport} (direct or through the persistent queue) →
+    {e transformation} (optional schema mapping) → {e integration}
+    (batch for value deltas, per-source-transaction for Op-Deltas), with
+    watermark-driven rounds.
+
+    One pipeline maintains one source table into one warehouse replica
+    (plus whatever views hang off it).  Call {!run_round} on whatever
+    cadence the deployment needs; each round extracts exactly the changes
+    since the previous round. *)
+
+module Db = Dw_engine.Db
+module Warehouse = Dw_warehouse.Warehouse
+module Delta = Dw_core.Delta
+module Transform = Dw_core.Transform
+module Opdelta_capture = Dw_core.Opdelta_capture
+module Snapshot_extract = Dw_core.Snapshot_extract
+
+type method_ =
+  | Timestamp
+  | Trigger
+  | Log
+  | Snapshot of Snapshot_extract.algorithm
+  | Op_delta_wrapper
+
+type transport =
+  | Direct              (** hand the delta over in memory *)
+  | Queued of string    (** through a persistent queue on the warehouse Vfs *)
+
+type t
+
+val create :
+  ?transform:Transform.rule ->
+  ?compact:bool ->
+  (* net-change compaction of value deltas before shipping (default
+     false); no effect on the Op-Delta method *)
+  source:Db.t ->
+  warehouse:Warehouse.t ->
+  table:string ->
+  method_:method_ ->
+  transport:transport ->
+  unit ->
+  t
+(** Installs whatever the method needs at the source (the capture trigger,
+    the Op-Delta wrapper) and the watermark store.  The warehouse must
+    already have the destination replica ([table], or the transform rule's
+    destination).  [Log] requires the source to run with archive logging
+    or an extraction cadence faster than checkpoints. *)
+
+val capture : t -> Opdelta_capture.t option
+(** For [Op_delta_wrapper] pipelines: the wrapper the application must
+    submit its transactions through.  [None] for other methods. *)
+
+type round_stats = {
+  round : int;
+  extracted_changes : int;
+  shipped_bytes : int;       (** wire volume that crossed the transport *)
+  integration : Warehouse.stats;
+  total_seconds : float;
+}
+
+val run_round : t -> (round_stats, string) result
+(** Extract-ship-transform-integrate everything since the last round, then
+    advance the watermark. *)
+
+val rounds : t -> int
+val method_name : t -> string

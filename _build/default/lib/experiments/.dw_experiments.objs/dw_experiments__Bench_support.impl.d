@@ -1,0 +1,1 @@
+lib/experiments/bench_support.ml: Dw_engine Dw_storage Dw_util Dw_workload Gc List Printf Unix

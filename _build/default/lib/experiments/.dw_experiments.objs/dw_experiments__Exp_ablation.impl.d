@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Array Bench_support Buffer Dw_core Dw_engine Dw_relation Dw_snapshot Dw_storage Dw_util Dw_warehouse Dw_workload Filename List Printf Sys Unix

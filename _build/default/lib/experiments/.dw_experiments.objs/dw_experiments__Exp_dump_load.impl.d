@@ -1,0 +1,1 @@
+lib/experiments/exp_dump_load.ml: Bench_support Dw_engine Dw_storage Dw_workload List Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_opdelta.ml: Bench_support Dw_core Dw_engine Dw_workload List Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_reconcile.ml: Bench_support Dw_core Dw_cots Dw_util Dw_workload List Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_snapshot.ml: Bench_support Dw_core Dw_engine Dw_txn Dw_workload List Printf

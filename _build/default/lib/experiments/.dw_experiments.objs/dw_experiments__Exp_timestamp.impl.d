@@ -1,0 +1,1 @@
+lib/experiments/exp_timestamp.ml: Bench_support Dw_core Dw_engine Dw_storage Dw_transport Dw_workload List Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_trigger.ml: Array Bench_support Dw_core Dw_engine Dw_relation Dw_storage Dw_workload List Printf

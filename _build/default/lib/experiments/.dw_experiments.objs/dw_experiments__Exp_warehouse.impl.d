@@ -1,0 +1,1 @@
+lib/experiments/exp_warehouse.ml: Bench_support Dw_core Dw_engine Dw_relation Dw_storage Dw_util Dw_warehouse Dw_workload Hashtbl List Printf

@@ -1,0 +1,57 @@
+(* Shared helpers for the experiment harness: timing, scaling, table
+   rendering, and source-database construction. *)
+
+module Vfs = Dw_storage.Vfs
+module Db = Dw_engine.Db
+module Workload = Dw_workload.Workload
+module Fmt_util = Dw_util.Fmt_util
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let time_only f = snd (time f)
+
+(* median-of-n response-time measurement: [setup ()] builds fresh state,
+   [run state] is the measured region; a major GC runs before each
+   repetition so one cell's garbage does not bill the next.  The median is
+   robust against one unlucky GC pause in either direction, which matters
+   because the experiment tables report ratios of these cells. *)
+let best_of ?(repeat = 5) ~setup run =
+  let samples =
+    List.init repeat (fun _ ->
+        let state = setup () in
+        Gc.major ();
+        time_only (fun () -> run state))
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (repeat / 2)
+
+(* default scaled sizes: the paper sweeps 100M..1000M deltas over a 1G
+   table, i.e. 10%..100% of the source; we keep those proportions over a
+   50k-row source of 100-byte records; scale multiplies both *)
+let source_rows ~scale = 50_000 * scale
+let delta_row_steps ~scale =
+  List.map (fun pct -> source_rows ~scale * pct / 100) [ 10; 20; 40; 60; 80; 100 ]
+let txn_sizes = [ 10; 100; 1000; 10000 ]
+
+let label_for_rows rows =
+  (* the paper labels columns by delta bytes; 100-byte records *)
+  Fmt_util.human_bytes (rows * 100)
+
+let fresh_source ?(archive = false) ?(rows = 0) () =
+  let vfs = Vfs.in_memory () in
+  let db = Db.create ~pool_pages:1024 ~archive_log:archive ~vfs ~name:"src" () in
+  let _ = Workload.create_parts_table db in
+  if rows > 0 then Workload.load_parts db ~rows ();
+  db
+
+let print_table ~title ~header ~rows =
+  Printf.printf "\n== %s ==\n%s\n" title (Fmt_util.table ~header ~rows)
+
+let dur = Fmt_util.human_duration
+
+let section name = Printf.printf "\n######## %s ########\n" name
+
+let pct_change ~base ~other = (base -. other) /. base *. 100.0

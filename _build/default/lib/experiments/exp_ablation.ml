@@ -1,0 +1,278 @@
+(* Ablations of the design choices DESIGN.md calls out:
+
+   A1  plan mode — the warehouse's keyed-statement execution (index) vs
+       the paper's scan-bound source behaviour, on the value-delta
+       integration path;
+   A2  group commit — commit-time fsync policy on the on-disk Vfs
+       backend;
+   A3  buffer pool size — Import/Loader (Table 1) sensitivity to cache
+       pressure;
+   A4  snapshot-differential algorithm/parameter sweep. *)
+
+module Vfs = Dw_storage.Vfs
+module Db = Dw_engine.Db
+module Workload = Dw_workload.Workload
+module Delta = Dw_core.Delta
+module Trigger_extract = Dw_core.Trigger_extract
+module Snapshot_diff = Dw_snapshot.Snapshot_diff
+module Warehouse = Dw_warehouse.Warehouse
+module Export_util = Dw_engine.Export_util
+module Import_util = Dw_engine.Import_util
+module Ascii_util = Dw_engine.Ascii_util
+module Codec = Dw_relation.Codec
+module Prng = Dw_util.Prng
+open Bench_support
+
+(* ---------- A1: plan mode at the warehouse ---------- *)
+
+let run_a1 ~scale =
+  section "A1 (ablation): warehouse plan mode for keyed value-delta statements";
+  let table_rows = 10_000 * scale in
+  let delta_rows = 500 in
+  (* a delete delta: keyed DELETE statements at the warehouse *)
+  let src = fresh_source ~rows:table_rows () in
+  let handle = Trigger_extract.install src ~table:"parts" in
+  Db.with_txn src (fun txn ->
+      ignore (Db.exec src txn (Workload.delete_parts_stmt ~first_id:1 ~size:delta_rows)
+              : Db.exec_result));
+  let delta = Trigger_extract.collect src handle in
+  let run mode =
+    let wh = Warehouse.create ~pool_pages:2048 ~vfs:(Vfs.in_memory ()) ~name:"dw" () in
+    Warehouse.add_replica wh ~table:"parts" ~schema:Workload.parts_schema;
+    let rng = Prng.create ~seed:77 in
+    Warehouse.load_replica wh ~table:"parts"
+      (List.init table_rows (fun i -> Workload.gen_part rng ~id:(i + 1) ~day:0));
+    Db.set_plan_mode (Warehouse.db wh) mode;
+    time_only (fun () -> ignore (Warehouse.integrate_value_delta wh delta : Warehouse.stats))
+  in
+  let t_scan = run `Scan_only in
+  let t_index = run `Index_preferred in
+  print_table
+    ~title:
+      (Printf.sprintf "%d keyed DELETE statements against a %d-row replica" delta_rows table_rows)
+    ~header:[ "plan mode"; "integration time" ]
+    ~rows:[ [ "Scan_only"; dur t_scan ]; [ "Index_preferred"; dur t_index ] ];
+  Printf.printf
+    "take-away: per-record value-delta statements are only viable with index resolution \
+     (%.0fx); the Op-Delta comparison in W1 gives the value path this benefit\n"
+    (t_scan /. t_index)
+
+(* ---------- A2: group commit on real disk ---------- *)
+
+let run_a2 ~scale =
+  section "A2 (ablation): commit fsync policy (on-disk backend)";
+  let txns = 200 * scale in
+  let dir = Filename.temp_file "dwdelta" "" in
+  Sys.remove dir;
+  let run mode =
+    let sub = Filename.concat dir (match mode with `Every_commit -> "every" | `Group n -> "g" ^ string_of_int n) in
+    let vfs = Vfs.on_disk sub in
+    let db = Db.create ~pool_pages:512 ~vfs ~name:"src" () in
+    let _ = Workload.create_parts_table db in
+    Db.set_sync_mode db mode;
+    let t =
+      time_only (fun () ->
+          for i = 1 to txns do
+            Db.with_txn db (fun txn ->
+                List.iter
+                  (fun stmt -> ignore (Db.exec db txn stmt : Db.exec_result))
+                  (Workload.insert_parts_txn ~first_id:i ~size:1 ~day:0 ()))
+          done;
+          Db.checkpoint db)
+    in
+    t
+  in
+  (match Sys.file_exists dir with false -> Unix.mkdir dir 0o755 | true -> ());
+  let t_every = run `Every_commit in
+  let t_group = run (`Group 64) in
+  print_table
+    ~title:(Printf.sprintf "%d single-row insert transactions, WAL on disk" txns)
+    ~header:[ "sync mode"; "total time"; "per txn" ]
+    ~rows:
+      [
+        [ "fsync every commit"; dur t_every; dur (t_every /. float_of_int txns) ];
+        [ "group commit (64)"; dur t_group; dur (t_group /. float_of_int txns) ];
+      ];
+  Printf.printf "take-away: group commit amortises the per-commit fsync %.1fx\n"
+    (t_every /. t_group)
+
+(* ---------- A3: buffer pool size ---------- *)
+
+let run_a3 ~scale =
+  section "A3 (ablation): buffer-pool pressure on Import vs Loader";
+  let rows = 20_000 * scale in
+  let run pool_pages =
+    let vfs = Vfs.in_memory () in
+    let db = Db.create ~pool_pages ~vfs ~name:"src" () in
+    let _ = Workload.create_parts_table db in
+    Workload.load_parts db ~rows ();
+    ignore (Export_util.export_table db ~table:"parts" ~dest:"d.exp" () : Export_util.stats);
+    ignore (Ascii_util.dump db ~table:"parts" ~dest:"d.asc" () : Ascii_util.dump_stats);
+    let _ = Db.create_table db ~name:"imp" ~ts_column:"last_modified" Workload.parts_schema in
+    let t_import =
+      time_only (fun () ->
+          match Import_util.import_table db ~src:"d.exp" ~table:"imp" with
+          | Ok _ -> ()
+          | Error e -> failwith e)
+    in
+    let _ = Db.create_table db ~name:"ld" ~ts_column:"last_modified" Workload.parts_schema in
+    let t_loader =
+      time_only (fun () ->
+          match Ascii_util.load db ~table:"ld" ~src:"d.asc" with
+          | Ok _ -> ()
+          | Error e -> failwith e)
+    in
+    (t_import, t_loader)
+  in
+  let rows_out =
+    List.map
+      (fun pages ->
+        let t_import, t_loader = run pages in
+        [ string_of_int pages; dur t_import; dur t_loader;
+          Printf.sprintf "%.2fx" (t_import /. t_loader) ])
+      [ 64; 256; 2048 ]
+  in
+  print_table
+    ~title:(Printf.sprintf "Import vs Loader of %d rows under varying pool sizes (frames)" rows)
+    ~header:[ "pool frames"; "Import"; "Loader"; "ratio" ]
+    ~rows:rows_out;
+  print_endline
+    "take-away: the Import >> Loader gap of Table 1 is structural (statement processing + \
+     double buffering), not a cache artefact"
+
+(* ---------- A4: snapshot algorithm sweep ---------- *)
+
+let run_a4 ~scale =
+  section "A4 (ablation): snapshot differential algorithms and parameters";
+  let rows = 20_000 * scale in
+  let schema = Workload.parts_schema in
+  let vfs = Vfs.in_memory () in
+  let rng = Prng.create ~seed:5 in
+  let old_rows = List.init rows (fun i -> Workload.gen_part rng ~id:(i + 1) ~day:0) in
+  let new_rows =
+    List.filter_map
+      (fun t ->
+        match t.(0) with
+        | Dw_relation.Value.Int id when id mod 37 = 0 -> None  (* deletes *)
+        | Dw_relation.Value.Int id when id mod 11 = 0 ->
+          Some (Dw_relation.Tuple.set schema t "qty" (Dw_relation.Value.Int 0))  (* updates *)
+        | _ -> Some t)
+      old_rows
+  in
+  let write name rows =
+    let file = Vfs.create vfs name in
+    let buf = Buffer.create (1 lsl 20) in
+    List.iter
+      (fun r ->
+        Buffer.add_string buf (Codec.encode_ascii schema r);
+        Buffer.add_char buf '\n')
+      rows;
+    ignore (Vfs.append file (Buffer.to_bytes buf) : int);
+    Vfs.close file
+  in
+  write "a4.old" old_rows;
+  write "a4.new" new_rows;
+  let sort_merge () =
+    let entries, _ = Snapshot_diff.sort_merge schema ~old_rows ~new_rows in
+    List.length entries
+  in
+  let partitioned buckets () =
+    match Snapshot_diff.partitioned_hash ~buckets vfs schema ~old_file:"a4.old" ~new_file:"a4.new" with
+    | Ok (entries, _) -> List.length entries
+    | Error e -> failwith e
+  in
+  let windowed window_rows () =
+    match Snapshot_diff.window ~window_rows vfs schema ~old_file:"a4.old" ~new_file:"a4.new" with
+    | Ok (entries, _) -> List.length entries
+    | Error e -> failwith e
+  in
+  let external_sorted run_rows () =
+    match
+      Snapshot_diff.external_sort_merge ~run_rows vfs schema ~old_file:"a4.old"
+        ~new_file:"a4.new"
+    with
+    | Ok (entries, _) -> List.length entries
+    | Error e -> failwith e
+  in
+  let cases =
+    [
+      ("sort-merge (in memory)", sort_merge);
+      ("partitioned hash, 4 buckets", partitioned 4);
+      ("partitioned hash, 16 buckets", partitioned 16);
+      ("partitioned hash, 64 buckets", partitioned 64);
+      ("window, 256 rows", windowed 256);
+      ("window, 4096 rows", windowed 4096);
+      ("external sort, 1024-row runs", external_sorted 1024);
+    ]
+  in
+  let rows_out =
+    List.map
+      (fun (name, f) ->
+        let entries = ref 0 in
+        let t = time_only (fun () -> entries := f ()) in
+        [ name; dur t; string_of_int !entries ])
+      cases
+  in
+  print_table
+    ~title:(Printf.sprintf "diff of two %d-row snapshots (~8%% changed)" rows)
+    ~header:[ "algorithm"; "time"; "delta entries" ]
+    ~rows:rows_out;
+  print_endline
+    "take-away: the window algorithm needs no scratch I/O and one pass; entry counts agree \
+     across algorithms (window may add spurious pairs only when rows are displaced beyond the \
+     window, which page-ordered dumps do not do)"
+
+(* ---------- A5: differential-file compaction ---------- *)
+
+let run_a5 ~scale =
+  section "A5 (ablation): net-change compaction of a churn-heavy differential file";
+  let table_rows = 5_000 * scale in
+  (* a hot-spot workload: the same 200 ids updated over and over *)
+  let db = fresh_source ~rows:table_rows () in
+  let handle = Trigger_extract.install db ~table:"parts" in
+  for round = 1 to 25 do
+    Db.with_txn db (fun txn ->
+        ignore
+          (Db.exec db txn (Workload.update_parts_stmt ~first_id:(1 + (round mod 5)) ~size:200)
+            : Db.exec_result))
+  done;
+  let delta = Trigger_extract.collect db handle in
+  let compacted, t_compact = time (fun () -> Delta.compact delta) in
+  let mk_wh () =
+    let wh = Warehouse.create ~pool_pages:2048 ~vfs:(Vfs.in_memory ()) ~name:"dw" () in
+    Warehouse.add_replica wh ~table:"parts" ~schema:Workload.parts_schema;
+    let rng = Prng.create ~seed:77 in
+    Warehouse.load_replica wh ~table:"parts"
+      (List.init table_rows (fun i -> Workload.gen_part rng ~id:(i + 1) ~day:0));
+    wh
+  in
+  let t_raw =
+    best_of ~repeat:3 ~setup:mk_wh (fun wh ->
+        ignore (Warehouse.integrate_value_delta wh delta : Warehouse.stats))
+  in
+  let t_compacted =
+    best_of ~repeat:3 ~setup:mk_wh (fun wh ->
+        ignore (Warehouse.integrate_value_delta wh compacted : Warehouse.stats))
+  in
+  print_table ~title:"25 update transactions over a 200-row hot spot"
+    ~header:[ "differential file"; "changes"; "bytes"; "integration time" ]
+    ~rows:
+      [
+        [ "raw"; string_of_int (Delta.row_count delta);
+          string_of_int (Delta.size_bytes delta); dur t_raw ];
+        [ "compacted"; string_of_int (Delta.row_count compacted);
+          string_of_int (Delta.size_bytes compacted);
+          Printf.sprintf "%s (+%s to compact)" (dur t_compacted) (dur t_compact) ];
+      ];
+  Printf.printf
+    "take-away: net-change compaction shrinks hot-spot differential files ~%.0fx and the \
+     integration window with them; it cannot help Op-Delta's delete/update sizes, which are \
+     already O(1)\n"
+    (float_of_int (Delta.row_count delta) /. float_of_int (max 1 (Delta.row_count compacted)))
+
+let run_all ~scale =
+  run_a1 ~scale;
+  run_a2 ~scale;
+  run_a3 ~scale;
+  run_a4 ~scale;
+  run_a5 ~scale

@@ -1,0 +1,153 @@
+(* Bechamel micro-benchmarks of the primitives the experiments above are
+   built on: record codecs, B+tree ops, heap inserts, SQL parse/print,
+   logged transactional inserts, trigger-burdened inserts, Op-Delta
+   capture.  These make the macro-level shapes explainable: e.g. Figure 2
+   ~100% insert-trigger overhead is literally one extra logged insert. *)
+
+open Bechamel
+open Toolkit
+module Db = Dw_engine.Db
+module Workload = Dw_workload.Workload
+module Codec = Dw_relation.Codec
+module Btree = Dw_storage.Btree
+module Value = Dw_relation.Value
+module Heap_file = Dw_storage.Heap_file
+module Trigger_extract = Dw_core.Trigger_extract
+module Opdelta_capture = Dw_core.Opdelta_capture
+module Prng = Dw_util.Prng
+
+let schema = Workload.parts_schema
+let sample_tuple = Workload.gen_part (Prng.create ~seed:1) ~id:1 ~day:0
+let sample_record = Codec.encode_binary schema sample_tuple
+let sample_line = Codec.encode_ascii schema sample_tuple
+let sample_sql = "UPDATE parts SET qty = qty + 1 WHERE part_id >= 10 AND part_id < 20"
+let sample_stmt = Result.get_ok (Dw_sql.Parser.parse sample_sql)
+
+let test_encode_binary =
+  Test.make ~name:"codec: encode_binary" (Staged.stage (fun () -> Codec.encode_binary schema sample_tuple))
+
+let test_decode_binary =
+  Test.make ~name:"codec: decode_binary" (Staged.stage (fun () -> Codec.decode_binary schema sample_record 0))
+
+let test_encode_ascii =
+  Test.make ~name:"codec: encode_ascii" (Staged.stage (fun () -> Codec.encode_ascii schema sample_tuple))
+
+let test_decode_ascii =
+  Test.make ~name:"codec: decode_ascii" (Staged.stage (fun () -> Codec.decode_ascii schema sample_line))
+
+let test_sql_parse =
+  Test.make ~name:"sql: parse" (Staged.stage (fun () -> Dw_sql.Parser.parse sample_sql))
+
+let test_sql_print =
+  Test.make ~name:"sql: print" (Staged.stage (fun () -> Dw_sql.Printer.to_string sample_stmt))
+
+let test_btree_find =
+  let tree = Btree.create () in
+  for i = 0 to 9999 do
+    Btree.insert tree [| Value.Int i |] i
+  done;
+  let i = ref 0 in
+  Test.make ~name:"btree: find in 10k"
+    (Staged.stage (fun () ->
+         i := (!i + 7919) mod 10000;
+         Btree.find tree [| Value.Int !i |]))
+
+let test_btree_insert_delete =
+  let tree = Btree.create () in
+  for i = 0 to 9999 do
+    Btree.insert tree [| Value.Int i |] i
+  done;
+  let i = ref 10000 in
+  Test.make ~name:"btree: insert+remove"
+    (Staged.stage (fun () ->
+         incr i;
+         Btree.insert tree [| Value.Int !i |] !i;
+         ignore (Btree.remove tree [| Value.Int !i |] : bool)))
+
+(* logged transactional single-row insert, without and with the capture
+   trigger, and with Op-Delta capture: the literal cost triangle behind
+   Figures 2 and 3 *)
+let test_txn_insert =
+  let db = Bench_support.fresh_source ~rows:0 () in
+  let next = ref 0 in
+  Test.make ~name:"engine: logged txn insert"
+    (Staged.stage (fun () ->
+         incr next;
+         Db.with_txn db (fun txn ->
+             ignore
+               (Db.insert db txn "parts"
+                  (Workload.gen_part (Prng.create ~seed:!next) ~id:!next ~day:0)
+                 : Heap_file.rid))))
+
+let test_txn_insert_trigger =
+  let db = Bench_support.fresh_source ~rows:0 () in
+  let _ = Trigger_extract.install db ~table:"parts" in
+  let next = ref 0 in
+  Test.make ~name:"engine: logged txn insert + trigger"
+    (Staged.stage (fun () ->
+         incr next;
+         Db.with_txn db (fun txn ->
+             ignore
+               (Db.insert db txn "parts"
+                  (Workload.gen_part (Prng.create ~seed:!next) ~id:!next ~day:0)
+                 : Heap_file.rid))))
+
+let test_txn_insert_opdelta =
+  let db = Bench_support.fresh_source ~rows:0 () in
+  let cap = Opdelta_capture.create db ~sink:(Opdelta_capture.To_file "op.log") in
+  let next = ref 0 in
+  Test.make ~name:"engine: insert txn via op-delta wrapper (file log)"
+    (Staged.stage (fun () ->
+         incr next;
+         match
+           Opdelta_capture.exec_txn cap
+             (Workload.insert_parts_txn ~seed:!next ~first_id:(1_000_000 + (!next * 4)) ~size:1
+                ~day:0 ())
+         with
+         | Ok _ -> ()
+         | Error e -> failwith e))
+
+let tests =
+  [
+    test_encode_binary;
+    test_decode_binary;
+    test_encode_ascii;
+    test_decode_ascii;
+    test_sql_parse;
+    test_sql_print;
+    test_btree_find;
+    test_btree_insert_delete;
+    test_txn_insert;
+    test_txn_insert_trigger;
+    test_txn_insert_opdelta;
+  ]
+
+let run () =
+  Bench_support.section "MICRO: bechamel micro-benchmarks";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None () in
+  let results =
+    List.map
+      (fun test ->
+        let name = Test.Elt.name (List.hd (Test.elements test)) in
+        let raw = Benchmark.all cfg [ instance ] test in
+        let analyzed = Analyze.all ols instance raw in
+        let est =
+          Hashtbl.fold
+            (fun _ ols_result acc ->
+              match Analyze.OLS.estimates ols_result with
+              | Some (e :: _) -> e :: acc
+              | Some [] | None -> acc)
+            analyzed []
+        in
+        (name, est))
+      tests
+  in
+  Printf.printf "%-55s %15s\n%s\n" "benchmark" "ns/run" (String.make 72 '-');
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | e :: _ -> Printf.printf "%-55s %15.1f\n" name e
+      | [] -> Printf.printf "%-55s %15s\n" name "n/a")
+    results

@@ -1,0 +1,1 @@
+lib/relation/codec.ml: Array Buffer Bytes Char Int64 List Printf Schema String Tuple Value

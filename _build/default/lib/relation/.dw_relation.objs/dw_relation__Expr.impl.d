@@ -1,0 +1,1 @@
+lib/relation/expr.ml: Array Format Hashtbl List Printf Schema Value

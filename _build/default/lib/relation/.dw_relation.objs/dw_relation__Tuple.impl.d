@@ -1,0 +1,1 @@
+lib/relation/tuple.ml: Array Format List Printf Schema String Value

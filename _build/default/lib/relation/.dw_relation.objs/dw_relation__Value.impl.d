@@ -1,0 +1,1 @@
+lib/relation/value.ml: Bool Buffer Float Format Int Printf String

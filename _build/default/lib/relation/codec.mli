@@ -1,0 +1,26 @@
+(** Record codecs.
+
+    Two encodings are used throughout the system:
+
+    - {b binary}: fixed-width records (what heap pages, Export dumps and the
+      redo log store).  Width is [Schema.record_size]; layout is a null
+      bitmap followed by each column at its fixed offset.
+    - {b ascii}: one [|]-separated line per record (what the timestamp
+      extractor's file output and the ASCII Loader consume, mirroring the
+      paper's dump-to-file path). *)
+
+val encode_binary : Schema.t -> Tuple.t -> bytes
+(** Fixed-width encoding.  The tuple must validate against the schema. *)
+
+val encode_binary_into : Schema.t -> Tuple.t -> bytes -> int -> unit
+(** [encode_binary_into schema tuple buf off] writes in place. *)
+
+val decode_binary : Schema.t -> bytes -> int -> Tuple.t
+(** [decode_binary schema buf off] reads a record at offset [off]. *)
+
+val encode_ascii : Schema.t -> Tuple.t -> string
+(** One line, no trailing newline.  [|], [\n] and [\\] in strings are
+    escaped. *)
+
+val decode_ascii : Schema.t -> string -> (Tuple.t, string) result
+(** Inverse of {!encode_ascii}. *)

@@ -1,0 +1,144 @@
+type binop = Add | Sub | Mul | Div
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | Col of string
+  | Lit of Value.t
+  | Binop of binop * t * t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Is_not_null of t
+
+let apply_binop op a b =
+  match op with
+  | Add -> Value.add a b
+  | Sub -> Value.sub a b
+  | Mul -> Value.mul a b
+  | Div -> Value.div a b
+
+let apply_cmp op a b =
+  if Value.is_null a || Value.is_null b then Value.Bool false
+  else
+    let c = Value.compare a b in
+    Value.Bool
+      (match op with
+       | Eq -> c = 0
+       | Neq -> c <> 0
+       | Lt -> c < 0
+       | Le -> c <= 0
+       | Gt -> c > 0
+       | Ge -> c >= 0)
+
+let bad_bool v =
+  invalid_arg (Printf.sprintf "Expr.eval: expected boolean, got %s" (Value.to_string v))
+
+let rec eval schema tuple expr =
+  match expr with
+  | Col name -> tuple.(Schema.index_of schema name)
+  | Lit v -> v
+  | Binop (op, a, b) -> apply_binop op (eval schema tuple a) (eval schema tuple b)
+  | Cmp (op, a, b) -> apply_cmp op (eval schema tuple a) (eval schema tuple b)
+  | And (a, b) ->
+    (match eval schema tuple a with
+     | Value.Bool false -> Value.Bool false
+     | Value.Bool true -> as_bool (eval schema tuple b)
+     | Value.Null -> Value.Bool false
+     | v -> bad_bool v)
+  | Or (a, b) ->
+    (match eval schema tuple a with
+     | Value.Bool true -> Value.Bool true
+     | Value.Bool false -> as_bool (eval schema tuple b)
+     | Value.Null -> as_bool (eval schema tuple b)
+     | v -> bad_bool v)
+  | Not a ->
+    (match eval schema tuple a with
+     | Value.Bool b -> Value.Bool (not b)
+     | Value.Null -> Value.Bool false
+     | v -> bad_bool v)
+  | Is_null a -> Value.Bool (Value.is_null (eval schema tuple a))
+  | Is_not_null a -> Value.Bool (not (Value.is_null (eval schema tuple a)))
+
+and as_bool = function
+  | Value.Bool _ as v -> v
+  | Value.Null -> Value.Bool false
+  | v -> bad_bool v
+
+let eval_pred schema tuple expr =
+  match eval schema tuple expr with
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | v -> bad_bool v
+
+let columns expr =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | Col name ->
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        acc := name :: !acc
+      end
+    | Lit _ -> ()
+    | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      go a;
+      go b
+    | Not a | Is_null a | Is_not_null a -> go a
+  in
+  go expr;
+  List.rev !acc
+
+let rec equal a b =
+  match a, b with
+  | Col x, Col y -> x = y
+  | Lit x, Lit y -> Value.equal x y || (Value.is_null x && Value.is_null y)
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) -> equal a1 a2 && equal b1 b2
+  | Not x, Not y | Is_null x, Is_null y | Is_not_null x, Is_not_null y -> equal x y
+  | (Col _ | Lit _ | Binop _ | Cmp _ | And _ | Or _ | Not _ | Is_null _ | Is_not_null _), _ ->
+    false
+
+let binop_str = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let cmp_str = function
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+(* precedence: Or=1, And=2, Not=3, Cmp=4, Add/Sub=5, Mul/Div=6, atom=7 *)
+let prec = function
+  | Or _ -> 1
+  | And _ -> 2
+  | Not _ -> 3
+  | Cmp _ | Is_null _ | Is_not_null _ -> 4
+  | Binop ((Add | Sub), _, _) -> 5
+  | Binop ((Mul | Div), _, _) -> 6
+  | Col _ | Lit _ -> 7
+
+let rec pp_prec ctx ppf expr =
+  let p = prec expr in
+  let parens = p < ctx in
+  if parens then Format.pp_print_char ppf '(';
+  (match expr with
+   | Col name -> Format.pp_print_string ppf name
+   | Lit v -> Format.pp_print_string ppf (Value.to_sql_literal v)
+   | Binop (op, a, b) ->
+     Format.fprintf ppf "%a %s %a" (pp_prec p) a (binop_str op) (pp_prec (p + 1)) b
+   | Cmp (op, a, b) ->
+     Format.fprintf ppf "%a %s %a" (pp_prec (p + 1)) a (cmp_str op) (pp_prec (p + 1)) b
+   (* AND/OR parse right-associatively, so the right operand prints at the
+      operator's own precedence and the left one is forced tighter *)
+   | And (a, b) -> Format.fprintf ppf "%a AND %a" (pp_prec (p + 1)) a (pp_prec p) b
+   | Or (a, b) -> Format.fprintf ppf "%a OR %a" (pp_prec (p + 1)) a (pp_prec p) b
+   | Not a -> Format.fprintf ppf "NOT %a" (pp_prec (p + 1)) a
+   | Is_null a -> Format.fprintf ppf "%a IS NULL" (pp_prec (p + 1)) a
+   | Is_not_null a -> Format.fprintf ppf "%a IS NOT NULL" (pp_prec (p + 1)) a);
+  if parens then Format.pp_print_char ppf ')'
+
+let pp ppf expr = pp_prec 0 ppf expr
+let to_string expr = Format.asprintf "%a" pp expr
+
+let conj = function
+  | [] -> None
+  | p :: ps -> Some (List.fold_left (fun acc q -> And (acc, q)) p ps)

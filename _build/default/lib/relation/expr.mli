@@ -1,0 +1,44 @@
+(** Scalar expressions and predicates over tuples.
+
+    This is the expression language of the SQL dialect's [WHERE] clauses,
+    [UPDATE ... SET] right-hand sides and projection lists.  Evaluation is
+    SQL-style three-valued for comparisons on NULL: a comparison involving
+    NULL is false (conservative; adequate for the dialect used by the
+    experiments). *)
+
+type binop = Add | Sub | Mul | Div
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | Col of string
+  | Lit of Value.t
+  | Binop of binop * t * t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Is_not_null of t
+
+val eval : Schema.t -> Tuple.t -> t -> Value.t
+(** Evaluate to a value.  Boolean-valued nodes yield [Bool]; a comparison
+    with a NULL operand yields [Bool false].  Raises [Not_found] on an
+    unknown column and [Invalid_argument] on type errors. *)
+
+val eval_pred : Schema.t -> Tuple.t -> t -> bool
+(** Evaluate as a predicate: [Bool b] gives [b]; [Null] gives [false];
+    any other result raises [Invalid_argument]. *)
+
+val columns : t -> string list
+(** Column names referenced, without duplicates, in first-use order. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** SQL-syntax rendering (parenthesised where precedence requires). *)
+
+val to_string : t -> string
+
+val conj : t list -> t option
+(** [conj ps] is the AND of all predicates, or [None] for the empty list. *)

@@ -1,0 +1,64 @@
+type t = Value.t array
+
+let validate schema tuple =
+  let n = Schema.arity schema in
+  if Array.length tuple <> n then
+    Error (Printf.sprintf "arity mismatch: schema has %d columns, tuple has %d" n (Array.length tuple))
+  else begin
+    let err = ref None in
+    for i = 0 to n - 1 do
+      if !err = None then begin
+        let col = Schema.column schema i in
+        let v = tuple.(i) in
+        if not (Value.ty_compatible col.Schema.ty v) then
+          err := Some (Printf.sprintf "column %s: value %s does not fit type %s"
+                         col.Schema.name (Value.to_string v) (Value.ty_to_string col.Schema.ty))
+        else if Value.is_null v && (not col.Schema.nullable || i < Schema.key_arity schema) then
+          err := Some (Printf.sprintf "column %s: NULL not allowed" col.Schema.name)
+      end
+    done;
+    match !err with None -> Ok () | Some e -> Error e
+  end
+
+let validate_exn schema tuple =
+  match validate schema tuple with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Tuple.validate: " ^ e)
+
+let key schema tuple = Array.sub tuple 0 (Schema.key_arity schema)
+
+let compare_key schema a b =
+  let k = Schema.key_arity schema in
+  let rec go i =
+    if i >= k then 0
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let get schema tuple name = tuple.(Schema.index_of schema name)
+
+let set schema tuple name v =
+  let t' = Array.copy tuple in
+  t'.(Schema.index_of schema name) <- v;
+  t'
+
+let to_string t =
+  "(" ^ (Array.to_list t |> List.map Value.to_string |> String.concat ", ") ^ ")"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,1 @@
+lib/snapshot_diff/snapshot_diff.ml: Array Buffer Bytes Dw_relation Dw_storage Hashtbl List Map Printf String

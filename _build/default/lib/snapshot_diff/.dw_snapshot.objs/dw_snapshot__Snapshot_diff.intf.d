@@ -1,0 +1,1 @@
+lib/snapshot_diff/snapshot_diff.mli: Dw_relation Dw_storage

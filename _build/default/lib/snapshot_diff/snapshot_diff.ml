@@ -1,0 +1,518 @@
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Codec = Dw_relation.Codec
+module Vfs = Dw_storage.Vfs
+
+type entry = Added of Tuple.t | Removed of Tuple.t | Changed of Tuple.t * Tuple.t
+
+let entry_key schema = function
+  | Added t | Removed t | Changed (t, _) -> Tuple.key schema t
+
+type stats = { old_rows : int; new_rows : int; entries : int; scratch_bytes : int }
+
+let sorted_by_key schema rows =
+  let sorted = List.sort (Tuple.compare_key schema) rows in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      if Tuple.compare_key schema a b = 0 then
+        invalid_arg
+          (Printf.sprintf "Snapshot_diff: duplicate key %s within one snapshot"
+             (Tuple.to_string (Tuple.key schema a)));
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  sorted
+
+let merge schema old_sorted new_sorted =
+  let rec go olds news acc =
+    match olds, news with
+    | [], [] -> List.rev acc
+    | o :: os, [] -> go os [] (Removed o :: acc)
+    | [], n :: ns -> go [] ns (Added n :: acc)
+    | o :: os, n :: ns ->
+      let c = Tuple.compare_key schema o n in
+      if c < 0 then go os news (Removed o :: acc)
+      else if c > 0 then go olds ns (Added n :: acc)
+      else if Tuple.equal o n then go os ns acc
+      else go os ns (Changed (o, n) :: acc)
+  in
+  go old_sorted new_sorted []
+
+let sort_merge schema ~old_rows ~new_rows =
+  let old_sorted = sorted_by_key schema old_rows in
+  let new_sorted = sorted_by_key schema new_rows in
+  let entries = merge schema old_sorted new_sorted in
+  ( entries,
+    {
+      old_rows = List.length old_rows;
+      new_rows = List.length new_rows;
+      entries = List.length entries;
+      scratch_bytes = 0;
+    } )
+
+(* ---------- partitioned hash ---------- *)
+
+let key_hash schema tuple buckets =
+  let key = Tuple.key schema tuple in
+  let h =
+    Array.fold_left
+      (fun acc v -> (acc * 31) + Hashtbl.hash (Dw_relation.Value.to_string v))
+      17 key
+  in
+  (h land max_int) mod buckets
+
+let read_snapshot_lines vfs fname =
+  match Vfs.open_existing vfs fname with
+  | exception Not_found -> Error (Printf.sprintf "no such snapshot file %s" fname)
+  | file ->
+    let len = Vfs.size file in
+    let data = if len = 0 then Bytes.create 0 else Vfs.read_at file ~off:0 ~len in
+    Vfs.close file;
+    let lines = ref [] in
+    let pos = ref 0 in
+    while !pos < len do
+      let nl =
+        let rec go i = if i >= len || Bytes.get data i = '\n' then i else go (i + 1) in
+        go !pos
+      in
+      if nl > !pos then lines := Bytes.sub_string data !pos (nl - !pos) :: !lines;
+      pos := nl + 1
+    done;
+    Ok (List.rev !lines)
+
+let partitioned_hash ?(buckets = 16) vfs schema ~old_file ~new_file =
+  if buckets < 1 then invalid_arg "Snapshot_diff.partitioned_hash: buckets < 1";
+  let scratch = ref 0 in
+  let partition src tag =
+    match read_snapshot_lines vfs src with
+    | Error e -> Error e
+    | Ok lines ->
+      let files =
+        Array.init buckets (fun i ->
+            Vfs.create vfs (Printf.sprintf "%s.part%d.%s" src i tag))
+      in
+      let bufs = Array.init buckets (fun _ -> Buffer.create 1024) in
+      let err = ref None in
+      List.iter
+        (fun line ->
+          if !err = None then
+            match Codec.decode_ascii schema line with
+            | Ok tuple ->
+              let b = key_hash schema tuple buckets in
+              Buffer.add_string bufs.(b) line;
+              Buffer.add_char bufs.(b) '\n'
+            | Error e -> err := Some e)
+        lines;
+      (match !err with
+       | Some e ->
+         Array.iter Vfs.close files;
+         Error e
+       | None ->
+         Array.iteri
+           (fun i file ->
+             let data = Buffer.to_bytes bufs.(i) in
+             ignore (Vfs.append file data : int);
+             scratch := !scratch + Bytes.length data;
+             Vfs.close file)
+           files;
+         Ok (Array.init buckets (fun i -> Printf.sprintf "%s.part%d.%s" src i tag)))
+  in
+  let cleanup names = Array.iter (fun n -> Vfs.delete vfs n) names in
+  match partition old_file "old" with
+  | Error e -> Error e
+  | Ok old_parts -> (
+      match partition new_file "new" with
+      | Error e ->
+        cleanup old_parts;
+        Error e
+      | Ok new_parts ->
+        let read_part fname =
+          match read_snapshot_lines vfs fname with
+          | Error e -> Error e
+          | Ok lines ->
+            scratch :=
+              !scratch + List.fold_left (fun acc l -> acc + String.length l + 1) 0 lines;
+            let rec decode acc = function
+              | [] -> Ok (List.rev acc)
+              | line :: rest -> (
+                  match Codec.decode_ascii schema line with
+                  | Ok t -> decode (t :: acc) rest
+                  | Error e -> Error e)
+            in
+            decode [] lines
+        in
+        let rec go i acc old_total new_total =
+          if i >= buckets then Ok (List.rev acc, old_total, new_total)
+          else
+            match read_part old_parts.(i), read_part new_parts.(i) with
+            | Ok old_rows, Ok new_rows ->
+              let entries, _ = sort_merge schema ~old_rows ~new_rows in
+              go (i + 1) (List.rev_append entries acc)
+                (old_total + List.length old_rows)
+                (new_total + List.length new_rows)
+            | Error e, _ | _, Error e -> Error e
+        in
+        let result = go 0 [] 0 0 in
+        cleanup old_parts;
+        cleanup new_parts;
+        (match result with
+         | Error e -> Error e
+         | Ok (entries, old_rows, new_rows) ->
+           Ok
+             ( entries,
+               { old_rows; new_rows; entries = List.length entries; scratch_bytes = !scratch } )))
+
+(* ---------- sliding window ---------- *)
+
+module Key_map = Map.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+(* an aging buffer: FIFO of rows with an index by key *)
+module Aging = struct
+  type t = {
+    mutable fifo : (int * Tuple.t) list;  (* newest first; (seq, row) *)
+    mutable index : (int * Tuple.t) Key_map.t;
+    mutable count : int;
+    mutable next_seq : int;
+  }
+
+  let create () = { fifo = []; index = Key_map.empty; count = 0; next_seq = 0 }
+
+  let add t key row =
+    let entry = (t.next_seq, row) in
+    t.next_seq <- t.next_seq + 1;
+    t.fifo <- entry :: t.fifo;
+    t.index <- Key_map.add key entry t.index;
+    t.count <- t.count + 1
+
+  let take t key =
+    match Key_map.find_opt key t.index with
+    | None -> None
+    | Some (seq, row) ->
+      t.index <- Key_map.remove key t.index;
+      t.fifo <- List.filter (fun (s, _) -> s <> seq) t.fifo;
+      t.count <- t.count - 1;
+      Some row
+
+  (* evict the oldest still-live row *)
+  let evict_oldest t schema =
+    match List.rev t.fifo with
+    | [] -> None
+    | (seq, row) :: _ ->
+      t.fifo <- List.filter (fun (s, _) -> s <> seq) t.fifo;
+      t.index <- Key_map.remove (Tuple.key schema row) t.index;
+      t.count <- t.count - 1;
+      Some row
+
+  let drain t =
+    let rows = List.rev_map snd t.fifo in
+    t.fifo <- [];
+    t.index <- Key_map.empty;
+    t.count <- 0;
+    rows
+end
+
+let window ?(window_rows = 1024) vfs schema ~old_file ~new_file =
+  if window_rows < 1 then invalid_arg "Snapshot_diff.window: window_rows < 1";
+  match read_snapshot_lines vfs old_file, read_snapshot_lines vfs new_file with
+  | Error e, _ | _, Error e -> Error e
+  | Ok old_lines, Ok new_lines ->
+    let decode line = Codec.decode_ascii schema line in
+    let entries = ref [] in
+    let old_buf = Aging.create () and new_buf = Aging.create () in
+    let emit e = entries := e :: !entries in
+    let err = ref None in
+    let step_old line =
+      match decode line with
+      | Error e -> err := Some e
+      | Ok row -> (
+          let key = Tuple.key schema row in
+          match Aging.take new_buf key with
+          | Some new_row -> if not (Tuple.equal row new_row) then emit (Changed (row, new_row))
+          | None ->
+            Aging.add old_buf key row;
+            if old_buf.Aging.count > window_rows then
+              match Aging.evict_oldest old_buf schema with
+              | Some evicted -> emit (Removed evicted)
+              | None -> ())
+    in
+    let step_new line =
+      match decode line with
+      | Error e -> err := Some e
+      | Ok row -> (
+          let key = Tuple.key schema row in
+          match Aging.take old_buf key with
+          | Some old_row -> if not (Tuple.equal old_row row) then emit (Changed (old_row, row))
+          | None ->
+            Aging.add new_buf key row;
+            if new_buf.Aging.count > window_rows then
+              match Aging.evict_oldest new_buf schema with
+              | Some evicted -> emit (Added evicted)
+              | None -> ())
+    in
+    (* lockstep over both files *)
+    let rec go olds news =
+      if !err <> None then ()
+      else
+        match olds, news with
+        | [], [] -> ()
+        | o :: os, [] ->
+          step_old o;
+          go os []
+        | [], n :: ns ->
+          step_new n;
+          go [] ns
+        | o :: os, n :: ns ->
+          step_old o;
+          if !err = None then step_new n;
+          go os ns
+    in
+    go old_lines new_lines;
+    (match !err with
+     | Some e -> Error e
+     | None ->
+       List.iter (fun row -> emit (Removed row)) (Aging.drain old_buf);
+       List.iter (fun row -> emit (Added row)) (Aging.drain new_buf);
+       (* group Removed before Changed before Added: a key displaced past
+          the window emits a spurious Removed+Added pair, and replaying
+          the removal first keeps apply-order semantics correct *)
+       let entries = List.rev !entries in
+       let removed = List.filter (function Removed _ -> true | _ -> false) entries in
+       let changed = List.filter (function Changed _ -> true | _ -> false) entries in
+       let added = List.filter (function Added _ -> true | _ -> false) entries in
+       let entries = removed @ changed @ added in
+       Ok
+         ( entries,
+           {
+             old_rows = List.length old_lines;
+             new_rows = List.length new_lines;
+             entries = List.length entries;
+             scratch_bytes = 0;
+           } ))
+
+(* ---------- external sort-merge ---------- *)
+
+(* streaming reader over the lines of a scratch run file *)
+module Run_reader = struct
+  type t = {
+    file : Vfs.file;
+    size : int;
+    mutable pos : int;
+    mutable buf : string;
+    mutable buf_off : int;  (* file offset buf starts at *)
+  }
+
+  let block = 8192
+
+  let open_run vfs name =
+    let file = Vfs.open_existing vfs name in
+    { file; size = Vfs.size file; pos = 0; buf = ""; buf_off = 0 }
+
+  let rec next_line t =
+    if t.pos >= t.size then None
+    else begin
+      let local = t.pos - t.buf_off in
+      if local < 0 || local >= String.length t.buf then begin
+        let len = min block (t.size - t.pos) in
+        t.buf <- Bytes.to_string (Vfs.read_at t.file ~off:t.pos ~len);
+        t.buf_off <- t.pos;
+        next_line t
+      end
+      else
+        match String.index_from_opt t.buf local '\n' with
+        | Some nl ->
+          let line = String.sub t.buf local (nl - local) in
+          t.pos <- t.buf_off + nl + 1;
+          Some line
+        | None ->
+          if t.buf_off + String.length t.buf >= t.size then begin
+            (* final unterminated line *)
+            let line = String.sub t.buf local (String.length t.buf - local) in
+            t.pos <- t.size;
+            if line = "" then None else Some line
+          end
+          else begin
+            (* refill from current position with a bigger window *)
+            let len = min (max block (2 * String.length t.buf)) (t.size - t.pos) in
+            t.buf <- Bytes.to_string (Vfs.read_at t.file ~off:t.pos ~len);
+            t.buf_off <- t.pos;
+            next_line t
+          end
+    end
+
+  let close t = Vfs.close t.file
+end
+
+let external_sort_merge ?(run_rows = 1024) vfs schema ~old_file ~new_file =
+  if run_rows < 1 then invalid_arg "Snapshot_diff.external_sort_merge: run_rows < 1";
+  let scratch = ref 0 in
+  let scratch_names = ref [] in
+  let open_readers = ref [] in
+  let exception Fail of string in
+  let make_runs src tag =
+    match read_snapshot_lines vfs src with
+    | Error e -> raise (Fail e)
+    | Ok lines ->
+      (* decode for sorting, re-encode into the run files *)
+      let decode line =
+        match Codec.decode_ascii schema line with
+        | Ok t -> t
+        | Error e -> raise (Fail e)
+      in
+      let rec chunks acc current n = function
+        | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+        | line :: rest ->
+          if n = run_rows then chunks (List.rev current :: acc) [ line ] 1 rest
+          else chunks acc (line :: current) (n + 1) rest
+      in
+      let runs = chunks [] [] 0 lines in
+      List.mapi
+        (fun i run_lines ->
+          let rows = List.map decode run_lines in
+          let sorted = List.sort (Tuple.compare_key schema) rows in
+          let name = Printf.sprintf "%s.run%d.%s" src i tag in
+          let file = Vfs.create vfs name in
+          let buf = Buffer.create 8192 in
+          List.iter
+            (fun r ->
+              Buffer.add_string buf (Codec.encode_ascii schema r);
+              Buffer.add_char buf '\n')
+            sorted;
+          let data = Buffer.to_bytes buf in
+          ignore (Vfs.append file data : int);
+          scratch := !scratch + Bytes.length data;
+          Vfs.close file;
+          scratch_names := name :: !scratch_names;
+          name)
+        runs
+  in
+  (* k-way merge of sorted runs into a sorted stream of tuples *)
+  let merged_stream run_names =
+    let readers =
+      List.map
+        (fun name ->
+          let r = Run_reader.open_run vfs name in
+          open_readers := r :: !open_readers;
+          (r, ref None))
+        run_names
+    in
+    let refill (r, head) =
+      if !head = None then
+        match Run_reader.next_line r with
+        | None -> ()
+        | Some line -> (
+            scratch := !scratch + String.length line + 1;
+            match Codec.decode_ascii schema line with
+            | Ok t -> head := Some t
+            | Error e -> raise (Fail e))
+    in
+    let next () =
+      List.iter refill readers;
+      let best =
+        List.fold_left
+          (fun acc (_, head) ->
+            match acc, !head with
+            | None, Some t -> Some (t, head)
+            | Some (bt, _), Some t when Tuple.compare_key schema t bt < 0 -> Some (t, head)
+            | acc, _ -> acc)
+          None readers
+      in
+      match best with
+      | None -> None
+      | Some (t, head) ->
+        head := None;
+        Some t
+    in
+    (next, fun () -> List.iter (fun (r, _) -> Run_reader.close r) readers)
+  in
+  let result =
+    try
+      let old_runs = make_runs old_file "eold" in
+      let new_runs = make_runs new_file "enew" in
+      let next_old, close_old = merged_stream old_runs in
+      let next_new, close_new = merged_stream new_runs in
+      (* merge-join the two sorted streams *)
+      let entries = ref [] in
+      let emit e = entries := e :: !entries in
+      let counts = ref (0, 0) in
+      let check_dup last t side =
+        match last with
+        | Some prev when Tuple.compare_key schema prev t = 0 ->
+          raise
+            (Fail
+               (Printf.sprintf "Snapshot_diff: duplicate key %s within the %s snapshot"
+                  (Tuple.to_string (Tuple.key schema t)) side))
+        | _ -> ()
+      in
+      let rec go o n last_o last_n =
+        match o, n with
+        | None, None -> ()
+        | Some ot, None ->
+          check_dup last_o ot "old";
+          counts := (fst !counts + 1, snd !counts);
+          emit (Removed ot);
+          go (next_old ()) None (Some ot) last_n
+        | None, Some nt ->
+          check_dup last_n nt "new";
+          counts := (fst !counts, snd !counts + 1);
+          emit (Added nt);
+          go None (next_new ()) last_o (Some nt)
+        | Some ot, Some nt ->
+          check_dup last_o ot "old";
+          check_dup last_n nt "new";
+          let c = Tuple.compare_key schema ot nt in
+          if c < 0 then begin
+            counts := (fst !counts + 1, snd !counts);
+            emit (Removed ot);
+            go (next_old ()) n (Some ot) last_n
+          end
+          else if c > 0 then begin
+            counts := (fst !counts, snd !counts + 1);
+            emit (Added nt);
+            go o (next_new ()) last_o (Some nt)
+          end
+          else begin
+            counts := (fst !counts + 1, snd !counts + 1);
+            if not (Tuple.equal ot nt) then emit (Changed (ot, nt));
+            go (next_old ()) (next_new ()) (Some ot) (Some nt)
+          end
+      in
+      go (next_old ()) (next_new ()) None None;
+      ignore close_old;
+      ignore close_new;
+      let old_rows, new_rows = !counts in
+      Ok
+        ( List.rev !entries,
+          { old_rows; new_rows; entries = List.length !entries; scratch_bytes = !scratch } )
+    with Fail e -> Error e
+  in
+  (* close every run reader (success or failure) before reclaiming scratch *)
+  List.iter Run_reader.close !open_readers;
+  List.iter (fun name -> Vfs.delete vfs name) !scratch_names;
+  result
+
+let apply schema entries old_rows =
+  let module KeyMap = Map.Make (struct
+    type t = Tuple.t
+
+    let compare = Tuple.compare
+  end) in
+  let table =
+    List.fold_left
+      (fun acc row -> KeyMap.add (Tuple.key schema row) row acc)
+      KeyMap.empty old_rows
+  in
+  let table =
+    List.fold_left
+      (fun acc entry ->
+        match entry with
+        | Added t -> KeyMap.add (Tuple.key schema t) t acc
+        | Removed t -> KeyMap.remove (Tuple.key schema t) acc
+        | Changed (_, after) -> KeyMap.add (Tuple.key schema after) after acc)
+      table entries
+  in
+  List.map snd (KeyMap.bindings table)

@@ -1,0 +1,85 @@
+(** Differential-snapshot algorithms (paper Section 3, method 2; Labio &
+    Garcia-Molina, VLDB'96).
+
+    Input: two snapshots of a table (lists of tuples, or ASCII snapshot
+    files as produced by {!Dw_engine.Ascii_util.dump}).  Output: the delta
+    between them, keyed by primary key.  Both snapshots must conform to
+    the same schema.
+
+    Two algorithms:
+    - {b sort-merge}: sort both snapshots by key, merge.  O(n log n)
+      compares, all in memory.
+    - {b partitioned hash} ("window"-style bounded memory): partition both
+      files into key-hash buckets written back to scratch files, then diff
+      each bucket pair in memory.  Models the bounded-memory outer-join the
+      paper's citation analyses; the partition writes are the extra I/O
+      that makes this method the most expensive (Section 3.1.2). *)
+
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+
+type entry =
+  | Added of Tuple.t            (** key present only in the new snapshot *)
+  | Removed of Tuple.t          (** key present only in the old snapshot *)
+  | Changed of Tuple.t * Tuple.t  (** before, after (same key, different rest) *)
+
+val entry_key : Schema.t -> entry -> Tuple.t
+
+type stats = {
+  old_rows : int;
+  new_rows : int;
+  entries : int;
+  scratch_bytes : int;  (** partition-file traffic (0 for sort-merge) *)
+}
+
+val sort_merge : Schema.t -> old_rows:Tuple.t list -> new_rows:Tuple.t list -> entry list * stats
+(** Duplicate keys within one snapshot raise [Invalid_argument]. *)
+
+val partitioned_hash :
+  ?buckets:int ->
+  Dw_storage.Vfs.t ->
+  Schema.t ->
+  old_file:string ->
+  new_file:string ->
+  (entry list * stats, string) result
+(** Diff two ASCII snapshot files through [buckets] (default 16) scratch
+    partitions.  Entries come out grouped by bucket, ordered by key within
+    each bucket. *)
+
+val window :
+  ?window_rows:int ->
+  Dw_storage.Vfs.t ->
+  Schema.t ->
+  old_file:string ->
+  new_file:string ->
+  (entry list * stats, string) result
+(** The sliding-window algorithm of Labio & Garcia-Molina: stream both
+    files in lockstep, matching rows by key inside two bounded aging
+    buffers of [window_rows] rows each (default 1024).  Single sequential
+    pass, no scratch files, O(window) memory.
+
+    Exact when matching rows are displaced by at most the window size
+    between the two snapshots (in particular always exact when the
+    snapshots are produced by scans in the same page order, the common
+    case).  Rows displaced farther age out of the buffers and are
+    reported as a spurious Removed + Added pair — the "false
+    delete/insert" the original paper accepts in exchange for bounded
+    memory. *)
+
+val external_sort_merge :
+  ?run_rows:int ->
+  Dw_storage.Vfs.t ->
+  Schema.t ->
+  old_file:string ->
+  new_file:string ->
+  (entry list * stats, string) result
+(** Classic external sort-merge: each snapshot is split into sorted runs
+    of [run_rows] rows (default 1024) written to scratch files, the runs
+    are k-way merged into two sorted streams, and the streams are
+    merge-joined.  O(run_rows) memory for the sort phase, sequential I/O
+    throughout; [stats.scratch_bytes] counts the run-file traffic.
+    Entries come out in global key order (unlike {!partitioned_hash}). *)
+
+val apply : Schema.t -> entry list -> Tuple.t list -> Tuple.t list
+(** [apply schema delta old_rows] replays the delta onto the old snapshot
+    (used by the correctness property: [apply (diff a b) a ≡ b]). *)

@@ -1,0 +1,1 @@
+lib/sql/ast.mli: Dw_relation

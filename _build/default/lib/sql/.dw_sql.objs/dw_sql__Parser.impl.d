@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Dw_relation Lexer List Printf

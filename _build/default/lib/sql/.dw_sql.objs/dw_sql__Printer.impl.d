@@ -1,0 +1,1 @@
+lib/sql/printer.ml: Ast Buffer Dw_relation Format List Printf String

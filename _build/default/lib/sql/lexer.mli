@@ -1,0 +1,19 @@
+(** Hand-written lexer for the SQL dialect. *)
+
+type token =
+  | IDENT of string     (** case preserved; keywords are case-insensitive *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string    (** single-quoted, [''] escapes a quote *)
+  | KW of string        (** upper-cased keyword *)
+  | LPAREN | RPAREN | COMMA | STAR | DOT | SEMI
+  | EQ | NEQ | LT | LE | GT | GE
+  | PLUS | MINUS | SLASH
+  | EOF
+
+val keywords : string list
+
+val tokenize : string -> (token list, string) result
+(** Errors carry a character position message. *)
+
+val token_to_string : token -> string

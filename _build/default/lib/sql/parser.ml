@@ -1,0 +1,315 @@
+module Expr = Dw_relation.Expr
+module Value = Dw_relation.Value
+
+exception Parse_error of string
+
+type state = {
+  tokens : Lexer.token array;
+  mutable pos : int;
+}
+
+let peek st = st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail "expected %s, found %s" (Lexer.token_to_string tok) (Lexer.token_to_string (peek st))
+
+let expect_kw st kw = expect st (Lexer.KW kw)
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let accept_kw st kw = accept st (Lexer.KW kw)
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | tok -> fail "expected identifier, found %s" (Lexer.token_to_string tok)
+
+(* literals *)
+
+let literal st =
+  match peek st with
+  | Lexer.INT n -> advance st; Value.Int n
+  | Lexer.FLOAT f -> advance st; Value.Float f
+  | Lexer.STRING s -> advance st; Value.Str s
+  | Lexer.KW "TRUE" -> advance st; Value.Bool true
+  | Lexer.KW "FALSE" -> advance st; Value.Bool false
+  | Lexer.KW "NULL" -> advance st; Value.Null
+  | Lexer.KW "DATE" -> (
+      advance st;
+      match peek st with
+      | Lexer.INT d -> advance st; Value.Date d
+      | tok -> fail "expected day number after DATE, found %s" (Lexer.token_to_string tok))
+  | Lexer.MINUS -> (
+      advance st;
+      match peek st with
+      | Lexer.INT n -> advance st; Value.Int (-n)
+      | Lexer.FLOAT f -> advance st; Value.Float (-.f)
+      | tok -> fail "expected number after -, found %s" (Lexer.token_to_string tok))
+  | tok -> fail "expected literal, found %s" (Lexer.token_to_string tok)
+
+(* expressions: precedence climbing *)
+
+let rec expr_or st =
+  let left = expr_and st in
+  if accept_kw st "OR" then Expr.Or (left, expr_or st) else left
+
+and expr_and st =
+  let left = expr_not st in
+  if accept_kw st "AND" then Expr.And (left, expr_and st) else left
+
+and expr_not st =
+  if accept_kw st "NOT" then Expr.Not (expr_not st) else expr_cmp st
+
+and expr_cmp st =
+  let left = expr_add st in
+  match peek st with
+  | Lexer.EQ -> advance st; Expr.Cmp (Expr.Eq, left, expr_add st)
+  | Lexer.NEQ -> advance st; Expr.Cmp (Expr.Neq, left, expr_add st)
+  | Lexer.LT -> advance st; Expr.Cmp (Expr.Lt, left, expr_add st)
+  | Lexer.LE -> advance st; Expr.Cmp (Expr.Le, left, expr_add st)
+  | Lexer.GT -> advance st; Expr.Cmp (Expr.Gt, left, expr_add st)
+  | Lexer.GE -> advance st; Expr.Cmp (Expr.Ge, left, expr_add st)
+  | Lexer.KW "IS" ->
+    advance st;
+    if accept_kw st "NOT" then begin
+      expect_kw st "NULL";
+      Expr.Is_not_null left
+    end
+    else begin
+      expect_kw st "NULL";
+      Expr.Is_null left
+    end
+  | _ -> left
+
+and expr_add st =
+  let rec loop left =
+    match peek st with
+    | Lexer.PLUS -> advance st; loop (Expr.Binop (Expr.Add, left, expr_mul st))
+    | Lexer.MINUS -> advance st; loop (Expr.Binop (Expr.Sub, left, expr_mul st))
+    | _ -> left
+  in
+  loop (expr_mul st)
+
+and expr_mul st =
+  let rec loop left =
+    match peek st with
+    | Lexer.STAR -> advance st; loop (Expr.Binop (Expr.Mul, left, expr_atom st))
+    | Lexer.SLASH -> advance st; loop (Expr.Binop (Expr.Div, left, expr_atom st))
+    | _ -> left
+  in
+  loop (expr_atom st)
+
+and expr_atom st =
+  match peek st with
+  | Lexer.LPAREN ->
+    advance st;
+    let e = expr_or st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT name -> advance st; Expr.Col name
+  | Lexer.INT _ | Lexer.FLOAT _ | Lexer.STRING _ | Lexer.MINUS
+  | Lexer.KW ("TRUE" | "FALSE" | "NULL" | "DATE") ->
+    Expr.Lit (literal st)
+  | tok -> fail "expected expression, found %s" (Lexer.token_to_string tok)
+
+(* statements *)
+
+let comma_sep st parse_item =
+  let rec loop acc =
+    let item = parse_item st in
+    if accept st Lexer.COMMA then loop (item :: acc) else List.rev (item :: acc)
+  in
+  loop []
+
+let where_clause st = if accept_kw st "WHERE" then Some (expr_or st) else None
+
+let agg_fn_of_kw = function
+  | "COUNT" -> Some Ast.Count
+  | "SUM" -> Some Ast.Sum
+  | "AVG" -> Some Ast.Avg
+  | "MIN" -> Some Ast.Min
+  | "MAX" -> Some Ast.Max
+  | _ -> None
+
+let select_item st =
+  let agg =
+    match peek st with
+    | Lexer.KW kw -> agg_fn_of_kw kw
+    | _ -> None
+  in
+  match agg with
+  | Some fn ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let item =
+      if fn = Ast.Count && peek st = Lexer.STAR then begin
+        advance st;
+        expect st Lexer.RPAREN;
+        Ast.Agg (Ast.Count_star, None, None)
+      end
+      else begin
+        let e = expr_or st in
+        expect st Lexer.RPAREN;
+        Ast.Agg (fn, Some e, None)
+      end
+    in
+    let alias = if accept_kw st "AS" then Some (ident st) else None in
+    (match item, alias with
+     | Ast.Agg (fn, e, None), alias -> Ast.Agg (fn, e, alias)
+     | item, _ -> item)
+  | None ->
+    let e = expr_or st in
+    let alias = if accept_kw st "AS" then Some (ident st) else None in
+    Ast.Item (e, alias)
+
+let select_stmt st =
+  expect_kw st "SELECT";
+  let items =
+    if accept st Lexer.STAR then [ Ast.Star ] else comma_sep st select_item
+  in
+  expect_kw st "FROM";
+  let table = ident st in
+  let where = where_clause st in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      comma_sep st ident
+    end
+    else []
+  in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      comma_sep st ident
+    end
+    else []
+  in
+  Ast.Select { items; table; where; group_by; order_by }
+
+let insert_stmt st =
+  expect_kw st "INSERT";
+  expect_kw st "INTO";
+  let table = ident st in
+  let columns =
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let cols = comma_sep st ident in
+      expect st Lexer.RPAREN;
+      Some cols
+    end
+    else None
+  in
+  expect_kw st "VALUES";
+  let row st =
+    expect st Lexer.LPAREN;
+    let vs = comma_sep st literal in
+    expect st Lexer.RPAREN;
+    vs
+  in
+  let rows = comma_sep st row in
+  Ast.Insert { table; columns; rows }
+
+let update_stmt st =
+  expect_kw st "UPDATE";
+  let table = ident st in
+  expect_kw st "SET";
+  let sets =
+    comma_sep st (fun st ->
+        let col = ident st in
+        expect st Lexer.EQ;
+        let e = expr_or st in
+        (col, e))
+  in
+  let where = where_clause st in
+  Ast.Update { table; sets; where }
+
+let delete_stmt st =
+  expect_kw st "DELETE";
+  expect_kw st "FROM";
+  let table = ident st in
+  let where = where_clause st in
+  Ast.Delete { table; where }
+
+let column_def st =
+  let col_name = ident st in
+  let col_ty =
+    match peek st with
+    | Lexer.KW "INT" -> advance st; Value.Tint
+    | Lexer.KW "FLOAT" -> advance st; Value.Tfloat
+    | Lexer.KW "BOOL" -> advance st; Value.Tbool
+    | Lexer.KW "DATE" -> advance st; Value.Tdate
+    | Lexer.KW "STRING" -> (
+        advance st;
+        expect st Lexer.LPAREN;
+        match peek st with
+        | Lexer.INT n when n > 0 ->
+          advance st;
+          expect st Lexer.RPAREN;
+          Value.Tstring n
+        | tok -> fail "expected positive string length, found %s" (Lexer.token_to_string tok))
+    | tok -> fail "expected column type, found %s" (Lexer.token_to_string tok)
+  in
+  let col_nullable =
+    if accept_kw st "NOT" then begin
+      expect_kw st "NULL";
+      false
+    end
+    else true
+  in
+  let col_key =
+    if accept_kw st "PRIMARY" then begin
+      expect_kw st "KEY";
+      true
+    end
+    else accept_kw st "KEY"
+  in
+  { Ast.col_name; col_ty; col_nullable; col_key }
+
+let create_stmt st =
+  expect_kw st "CREATE";
+  expect_kw st "TABLE";
+  let table = ident st in
+  expect st Lexer.LPAREN;
+  let columns = comma_sep st column_def in
+  expect st Lexer.RPAREN;
+  Ast.Create_table { table; columns }
+
+let statement st =
+  match peek st with
+  | Lexer.KW "SELECT" -> select_stmt st
+  | Lexer.KW "INSERT" -> insert_stmt st
+  | Lexer.KW "UPDATE" -> update_stmt st
+  | Lexer.KW "DELETE" -> delete_stmt st
+  | Lexer.KW "CREATE" -> create_stmt st
+  | tok -> fail "expected statement, found %s" (Lexer.token_to_string tok)
+
+let finish st =
+  ignore (accept st Lexer.SEMI : bool);
+  match peek st with
+  | Lexer.EOF -> ()
+  | tok -> fail "trailing input: %s" (Lexer.token_to_string tok)
+
+let run input parse_fn =
+  match Lexer.tokenize input with
+  | Error e -> Error e
+  | Ok tokens -> (
+      let st = { tokens = Array.of_list tokens; pos = 0 } in
+      try
+        let result = parse_fn st in
+        finish st;
+        Ok result
+      with Parse_error msg -> Error msg)
+
+let parse input = run input statement
+let parse_expr input = run input expr_or

@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the SQL dialect.
+
+    Grammar (keywords case-insensitive):
+
+    {v
+    stmt    := SELECT items FROM ident [WHERE expr] [ORDER BY ident {, ident}] [;]
+             | INSERT INTO ident [( ident {, ident} )] VALUES row {, row} [;]
+             | UPDATE ident SET ident = expr {, ident = expr} [WHERE expr] [;]
+             | DELETE FROM ident [WHERE expr] [;]
+             | CREATE TABLE ident ( coldef {, coldef} ) [;]
+    row     := ( literal {, literal} )
+    coldef  := ident type [NOT NULL] [PRIMARY KEY | KEY]
+    type    := INT | FLOAT | BOOL | DATE | STRING ( int )
+    expr    := or-expr with AND/OR/NOT, comparisons, IS [NOT] NULL,
+               + - * /, parentheses, column refs, literals
+    literal := int | float | 'string' | TRUE | FALSE | NULL | DATE int
+               (numeric literals may be negated)
+    v} *)
+
+val parse : string -> (Ast.stmt, string) result
+
+val parse_expr : string -> (Dw_relation.Expr.t, string) result
+(** Parse a standalone expression (used by tests). *)

@@ -1,0 +1,81 @@
+module Expr = Dw_relation.Expr
+module Value = Dw_relation.Value
+
+let agg_name = function
+  | Ast.Count_star | Ast.Count -> "COUNT"
+  | Ast.Sum -> "SUM"
+  | Ast.Avg -> "AVG"
+  | Ast.Min -> "MIN"
+  | Ast.Max -> "MAX"
+
+let item_to_string = function
+  | Ast.Star -> "*"
+  | Ast.Item (e, None) -> Expr.to_string e
+  | Ast.Item (e, Some alias) -> Expr.to_string e ^ " AS " ^ alias
+  | Ast.Agg (fn, e, alias) ->
+    let body = match e with None -> "*" | Some e -> Expr.to_string e in
+    Printf.sprintf "%s(%s)%s" (agg_name fn) body
+      (match alias with None -> "" | Some a -> " AS " ^ a)
+
+let ty_to_sql = function
+  | Value.Tint -> "INT"
+  | Value.Tfloat -> "FLOAT"
+  | Value.Tbool -> "BOOL"
+  | Value.Tdate -> "DATE"
+  | Value.Tstring n -> Printf.sprintf "STRING(%d)" n
+
+let column_def_to_string (c : Ast.column_def) =
+  Printf.sprintf "%s %s%s%s" c.Ast.col_name (ty_to_sql c.Ast.col_ty)
+    (if c.Ast.col_nullable then "" else " NOT NULL")
+    (if c.Ast.col_key then " KEY" else "")
+
+let to_string = function
+  | Ast.Select { items; table; where; group_by; order_by } ->
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf "SELECT ";
+    Buffer.add_string buf (String.concat ", " (List.map item_to_string items));
+    Buffer.add_string buf " FROM ";
+    Buffer.add_string buf table;
+    (match where with
+     | Some e ->
+       Buffer.add_string buf " WHERE ";
+       Buffer.add_string buf (Expr.to_string e)
+     | None -> ());
+    if group_by <> [] then begin
+      Buffer.add_string buf " GROUP BY ";
+      Buffer.add_string buf (String.concat ", " group_by)
+    end;
+    if order_by <> [] then begin
+      Buffer.add_string buf " ORDER BY ";
+      Buffer.add_string buf (String.concat ", " order_by)
+    end;
+    Buffer.contents buf
+  | Ast.Insert { table; columns; rows } ->
+    let cols =
+      match columns with
+      | None -> ""
+      | Some cs -> " (" ^ String.concat ", " cs ^ ")"
+    in
+    let row vs = "(" ^ String.concat ", " (List.map Value.to_sql_literal vs) ^ ")" in
+    Printf.sprintf "INSERT INTO %s%s VALUES %s" table cols
+      (String.concat ", " (List.map row rows))
+  | Ast.Update { table; sets; where } ->
+    let set_str =
+      String.concat ", "
+        (List.map (fun (c, e) -> Printf.sprintf "%s = %s" c (Expr.to_string e)) sets)
+    in
+    let where_str =
+      match where with Some e -> " WHERE " ^ Expr.to_string e | None -> ""
+    in
+    Printf.sprintf "UPDATE %s SET %s%s" table set_str where_str
+  | Ast.Delete { table; where } ->
+    let where_str =
+      match where with Some e -> " WHERE " ^ Expr.to_string e | None -> ""
+    in
+    Printf.sprintf "DELETE FROM %s%s" table where_str
+  | Ast.Create_table { table; columns } ->
+    Printf.sprintf "CREATE TABLE %s (%s)" table
+      (String.concat ", " (List.map column_def_to_string columns))
+
+let pp ppf stmt = Format.pp_print_string ppf (to_string stmt)
+let size_bytes stmt = String.length (to_string stmt)

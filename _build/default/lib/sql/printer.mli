@@ -1,0 +1,12 @@
+(** SQL pretty-printer.
+
+    [parse (to_string s)] equals [s] for every valid statement (property
+    tested).  {!size_bytes} is the wire size of an Op-Delta: the paper's
+    "the SQL statement itself is already an Op-Delta in the size of about
+    70 bytes". *)
+
+val to_string : Ast.stmt -> string
+val pp : Format.formatter -> Ast.stmt -> unit
+
+val size_bytes : Ast.stmt -> int
+(** [String.length (to_string stmt)]. *)

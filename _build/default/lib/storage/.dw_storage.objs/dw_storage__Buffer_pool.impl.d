@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.ml: Array Bytes Dw_util Hashtbl Page Printf Vfs

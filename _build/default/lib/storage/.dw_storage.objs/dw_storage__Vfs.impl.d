@@ -1,0 +1,1 @@
+lib/storage/vfs.ml: Array Bytes Dw_util Filename Hashtbl List Option Printf String Sys Unix

@@ -1,0 +1,1 @@
+lib/storage/vfs.mli: Dw_util

@@ -1,0 +1,128 @@
+module Metrics = Dw_util.Metrics
+
+type frame = {
+  mutable key : string * int;  (* file name, page number *)
+  data : bytes;
+  mutable dirty : bool;
+  mutable last_used : int;  (* LRU stamp *)
+  mutable valid : bool;
+  mutable file : Vfs.file option;
+}
+
+type t = {
+  vfs : Vfs.t;
+  frames : frame array;
+  table : (string * int, int) Hashtbl.t;  (* key -> frame index *)
+  mutable tick : int;
+}
+
+let create ~vfs ~capacity =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  {
+    vfs;
+    frames =
+      Array.init capacity (fun _ ->
+          { key = ("", -1); data = Bytes.create Page.size; dirty = false; last_used = 0;
+            valid = false; file = None });
+    table = Hashtbl.create (capacity * 2);
+    tick = 0;
+  }
+
+let vfs t = t.vfs
+
+let page_count _t file = Vfs.size file / Page.size
+
+let metrics t = Vfs.metrics t.vfs
+
+let write_back t frame =
+  match frame.file with
+  | Some file when frame.dirty ->
+    let _, pno = frame.key in
+    Vfs.write_at file ~off:(pno * Page.size) frame.data;
+    frame.dirty <- false;
+    Metrics.incr (metrics t) "pool.writebacks"
+  | Some _ | None -> ()
+
+let victim t =
+  (* least-recently-used valid or any invalid frame *)
+  let best = ref 0 in
+  let best_score = ref max_int in
+  Array.iteri
+    (fun i f ->
+      let score = if f.valid then f.last_used else -1 in
+      if score < !best_score then begin
+        best := i;
+        best_score := score
+      end)
+    t.frames;
+  !best
+
+let touch t frame =
+  t.tick <- t.tick + 1;
+  frame.last_used <- t.tick
+
+let load t file pno =
+  let key = (Vfs.name file, pno) in
+  match Hashtbl.find_opt t.table key with
+  | Some idx ->
+    Metrics.incr (metrics t) "pool.hits";
+    let frame = t.frames.(idx) in
+    touch t frame;
+    frame
+  | None ->
+    Metrics.incr (metrics t) "pool.misses";
+    let idx = victim t in
+    let frame = t.frames.(idx) in
+    if frame.valid then begin
+      write_back t frame;
+      Hashtbl.remove t.table frame.key;
+      Metrics.incr (metrics t) "pool.evictions"
+    end;
+    let data = Vfs.read_at file ~off:(pno * Page.size) ~len:Page.size in
+    Bytes.blit data 0 frame.data 0 Page.size;
+    frame.key <- key;
+    frame.valid <- true;
+    frame.dirty <- false;
+    frame.file <- Some file;
+    Hashtbl.replace t.table key idx;
+    touch t frame;
+    frame
+
+let with_page t file pno ~dirty f =
+  if pno < 0 || pno >= page_count t file then
+    invalid_arg
+      (Printf.sprintf "Buffer_pool.with_page: page %d outside file %s (%d pages)" pno
+         (Vfs.name file) (page_count t file));
+  let frame = load t file pno in
+  if dirty then frame.dirty <- true;
+  f frame.data
+
+let append_page t file init =
+  let pno = page_count t file in
+  (* materialise the page on disk so page_count stays consistent *)
+  Vfs.write_at file ~off:(pno * Page.size) (Bytes.make Page.size '\000');
+  let frame = load t file pno in
+  frame.dirty <- true;
+  init frame.data;
+  pno
+
+let flush_file t file =
+  let fname = Vfs.name file in
+  Array.iter
+    (fun frame ->
+      if frame.valid && fst frame.key = fname then write_back t frame)
+    t.frames
+
+let flush_all t = Array.iter (fun frame -> if frame.valid then write_back t frame) t.frames
+
+let invalidate_file t file =
+  let fname = Vfs.name file in
+  Array.iter
+    (fun frame ->
+      if frame.valid && fst frame.key = fname then begin
+        Hashtbl.remove t.table frame.key;
+        frame.valid <- false;
+        frame.dirty <- false;
+        frame.file <- None
+      end)
+    t.frames

@@ -1,0 +1,36 @@
+(** Buffer pool: a fixed number of page frames cached over a {!Vfs.t}, with
+    LRU eviction and dirty-page write-back.
+
+    Counter names (in the pool's own metrics registry, which is the
+    Vfs registry): [pool.hits], [pool.misses], [pool.evictions],
+    [pool.writebacks]. *)
+
+type t
+
+val create : vfs:Vfs.t -> capacity:int -> t
+(** [capacity] is the number of frames (>= 1). *)
+
+val vfs : t -> Vfs.t
+
+val page_count : t -> Vfs.file -> int
+(** Number of pages currently in the file (size / page size). *)
+
+val with_page : t -> Vfs.file -> int -> dirty:bool -> (bytes -> 'a) -> 'a
+(** [with_page t file pno ~dirty f] runs [f] on the frame holding page
+    [pno] of [file], faulting it in if needed.  If [dirty] the frame is
+    marked dirty and written back on eviction or {!flush}.  The bytes must
+    not be retained after [f] returns.  Raises [Invalid_argument] if [pno]
+    is outside the file. *)
+
+val append_page : t -> Vfs.file -> (bytes -> unit) -> int
+(** Extend the file by one zeroed page, run the initialiser on it in the
+    cache (marked dirty), and return its page number. *)
+
+val flush_file : t -> Vfs.file -> unit
+(** Write back all dirty frames belonging to the file. *)
+
+val flush_all : t -> unit
+
+val invalidate_file : t -> Vfs.file -> unit
+(** Drop all frames of the file without write-back (used after external
+    rewrites of the underlying file, e.g. recovery). *)

@@ -1,0 +1,159 @@
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Codec = Dw_relation.Codec
+
+type rid = { page : int; slot : int }
+
+let rid_compare a b =
+  let c = Int.compare a.page b.page in
+  if c <> 0 then c else Int.compare a.slot b.slot
+
+let rid_to_string r = Printf.sprintf "(%d,%d)" r.page r.slot
+
+type t = {
+  pool : Buffer_pool.t;
+  file : Vfs.file;
+  schema : Schema.t;
+  width : int;
+  mutable free_pages : int list;  (* pages known to have a free slot *)
+}
+
+let create pool file schema =
+  { pool; file; schema; width = Schema.record_size schema; free_pages = [] }
+
+let attach pool file schema =
+  let t = { pool; file; schema; width = Schema.record_size schema; free_pages = [] } in
+  (* rebuild the free-page hint list *)
+  let pages = Buffer_pool.page_count pool file in
+  for pno = pages - 1 downto 0 do
+    let free =
+      Buffer_pool.with_page pool file pno ~dirty:false (fun page ->
+          Page.used_count page < Page.capacity page)
+    in
+    if free then t.free_pages <- pno :: t.free_pages
+  done;
+  t
+
+let schema t = t.schema
+let file t = t.file
+let pool t = t.pool
+let page_count t = Buffer_pool.page_count t.pool t.file
+
+let insert_encoded t record =
+  let rec try_free () =
+    match t.free_pages with
+    | [] ->
+      let pno =
+        Buffer_pool.append_page t.pool t.file (fun page -> Page.init page ~record_width:t.width)
+      in
+      let slot =
+        Buffer_pool.with_page t.pool t.file pno ~dirty:true (fun page ->
+            match Page.insert page record with
+            | Some slot ->
+              if Page.used_count page < Page.capacity page then
+                t.free_pages <- pno :: t.free_pages;
+              slot
+            | None -> assert false)
+      in
+      { page = pno; slot }
+    | pno :: rest -> (
+        match
+          Buffer_pool.with_page t.pool t.file pno ~dirty:true (fun page -> Page.insert page record)
+        with
+        | Some slot ->
+          let full =
+            Buffer_pool.with_page t.pool t.file pno ~dirty:false (fun page ->
+                Page.used_count page = Page.capacity page)
+          in
+          if full then t.free_pages <- rest;
+          { page = pno; slot }
+        | None ->
+          t.free_pages <- rest;
+          try_free ())
+  in
+  try_free ()
+
+let insert t tuple =
+  Tuple.validate_exn t.schema tuple;
+  insert_encoded t (Codec.encode_binary t.schema tuple)
+
+let insert_raw t record =
+  if Bytes.length record <> t.width then
+    invalid_arg
+      (Printf.sprintf "Heap_file.insert_raw: record is %d bytes, expected %d"
+         (Bytes.length record) t.width);
+  insert_encoded t record
+
+let check_rid t rid =
+  if rid.page < 0 || rid.page >= page_count t then
+    invalid_arg ("Heap_file: bad rid " ^ rid_to_string rid)
+
+let get t rid =
+  check_rid t rid;
+  Buffer_pool.with_page t.pool t.file rid.page ~dirty:false (fun page ->
+      let record = Page.read_slot page rid.slot in
+      Codec.decode_binary t.schema record 0)
+
+let update t rid tuple =
+  check_rid t rid;
+  Tuple.validate_exn t.schema tuple;
+  let record = Codec.encode_binary t.schema tuple in
+  Buffer_pool.with_page t.pool t.file rid.page ~dirty:true (fun page ->
+      Page.write_slot page rid.slot record)
+
+let delete t rid =
+  check_rid t rid;
+  Buffer_pool.with_page t.pool t.file rid.page ~dirty:true (fun page -> Page.delete page rid.slot);
+  if not (List.mem rid.page t.free_pages) then t.free_pages <- rid.page :: t.free_pages
+
+let iter t f =
+  let pages = page_count t in
+  for pno = 0 to pages - 1 do
+    (* copy out the used slots, then decode outside the page callback so
+       [f] may itself touch the pool *)
+    let records = ref [] in
+    Buffer_pool.with_page t.pool t.file pno ~dirty:false (fun page ->
+        Page.iter_used page (fun slot record -> records := (slot, record) :: !records));
+    List.iter
+      (fun (slot, record) -> f { page = pno; slot } (Codec.decode_binary t.schema record 0))
+      (List.rev !records)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun rid tuple -> acc := f !acc rid tuple);
+  !acc
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc rid tuple -> (rid, tuple) :: acc))
+let count t = fold t ~init:0 ~f:(fun acc _ _ -> acc + 1)
+let flush t = Buffer_pool.flush_file t.pool t.file
+
+let ensure_page t pno =
+  while page_count t <= pno do
+    let new_pno =
+      Buffer_pool.append_page t.pool t.file (fun page -> Page.init page ~record_width:t.width)
+    in
+    t.free_pages <- new_pno :: t.free_pages
+  done
+
+let force_at t rid contents =
+  (match contents with
+   | Some record when Bytes.length record <> t.width ->
+     invalid_arg "Heap_file.force_at: width mismatch"
+   | Some _ | None -> ());
+  (match contents with Some _ -> ensure_page t rid.page | None -> ());
+  if rid.page < page_count t then
+    Buffer_pool.with_page t.pool t.file rid.page ~dirty:true (fun page ->
+        let used = Page.is_used page rid.slot in
+        match contents, used with
+        | Some record, true -> Page.write_slot page rid.slot record
+        | Some record, false ->
+          Page.force_use page rid.slot;
+          Page.write_slot page rid.slot record
+        | None, true -> Page.delete page rid.slot
+        | None, false -> ())
+
+let exists_at t rid =
+  if rid.page < 0 || rid.page >= page_count t then false
+  else Buffer_pool.with_page t.pool t.file rid.page ~dirty:false (fun page ->
+      rid.slot >= 0 && rid.slot < Page.capacity page && Page.is_used page rid.slot)

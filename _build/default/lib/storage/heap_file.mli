@@ -1,0 +1,58 @@
+(** Heap files: unordered collections of fixed-width records, one per
+    table, stored in pages through the buffer pool.
+
+    Rows are addressed by {!rid} (page number, slot).  RIDs are stable
+    across updates (fixed-width update-in-place) but are reused after
+    deletion. *)
+
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+
+type rid = { page : int; slot : int }
+
+val rid_compare : rid -> rid -> int
+val rid_to_string : rid -> string
+
+type t
+
+val create : Buffer_pool.t -> Vfs.file -> Schema.t -> t
+(** Use on a fresh (empty) file. *)
+
+val attach : Buffer_pool.t -> Vfs.file -> Schema.t -> t
+(** Re-open a heap file previously created with the same schema. *)
+
+val schema : t -> Schema.t
+val file : t -> Vfs.file
+val pool : t -> Buffer_pool.t
+
+val insert : t -> Tuple.t -> rid
+(** Validates the tuple; appends a page when no free slot exists. *)
+
+val insert_raw : t -> bytes -> rid
+(** Insert an already-encoded record (the ASCII loader's direct-block
+    path).  The record must be [Schema.record_size] bytes. *)
+
+val get : t -> rid -> Tuple.t
+(** Raises [Invalid_argument] for a free or out-of-range rid. *)
+
+val update : t -> rid -> Tuple.t -> unit
+val delete : t -> rid -> unit
+
+val iter : t -> (rid -> Tuple.t -> unit) -> unit
+(** Full scan in page order. *)
+
+val fold : t -> init:'a -> f:('a -> rid -> Tuple.t -> 'a) -> 'a
+val to_list : t -> (rid * Tuple.t) list
+val count : t -> int
+(** Number of live records (scans). *)
+
+val page_count : t -> int
+val flush : t -> unit
+
+val force_at : t -> rid -> bytes option -> unit
+(** Recovery-only: make the slot state exactly [Some record] (occupied with
+    these bytes) or [None] (free), regardless of its current state,
+    extending the file with formatted pages as needed.  Idempotent. *)
+
+val exists_at : t -> rid -> bool
+(** Is the slot currently occupied?  [false] for out-of-range rids. *)

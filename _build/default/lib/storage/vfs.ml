@@ -1,0 +1,223 @@
+module Metrics = Dw_util.Metrics
+
+(* growable byte store for the in-memory backend: random-access reads and
+   writes without copying the whole file *)
+module Mem_file = struct
+  type t = { mutable data : Bytes.t; mutable len : int }
+
+  let create () = { data = Bytes.create 4096; len = 0 }
+
+  let ensure t capacity =
+    if Bytes.length t.data < capacity then begin
+      let cap = ref (max 4096 (Bytes.length t.data)) in
+      while !cap < capacity do
+        cap := !cap * 2
+      done;
+      let data = Bytes.create !cap in
+      Bytes.blit t.data 0 data 0 t.len;
+      t.data <- data
+    end
+
+  let read t ~off ~len =
+    let out = Bytes.create len in
+    Bytes.blit t.data off out 0 len;
+    out
+
+  let write t ~off src =
+    let len = Bytes.length src in
+    ensure t (off + len);
+    Bytes.blit src 0 t.data off len;
+    if off + len > t.len then t.len <- off + len
+
+  let truncate t size = t.len <- size
+end
+
+type backend =
+  | Mem of (string, Mem_file.t) Hashtbl.t
+  | Disk of string  (* directory *)
+
+type t = {
+  backend : backend;
+  metrics : Metrics.t;
+  open_files : (string, int) Hashtbl.t;  (* name -> refcount *)
+  op_delay : float;  (* simulated per-operation latency, seconds *)
+}
+
+type file = {
+  vfs : t;
+  fname : string;
+  mutable fd : Unix.file_descr option;  (* Disk backend only *)
+  mutable closed : bool;
+}
+
+let in_memory ?metrics ?(op_delay = 0.0) () =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  { backend = Mem (Hashtbl.create 16); metrics; open_files = Hashtbl.create 16; op_delay }
+
+let on_disk ?metrics dir =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  { backend = Disk dir; metrics; open_files = Hashtbl.create 16; op_delay = 0.0 }
+
+let metrics t = t.metrics
+
+let check_name name =
+  if name = "" || String.contains name '/' then invalid_arg ("Vfs: bad file name " ^ name)
+
+let track_open t name =
+  let n = match Hashtbl.find_opt t.open_files name with Some n -> n | None -> 0 in
+  Hashtbl.replace t.open_files name (n + 1)
+
+let track_close t name =
+  match Hashtbl.find_opt t.open_files name with
+  | Some 1 -> Hashtbl.remove t.open_files name
+  | Some n -> Hashtbl.replace t.open_files name (n - 1)
+  | None -> ()
+
+let path dir name = Filename.concat dir name
+
+let create t name =
+  check_name name;
+  (match t.backend with
+   | Mem files -> Hashtbl.replace files name (Mem_file.create ())
+   | Disk dir ->
+     let fd = Unix.openfile (path dir name) [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+     Unix.close fd);
+  track_open t name;
+  match t.backend with
+  | Mem _ -> { vfs = t; fname = name; fd = None; closed = false }
+  | Disk dir ->
+    let fd = Unix.openfile (path dir name) [ Unix.O_RDWR ] 0o644 in
+    { vfs = t; fname = name; fd = Some fd; closed = false }
+
+let exists t name =
+  check_name name;
+  match t.backend with
+  | Mem files -> Hashtbl.mem files name
+  | Disk dir -> Sys.file_exists (path dir name)
+
+let open_existing t name =
+  check_name name;
+  if not (exists t name) then raise Not_found;
+  track_open t name;
+  match t.backend with
+  | Mem _ -> { vfs = t; fname = name; fd = None; closed = false }
+  | Disk dir ->
+    let fd = Unix.openfile (path dir name) [ Unix.O_RDWR ] 0o644 in
+    { vfs = t; fname = name; fd = Some fd; closed = false }
+
+let open_or_create t name = if exists t name then open_existing t name else create t name
+
+let delete t name =
+  check_name name;
+  if Hashtbl.mem t.open_files name then invalid_arg ("Vfs.delete: file is open: " ^ name);
+  match t.backend with
+  | Mem files -> Hashtbl.remove files name
+  | Disk dir -> if Sys.file_exists (path dir name) then Sys.remove (path dir name)
+
+let list_files t =
+  match t.backend with
+  | Mem files -> Hashtbl.fold (fun k _ acc -> k :: acc) files [] |> List.sort String.compare
+  | Disk dir -> Sys.readdir dir |> Array.to_list |> List.sort String.compare
+
+let name f = f.fname
+
+let mem_file f =
+  match f.vfs.backend with
+  | Mem files ->
+    (match Hashtbl.find_opt files f.fname with
+     | Some m -> m
+     | None -> raise Not_found)
+  | Disk _ -> assert false
+
+let size f =
+  if f.closed then invalid_arg "Vfs.size: closed file";
+  match f.vfs.backend with
+  | Mem _ -> (mem_file f).Mem_file.len
+  | Disk _ ->
+    (match f.fd with
+     | Some fd -> (Unix.fstat fd).Unix.st_size
+     | None -> assert false)
+
+let simulate_latency f = if f.vfs.op_delay > 0.0 then Unix.sleepf f.vfs.op_delay
+
+let count_read f len =
+  simulate_latency f;
+  Metrics.incr f.vfs.metrics "vfs.reads";
+  Metrics.add f.vfs.metrics "vfs.read_bytes" len
+
+let count_write f len =
+  simulate_latency f;
+  Metrics.incr f.vfs.metrics "vfs.writes";
+  Metrics.add f.vfs.metrics "vfs.write_bytes" len
+
+let read_at f ~off ~len =
+  if f.closed then invalid_arg "Vfs.read_at: closed file";
+  if off < 0 || len < 0 || off + len > size f then
+    invalid_arg
+      (Printf.sprintf "Vfs.read_at %s: range [%d, %d) beyond size %d" f.fname off (off + len)
+         (size f));
+  count_read f len;
+  match f.vfs.backend with
+  | Mem _ -> Mem_file.read (mem_file f) ~off ~len
+  | Disk _ ->
+    let fd = Option.get f.fd in
+    let buf = Bytes.create len in
+    ignore (Unix.lseek fd off Unix.SEEK_SET);
+    let rec go pos remaining =
+      if remaining > 0 then begin
+        let n = Unix.read fd buf pos remaining in
+        if n = 0 then invalid_arg "Vfs.read_at: unexpected EOF";
+        go (pos + n) (remaining - n)
+      end
+    in
+    go 0 len;
+    buf
+
+let write_at f ~off data =
+  if f.closed then invalid_arg "Vfs.write_at: closed file";
+  let len = Bytes.length data in
+  let sz = size f in
+  if off < 0 || off > sz then
+    invalid_arg (Printf.sprintf "Vfs.write_at %s: offset %d beyond size %d" f.fname off sz);
+  count_write f len;
+  match f.vfs.backend with
+  | Mem _ -> Mem_file.write (mem_file f) ~off data
+  | Disk _ ->
+    let fd = Option.get f.fd in
+    ignore (Unix.lseek fd off Unix.SEEK_SET);
+    let rec go pos remaining =
+      if remaining > 0 then begin
+        let n = Unix.write fd data pos remaining in
+        go (pos + n) (remaining - n)
+      end
+    in
+    go 0 len
+
+let append f data =
+  let off = size f in
+  write_at f ~off data;
+  off
+
+let fsync f =
+  if f.closed then invalid_arg "Vfs.fsync: closed file";
+  simulate_latency f;
+  Metrics.incr f.vfs.metrics "vfs.fsyncs";
+  match f.vfs.backend with
+  | Mem _ -> ()
+  | Disk _ -> Unix.fsync (Option.get f.fd)
+
+let close f =
+  if not f.closed then begin
+    f.closed <- true;
+    track_close f.vfs f.fname;
+    match f.fd with Some fd -> Unix.close fd | None -> ()
+  end
+
+let truncate f new_size =
+  if f.closed then invalid_arg "Vfs.truncate: closed file";
+  let sz = size f in
+  if new_size < 0 || new_size > sz then invalid_arg "Vfs.truncate: bad size";
+  match f.vfs.backend with
+  | Mem _ -> Mem_file.truncate (mem_file f) new_size
+  | Disk _ -> Unix.ftruncate (Option.get f.fd) new_size

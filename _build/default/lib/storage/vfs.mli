@@ -1,0 +1,55 @@
+(** Virtual file system.
+
+    Every byte the engine moves to or from "disk" goes through a [Vfs.t],
+    which counts operations in a {!Dw_util.Metrics.t} registry.  Two
+    backends exist: an in-memory one (deterministic, fast, used by tests
+    and benches) and a real-directory one (used when persistence across
+    processes matters).  Counter names: [vfs.reads], [vfs.writes],
+    [vfs.read_bytes], [vfs.write_bytes], [vfs.fsyncs]. *)
+
+type t
+type file
+
+val in_memory : ?metrics:Dw_util.Metrics.t -> ?op_delay:float -> unit -> t
+(** Fresh empty in-memory file system.  [op_delay] (seconds, default 0)
+    is added to every read/write/fsync — used to simulate a remote or
+    slow device (e.g. the paper's staging database across a 10 Mb/s LAN,
+    Section 3.1.3). *)
+
+val on_disk : ?metrics:Dw_util.Metrics.t -> string -> t
+(** [on_disk dir] is backed by directory [dir] (created if absent).  File
+    names must not contain path separators. *)
+
+val metrics : t -> Dw_util.Metrics.t
+
+val create : t -> string -> file
+(** Create (truncate if it exists) and open. *)
+
+val open_existing : t -> string -> file
+(** Raises [Not_found] if absent. *)
+
+val open_or_create : t -> string -> file
+
+val exists : t -> string -> bool
+val delete : t -> string -> unit
+(** No-op if absent; raises [Invalid_argument] if the file is open. *)
+
+val list_files : t -> string list
+(** Sorted names. *)
+
+val name : file -> string
+val size : file -> int
+
+val read_at : file -> off:int -> len:int -> bytes
+(** Raises [Invalid_argument] when the range extends past end of file. *)
+
+val write_at : file -> off:int -> bytes -> unit
+(** Extends the file if needed ([off] at most [size]). *)
+
+val append : file -> bytes -> int
+(** Returns the offset the data was written at. *)
+
+val fsync : file -> unit
+val close : file -> unit
+val truncate : file -> int -> unit
+(** Shrink to the given size. *)

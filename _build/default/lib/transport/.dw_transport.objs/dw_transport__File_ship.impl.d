@@ -1,0 +1,1 @@
+lib/transport/file_ship.ml: Dw_storage Printf

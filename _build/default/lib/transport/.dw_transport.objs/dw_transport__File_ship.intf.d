@@ -1,0 +1,1 @@
+lib/transport/file_ship.mli: Dw_storage

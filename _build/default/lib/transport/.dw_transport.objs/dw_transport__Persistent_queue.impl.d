@@ -1,0 +1,1 @@
+lib/transport/persistent_queue.ml: Bytes Char Dw_storage Int32 Int64 String

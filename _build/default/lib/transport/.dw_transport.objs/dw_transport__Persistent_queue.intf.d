@@ -1,0 +1,1 @@
+lib/transport/persistent_queue.mli: Dw_storage

@@ -1,0 +1,25 @@
+module Vfs = Dw_storage.Vfs
+
+type stats = { bytes : int; chunks : int }
+
+let ship ?(chunk_size = 64 * 1024) ~src ~src_name ~dst ~dst_name () =
+  if chunk_size <= 0 then invalid_arg "File_ship.ship: chunk_size <= 0";
+  match Vfs.open_existing src src_name with
+  | exception Not_found -> Error (Printf.sprintf "no such file %s" src_name)
+  | src_file ->
+    let out = Vfs.create dst dst_name in
+    let total = Vfs.size src_file in
+    let rec go off chunks =
+      if off >= total then chunks
+      else begin
+        let len = min chunk_size (total - off) in
+        let data = Vfs.read_at src_file ~off ~len in
+        ignore (Vfs.append out data : int);
+        go (off + len) (chunks + 1)
+      end
+    in
+    let chunks = go 0 0 in
+    Vfs.fsync out;
+    Vfs.close out;
+    Vfs.close src_file;
+    Ok { bytes = total; chunks }

@@ -1,0 +1,23 @@
+(** File shipping between a source system and the warehouse/staging area
+    (the paper's "ftp" transport option).
+
+    Copies a file across {!Dw_storage.Vfs.t} instances in bounded chunks,
+    counting bytes.  An optional per-chunk latency cost feeds the
+    simulated clock when transport time matters to an experiment. *)
+
+module Vfs = Dw_storage.Vfs
+
+type stats = {
+  bytes : int;
+  chunks : int;
+}
+
+val ship :
+  ?chunk_size:int ->  (* default 64 KiB *)
+  src:Vfs.t ->
+  src_name:string ->
+  dst:Vfs.t ->
+  dst_name:string ->
+  unit ->
+  (stats, string) result
+(** Overwrites [dst_name]. *)

@@ -1,0 +1,103 @@
+module Vfs = Dw_storage.Vfs
+
+(* frame: [u32 len][u32 fnv1a][payload] *)
+
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF) s;
+  !h
+
+type t = {
+  log : Vfs.file;
+  offset_file : Vfs.file;
+  mutable read_off : int;   (* offset of the oldest unacked frame *)
+  mutable peeked : (string * int) option;  (* payload, next offset *)
+  mutable pending : int;
+  mutable enqueued : int;
+}
+
+let frame payload =
+  let len = String.length payload in
+  let out = Bytes.create (8 + len) in
+  Bytes.set_int32_le out 0 (Int32.of_int len);
+  Bytes.set_int32_le out 4 (Int32.of_int (fnv1a payload));
+  Bytes.blit_string payload 0 out 8 len;
+  out
+
+let read_frame log off =
+  let size = Vfs.size log in
+  if off + 8 > size then None
+  else begin
+    let header = Vfs.read_at log ~off ~len:8 in
+    let len = Int32.to_int (Bytes.get_int32_le header 0) in
+    let csum = Int32.to_int (Bytes.get_int32_le header 4) land 0xFFFFFFFF in
+    if len < 0 || off + 8 + len > size then None
+    else
+      let payload = Bytes.to_string (Vfs.read_at log ~off:(off + 8) ~len) in
+      if fnv1a payload <> csum then None else Some (payload, off + 8 + len)
+  end
+
+let count_from log off =
+  let rec go off n total =
+    match read_frame log off with
+    | None -> (n, total)
+    | Some (_, next) -> go next (n + 1) (total + 1)
+  in
+  go off 0 0
+
+let open_ vfs ~name =
+  let log = Vfs.open_or_create vfs (name ^ ".q") in
+  let offset_file = Vfs.open_or_create vfs (name ^ ".q.off") in
+  let read_off =
+    if Vfs.size offset_file >= 8 then
+      Int64.to_int (Bytes.get_int64_le (Vfs.read_at offset_file ~off:0 ~len:8) 0)
+    else 0
+  in
+  let pending, _ = count_from log read_off in
+  let enqueued_before, _ = count_from log 0 in
+  { log; offset_file; read_off; peeked = None; pending; enqueued = enqueued_before }
+
+let enqueue t payload =
+  ignore (Vfs.append t.log (frame payload) : int);
+  Vfs.fsync t.log;
+  t.pending <- t.pending + 1;
+  t.enqueued <- t.enqueued + 1
+
+let peek t =
+  match t.peeked with
+  | Some (payload, _) -> Some payload
+  | None -> (
+      match read_frame t.log t.read_off with
+      | None -> None
+      | Some (payload, next) ->
+        t.peeked <- Some (payload, next);
+        Some payload)
+
+let write_offset t off =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int off);
+  Vfs.write_at t.offset_file ~off:0 b;
+  Vfs.fsync t.offset_file
+
+let ack t =
+  match t.peeked with
+  | None -> (
+      (* allow ack directly after an un-peeked message? require peek *)
+      match read_frame t.log t.read_off with
+      | None -> invalid_arg "Persistent_queue.ack: queue is empty"
+      | Some (_, next) ->
+        t.read_off <- next;
+        write_offset t next;
+        t.pending <- t.pending - 1)
+  | Some (_, next) ->
+    t.peeked <- None;
+    t.read_off <- next;
+    write_offset t next;
+    t.pending <- t.pending - 1
+
+let pending t = t.pending
+let enqueued_total t = t.enqueued
+
+let close t =
+  Vfs.close t.log;
+  Vfs.close t.offset_file

@@ -1,0 +1,33 @@
+(** Persistent queue with transactional dequeue (the paper's "persistent
+    queues / fault tolerant logs" transport option).
+
+    Messages are appended to a checksummed log file; the consumer position
+    lives in a sidecar offset file that is only advanced by {!ack}.  After
+    a crash (or plain re-open) every enqueued-but-unacked message is
+    redelivered — at-least-once delivery, which is what a warehouse
+    integrator needs to never lose a delta batch. *)
+
+module Vfs = Dw_storage.Vfs
+
+type t
+
+val open_ : Vfs.t -> name:string -> t
+(** Creates the queue files if missing, otherwise recovers position. *)
+
+val enqueue : t -> string -> unit
+(** Durable once the call returns (fsync). *)
+
+val peek : t -> string option
+(** The oldest unacked message; [None] when drained. *)
+
+val ack : t -> unit
+(** Consume the message last returned by {!peek}.  Raises
+    [Invalid_argument] if there is nothing to ack. *)
+
+val pending : t -> int
+(** Number of unacked messages. *)
+
+val close : t -> unit
+
+val enqueued_total : t -> int
+(** Messages ever enqueued (including before a re-open). *)

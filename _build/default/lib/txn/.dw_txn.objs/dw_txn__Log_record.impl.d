@@ -1,0 +1,1 @@
+lib/txn/log_record.ml: Buffer Bytes Char Dw_storage Format Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/txn/recovery.ml: Dw_storage Format Hashtbl List Log_record Wal

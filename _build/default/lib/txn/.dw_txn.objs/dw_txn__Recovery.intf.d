@@ -1,0 +1,1 @@
+lib/txn/recovery.mli: Dw_storage Format Wal

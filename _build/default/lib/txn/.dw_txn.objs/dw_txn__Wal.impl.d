@@ -1,0 +1,1 @@
+lib/txn/wal.ml: Bytes Dw_storage List Log_record Printf String

@@ -1,0 +1,196 @@
+type txid = int
+
+type resource = Table of string | Row of string * Dw_storage.Heap_file.rid
+type mode = S | X
+type outcome = Granted | Blocked of txid list | Deadlock of txid list
+
+(* per-(table, txid) row-lock tally, so a Table-lock request can find
+   conflicting row locks in O(#transactions) instead of O(#locks) *)
+type tally = { mutable s_rows : int; mutable x_rows : int }
+
+type t = {
+  locks : (resource, (txid, mode) Hashtbl.t) Hashtbl.t;
+  wait_for : (txid, txid list) Hashtbl.t;  (* waiter -> blockers *)
+  held : (txid, (resource, unit) Hashtbl.t) Hashtbl.t;
+  row_tally : (string, (txid, tally) Hashtbl.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    locks = Hashtbl.create 64;
+    wait_for = Hashtbl.create 16;
+    held = Hashtbl.create 16;
+    row_tally = Hashtbl.create 16;
+  }
+
+let holders_tbl t resource =
+  match Hashtbl.find_opt t.locks resource with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 4 in
+    Hashtbl.add t.locks resource tbl;
+    tbl
+
+let holders t resource =
+  match Hashtbl.find_opt t.locks resource with
+  | None -> []
+  | Some tbl -> Hashtbl.fold (fun tx mode acc -> (tx, mode) :: acc) tbl []
+
+let compatible a b = a = S && b = S
+
+let tally_tbl t tname =
+  match Hashtbl.find_opt t.row_tally tname with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 8 in
+    Hashtbl.add t.row_tally tname tbl;
+    tbl
+
+let tally_for t tname tx =
+  let tbl = tally_tbl t tname in
+  match Hashtbl.find_opt tbl tx with
+  | Some tally -> tally
+  | None ->
+    let tally = { s_rows = 0; x_rows = 0 } in
+    Hashtbl.add tbl tx tally;
+    tally
+
+(* conflicting holders of [resource] in [mode], from [tx]'s viewpoint,
+   including coarse-grained conflicts between table and row locks *)
+let conflicts t tx resource mode =
+  let direct =
+    holders t resource
+    |> List.filter (fun (other, held_mode) -> other <> tx && not (compatible mode held_mode))
+    |> List.map fst
+  in
+  let coarse =
+    match resource with
+    | Row (tname, _) ->
+      (* a row lock conflicts with another transaction's table lock unless
+         both are S *)
+      holders t (Table tname)
+      |> List.filter (fun (other, held_mode) -> other <> tx && not (compatible mode held_mode))
+      |> List.map fst
+    | Table tname -> (
+        (* a table lock conflicts with other transactions' row locks in the
+           table (unless both S) *)
+        match Hashtbl.find_opt t.row_tally tname with
+        | None -> []
+        | Some tbl ->
+          Hashtbl.fold
+            (fun other tally acc ->
+              if other = tx then acc
+              else if tally.x_rows > 0 then other :: acc
+              else if tally.s_rows > 0 && mode = X then other :: acc
+              else acc)
+            tbl [])
+  in
+  List.sort_uniq compare (direct @ coarse)
+
+let record_held t tx resource =
+  let set =
+    match Hashtbl.find_opt t.held tx with
+    | Some set -> set
+    | None ->
+      let set = Hashtbl.create 16 in
+      Hashtbl.add t.held tx set;
+      set
+  in
+  if not (Hashtbl.mem set resource) then Hashtbl.replace set resource ()
+
+(* would granting make [waiter] wait on someone who (transitively) waits
+   on [waiter]? *)
+let closes_cycle t waiter blockers =
+  let visited = Hashtbl.create 16 in
+  let rec reachable from =
+    if from = waiter then true
+    else if Hashtbl.mem visited from then false
+    else begin
+      Hashtbl.add visited from ();
+      match Hashtbl.find_opt t.wait_for from with
+      | None -> false
+      | Some next -> List.exists reachable next
+    end
+  in
+  List.exists reachable blockers
+
+let bump_tally t tx resource ~old_mode ~new_mode =
+  match resource with
+  | Table _ -> ()
+  | Row (tname, _) ->
+    let tally = tally_for t tname tx in
+    (match old_mode with
+     | Some S -> tally.s_rows <- tally.s_rows - 1
+     | Some X -> tally.x_rows <- tally.x_rows - 1
+     | None -> ());
+    (match new_mode with
+     | S -> tally.s_rows <- tally.s_rows + 1
+     | X -> tally.x_rows <- tally.x_rows + 1)
+
+let acquire t tx resource mode =
+  let blockers = conflicts t tx resource mode in
+  match blockers with
+  | [] ->
+    let tbl = holders_tbl t resource in
+    let old_mode = Hashtbl.find_opt tbl tx in
+    let new_mode =
+      match old_mode, mode with
+      | Some X, _ -> X
+      | Some S, X -> X
+      | Some S, S -> S
+      | None, m -> m
+    in
+    if old_mode <> Some new_mode then begin
+      Hashtbl.replace tbl tx new_mode;
+      bump_tally t tx resource ~old_mode ~new_mode
+    end;
+    record_held t tx resource;
+    Hashtbl.remove t.wait_for tx;
+    Granted
+  | _ ->
+    if closes_cycle t tx blockers then Deadlock blockers
+    else begin
+      Hashtbl.replace t.wait_for tx blockers;
+      Blocked blockers
+    end
+
+let release_all t tx =
+  (match Hashtbl.find_opt t.held tx with
+   | None -> ()
+   | Some set ->
+     Hashtbl.iter
+       (fun resource () ->
+         (match Hashtbl.find_opt t.locks resource with
+          | Some tbl ->
+            Hashtbl.remove tbl tx;
+            if Hashtbl.length tbl = 0 then Hashtbl.remove t.locks resource
+          | None -> ());
+         match resource with
+         | Row (tname, _) -> (
+             match Hashtbl.find_opt t.row_tally tname with
+             | Some tbl -> Hashtbl.remove tbl tx
+             | None -> ())
+         | Table _ -> ())
+       set;
+     Hashtbl.remove t.held tx);
+  Hashtbl.remove t.wait_for tx;
+  (* drop this tx from other waiters' blocker lists *)
+  let updates =
+    Hashtbl.fold
+      (fun waiter blockers acc ->
+        if List.mem tx blockers then (waiter, List.filter (fun b -> b <> tx) blockers) :: acc
+        else acc)
+      t.wait_for []
+  in
+  List.iter
+    (fun (waiter, blockers) ->
+      if blockers = [] then Hashtbl.remove t.wait_for waiter
+      else Hashtbl.replace t.wait_for waiter blockers)
+    updates
+
+let held_by t tx =
+  match Hashtbl.find_opt t.held tx with
+  | Some set -> Hashtbl.fold (fun r () acc -> r :: acc) set []
+  | None -> []
+
+let waiting t tx = Hashtbl.mem t.wait_for tx

@@ -1,0 +1,39 @@
+(** Two-phase-locking lock manager with shared/exclusive modes, table and
+    row granularity, and wait-for-graph deadlock detection.
+
+    The engine is single-threaded; "blocking" is *logical*: a conflicting
+    {!acquire} returns [`Blocked] (registering the waiter in the wait-for
+    graph) and the caller's scheduler decides what to do — retry later,
+    advance the simulated clock, or abort on [`Deadlock].  This is what
+    the warehouse experiment (W2) uses to account outage: an OLAP query
+    blocked by the value-delta batch integration holds its span open until
+    the lock is granted. *)
+
+type txid = int
+
+type resource =
+  | Table of string
+  | Row of string * Dw_storage.Heap_file.rid
+
+type mode = S | X
+
+type outcome =
+  | Granted
+  | Blocked of txid list  (** the transactions holding conflicting locks *)
+  | Deadlock of txid list  (** granting would close a wait-for cycle *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> txid -> resource -> mode -> outcome
+(** Upgrades S→X when possible.  Re-acquiring a held lock is [Granted].
+    A [Row] lock implicitly conflicts with an [X] [Table] lock on the
+    same table (coarse-over-fine; no full intention-lock hierarchy). *)
+
+val release_all : t -> txid -> unit
+(** End of transaction: drop all locks and pending waits of [txid]. *)
+
+val holders : t -> resource -> (txid * mode) list
+val held_by : t -> txid -> resource list
+val waiting : t -> txid -> bool

@@ -1,0 +1,186 @@
+type txid = int
+type rid = Dw_storage.Heap_file.rid
+
+type body =
+  | Begin
+  | Commit
+  | Abort
+  | Insert of { table : string; rid : rid; after : bytes }
+  | Delete of { table : string; rid : rid; before : bytes }
+  | Update of { table : string; rid : rid; before : bytes; after : bytes }
+  | Checkpoint of txid list
+
+type t = { tx : txid; body : body }
+
+let fnv1a bytes off len =
+  let h = ref 0x811c9dc5 in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (Bytes.get bytes i)) * 0x01000193 land 0xFFFFFFFF
+  done;
+  !h
+
+(* payload serialisation *)
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let put_i64 buf v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Buffer.add_bytes buf b
+
+let put_bytes buf b =
+  put_u32 buf (Bytes.length b);
+  Buffer.add_bytes buf b
+
+let put_string buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_rid buf (rid : rid) =
+  put_u32 buf rid.Dw_storage.Heap_file.page;
+  put_u32 buf rid.Dw_storage.Heap_file.slot
+
+let tag_of_body = function
+  | Begin -> 0
+  | Commit -> 1
+  | Abort -> 2
+  | Insert _ -> 3
+  | Delete _ -> 4
+  | Update _ -> 5
+  | Checkpoint _ -> 6
+
+let encode t =
+  let payload = Buffer.create 64 in
+  Buffer.add_char payload (Char.chr (tag_of_body t.body));
+  put_i64 payload t.tx;
+  (match t.body with
+   | Begin | Commit | Abort -> ()
+   | Insert { table; rid; after } ->
+     put_string payload table;
+     put_rid payload rid;
+     put_bytes payload after
+   | Delete { table; rid; before } ->
+     put_string payload table;
+     put_rid payload rid;
+     put_bytes payload before
+   | Update { table; rid; before; after } ->
+     put_string payload table;
+     put_rid payload rid;
+     put_bytes payload before;
+     put_bytes payload after
+   | Checkpoint active ->
+     put_u32 payload (List.length active);
+     List.iter (fun tx -> put_i64 payload tx) active);
+  let plen = Buffer.length payload in
+  let out = Bytes.create (8 + plen) in
+  Bytes.set_int32_le out 0 (Int32.of_int (8 + plen));
+  Buffer.blit payload 0 out 8 plen;
+  Bytes.set_int32_le out 4 (Int32.of_int (fnv1a out 8 plen));
+  out
+
+exception Bad of string
+
+let decode buf ~off =
+  try
+    let remaining = Bytes.length buf - off in
+    if remaining < 8 then raise (Bad "truncated frame header");
+    let total = Int32.to_int (Bytes.get_int32_le buf off) in
+    if total < 9 || off + total > Bytes.length buf then raise (Bad "bad frame length");
+    let csum = Int32.to_int (Bytes.get_int32_le buf (off + 4)) land 0xFFFFFFFF in
+    let plen = total - 8 in
+    if fnv1a buf (off + 8) plen <> csum then raise (Bad "checksum mismatch");
+    let pos = ref (off + 8) in
+    let limit = off + total in
+    let u8 () =
+      if !pos >= limit then raise (Bad "truncated payload");
+      let v = Char.code (Bytes.get buf !pos) in
+      incr pos;
+      v
+    in
+    let u32 () =
+      if !pos + 4 > limit then raise (Bad "truncated payload");
+      let v =
+        Char.code (Bytes.get buf !pos)
+        lor (Char.code (Bytes.get buf (!pos + 1)) lsl 8)
+        lor (Char.code (Bytes.get buf (!pos + 2)) lsl 16)
+        lor (Char.code (Bytes.get buf (!pos + 3)) lsl 24)
+      in
+      pos := !pos + 4;
+      v
+    in
+    let i64 () =
+      if !pos + 8 > limit then raise (Bad "truncated payload");
+      let v = Int64.to_int (Bytes.get_int64_le buf !pos) in
+      pos := !pos + 8;
+      v
+    in
+    let bytes_fld () =
+      let n = u32 () in
+      if !pos + n > limit then raise (Bad "truncated bytes field");
+      let b = Bytes.sub buf !pos n in
+      pos := !pos + n;
+      b
+    in
+    let string_fld () = Bytes.to_string (bytes_fld ()) in
+    let rid_fld () : rid =
+      let page = u32 () in
+      let slot = u32 () in
+      { Dw_storage.Heap_file.page; slot }
+    in
+    let tag = u8 () in
+    let tx = i64 () in
+    let body =
+      match tag with
+      | 0 -> Begin
+      | 1 -> Commit
+      | 2 -> Abort
+      | 3 ->
+        let table = string_fld () in
+        let rid = rid_fld () in
+        let after = bytes_fld () in
+        Insert { table; rid; after }
+      | 4 ->
+        let table = string_fld () in
+        let rid = rid_fld () in
+        let before = bytes_fld () in
+        Delete { table; rid; before }
+      | 5 ->
+        let table = string_fld () in
+        let rid = rid_fld () in
+        let before = bytes_fld () in
+        let after = bytes_fld () in
+        Update { table; rid; before; after }
+      | 6 ->
+        let n = u32 () in
+        let active = List.init n (fun _ -> i64 ()) in
+        Checkpoint active
+      | n -> raise (Bad (Printf.sprintf "unknown tag %d" n))
+    in
+    Ok ({ tx; body }, off + total)
+  with Bad msg -> Error msg
+
+let table_of t =
+  match t.body with
+  | Insert { table; _ } | Delete { table; _ } | Update { table; _ } -> Some table
+  | Begin | Commit | Abort | Checkpoint _ -> None
+
+let pp ppf t =
+  let rid_str (r : rid) = Dw_storage.Heap_file.rid_to_string r in
+  match t.body with
+  | Begin -> Format.fprintf ppf "BEGIN tx=%d" t.tx
+  | Commit -> Format.fprintf ppf "COMMIT tx=%d" t.tx
+  | Abort -> Format.fprintf ppf "ABORT tx=%d" t.tx
+  | Insert { table; rid; after } ->
+    Format.fprintf ppf "INSERT tx=%d %s%s (%dB)" t.tx table (rid_str rid) (Bytes.length after)
+  | Delete { table; rid; before } ->
+    Format.fprintf ppf "DELETE tx=%d %s%s (%dB)" t.tx table (rid_str rid) (Bytes.length before)
+  | Update { table; rid; before; after } ->
+    Format.fprintf ppf "UPDATE tx=%d %s%s (%d->%dB)" t.tx table (rid_str rid)
+      (Bytes.length before) (Bytes.length after)
+  | Checkpoint active ->
+    Format.fprintf ppf "CHECKPOINT active=[%s]"
+      (String.concat ";" (List.map string_of_int active))

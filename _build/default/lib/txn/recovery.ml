@@ -1,0 +1,94 @@
+module Heap_file = Dw_storage.Heap_file
+
+type stats = {
+  records_scanned : int;
+  winners : int;
+  losers : int;
+  redone : int;
+  undone : int;
+}
+
+type tx_state = Active | Committed | Aborted
+
+let run ~wal ~resolve =
+  (* analysis *)
+  let states : (int, tx_state) Hashtbl.t = Hashtbl.create 32 in
+  let scanned = ref 0 in
+  Wal.iter_all wal (fun _ record ->
+      incr scanned;
+      match record.Log_record.body with
+      | Log_record.Begin -> Hashtbl.replace states record.tx Active
+      | Log_record.Commit -> Hashtbl.replace states record.tx Committed
+      | Log_record.Abort -> Hashtbl.replace states record.tx Aborted
+      | Log_record.Insert _ | Log_record.Delete _ | Log_record.Update _ ->
+        if not (Hashtbl.mem states record.tx) then Hashtbl.replace states record.tx Active
+      | Log_record.Checkpoint _ -> ());
+  let state tx = match Hashtbl.find_opt states tx with Some s -> s | None -> Active in
+  let winners = Hashtbl.fold (fun _ s n -> if s = Committed then n + 1 else n) states 0 in
+  let losers =
+    Hashtbl.fold (fun _ s n -> if s = Active || s = Aborted then n + 1 else n) states 0
+  in
+  (* redo committed *)
+  let redone = ref 0 in
+  Wal.iter_all wal (fun _ record ->
+      if state record.Log_record.tx = Committed then
+        match record.Log_record.body with
+        | Log_record.Insert { table; rid; after } ->
+          (match resolve table with
+           | Some heap ->
+             Heap_file.force_at heap rid (Some after);
+             incr redone
+           | None -> ())
+        | Log_record.Delete { table; rid; _ } ->
+          (match resolve table with
+           | Some heap ->
+             Heap_file.force_at heap rid None;
+             incr redone
+           | None -> ())
+        | Log_record.Update { table; rid; after; _ } ->
+          (match resolve table with
+           | Some heap ->
+             Heap_file.force_at heap rid (Some after);
+             incr redone
+           | None -> ())
+        | Log_record.Begin | Log_record.Commit | Log_record.Abort | Log_record.Checkpoint _ -> ());
+  (* undo losers, reverse order *)
+  let loser_dml = ref [] in
+  Wal.iter_all wal (fun _ record ->
+      match state record.Log_record.tx with
+      | Active | Aborted -> (
+          match record.Log_record.body with
+          | Log_record.Insert _ | Log_record.Delete _ | Log_record.Update _ ->
+            loser_dml := record :: !loser_dml
+          | Log_record.Begin | Log_record.Commit | Log_record.Abort | Log_record.Checkpoint _ ->
+            ())
+      | Committed -> ());
+  let undone = ref 0 in
+  List.iter
+    (fun record ->
+      match record.Log_record.body with
+      | Log_record.Insert { table; rid; _ } ->
+        (match resolve table with
+         | Some heap ->
+           Heap_file.force_at heap rid None;
+           incr undone
+         | None -> ())
+      | Log_record.Delete { table; rid; before } ->
+        (match resolve table with
+         | Some heap ->
+           Heap_file.force_at heap rid (Some before);
+           incr undone
+         | None -> ())
+      | Log_record.Update { table; rid; before; _ } ->
+        (match resolve table with
+         | Some heap ->
+           Heap_file.force_at heap rid (Some before);
+           incr undone
+         | None -> ())
+      | Log_record.Begin | Log_record.Commit | Log_record.Abort | Log_record.Checkpoint _ -> ())
+    !loser_dml;
+  { records_scanned = !scanned; winners; losers; redone = !redone; undone = !undone }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "scanned=%d winners=%d losers=%d redone=%d undone=%d" s.records_scanned
+    s.winners s.losers s.redone s.undone

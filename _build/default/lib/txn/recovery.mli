@@ -1,0 +1,31 @@
+(** Crash recovery: redo committed work, undo losers.
+
+    Three passes over the retained log, in the classic style:
+
+    + {b analysis} — find winners (transactions with a Commit record) and
+      losers (Begin without Commit/Abort);
+    + {b redo} — reapply every DML record of winning transactions, in LSN
+      order, via {!Dw_storage.Heap_file.force_at} (idempotent full-record
+      images);
+    + {b undo} — reverse losers' DML records in reverse LSN order.
+
+    Aborted transactions' records are skipped in redo and also undone
+    (the engine applies changes eagerly, so an abort that didn't finish
+    rolling back is completed here). *)
+
+type stats = {
+  records_scanned : int;
+  winners : int;
+  losers : int;
+  redone : int;
+  undone : int;
+}
+
+val run :
+  wal:Wal.t ->
+  resolve:(string -> Dw_storage.Heap_file.t option) ->
+  stats
+(** [resolve] maps a table name from the log to its heap file; records for
+    unknown tables (dropped since) are skipped. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,170 @@
+module Vfs = Dw_storage.Vfs
+
+type lsn = int
+
+type segment = {
+  base : lsn;
+  sname : string;
+  mutable closed : bool;
+}
+
+type t = {
+  vfs : Vfs.t;
+  name : string;
+  archive : bool;
+  mutable segments : segment list;  (* oldest first; last is current *)
+  mutable current : Vfs.file;
+  mutable next : lsn;
+  mutable last_checkpoint : lsn option;
+}
+
+let segment_name name base = Printf.sprintf "%s.%012d" name base
+
+let parse_segment_name name fname =
+  let prefix = name ^ "." in
+  let pl = String.length prefix in
+  if String.length fname > pl && String.sub fname 0 pl = prefix then
+    int_of_string_opt (String.sub fname pl (String.length fname - pl))
+  else None
+
+let create vfs ~name ~archive =
+  (* adopt any segments already present (re-open after crash) *)
+  let existing =
+    Vfs.list_files vfs
+    |> List.filter_map (fun f ->
+           match parse_segment_name name f with Some base -> Some (base, f) | None -> None)
+    |> List.sort compare
+  in
+  match existing with
+  | [] ->
+    let sname = segment_name name 0 in
+    let current = Vfs.create vfs sname in
+    {
+      vfs;
+      name;
+      archive;
+      segments = [ { base = 0; sname; closed = false } ];
+      current;
+      next = 0;
+      last_checkpoint = None;
+    }
+  | segs ->
+    let segments =
+      List.map (fun (base, sname) -> { base; sname; closed = true }) segs
+    in
+    let last = List.nth segments (List.length segments - 1) in
+    last.closed <- false;
+    let current = Vfs.open_existing vfs last.sname in
+    {
+      vfs;
+      name;
+      archive;
+      segments;
+      current;
+      next = last.base + Vfs.size current;
+      last_checkpoint = None;
+    }
+
+let archive_enabled t = t.archive
+let next_lsn t = t.next
+let last_checkpoint t = t.last_checkpoint
+
+let append t record =
+  let lsn = t.next in
+  let data = Log_record.encode record in
+  ignore (Vfs.append t.current data : int);
+  t.next <- lsn + Bytes.length data;
+  lsn
+
+let flush t = Vfs.fsync t.current
+
+let rotate t =
+  Vfs.fsync t.current;
+  Vfs.close t.current;
+  (match t.segments with
+   | [] -> assert false
+   | segs ->
+     let last = List.nth segs (List.length segs - 1) in
+     last.closed <- true);
+  let sname = segment_name t.name t.next in
+  let current = Vfs.create t.vfs sname in
+  t.segments <- t.segments @ [ { base = t.next; sname; closed = false } ];
+  t.current <- current
+
+let checkpoint t ~active =
+  let lsn = append t { Log_record.tx = 0; body = Log_record.Checkpoint active } in
+  flush t;
+  rotate t;
+  t.last_checkpoint <- Some lsn;
+  if not t.archive then begin
+    (* recycling policy: delete every closed segment except the one holding
+       the checkpoint record itself (recovery needs the checkpoint) *)
+    let holds_ckpt seg next_base = seg.base <= lsn && lsn < next_base in
+    let rec bases = function
+      | [] -> []
+      | [ seg ] -> [ (seg, max_int) ]
+      | a :: (b :: _ as rest) -> (a, b.base) :: bases rest
+    in
+    let annotated = bases t.segments in
+    let to_delete =
+      List.filter
+        (fun (seg, next_base) -> seg.closed && not (holds_ckpt seg next_base))
+        annotated
+      |> List.map fst
+    in
+    List.iter (fun seg -> Vfs.delete t.vfs seg.sname) to_delete;
+    t.segments <- List.filter (fun seg -> not (List.memq seg to_delete)) t.segments
+  end;
+  lsn
+
+let iter_segment t seg ~from f =
+  let file =
+    if seg.closed then Vfs.open_existing t.vfs seg.sname
+    else t.current
+  in
+  let len = Vfs.size file in
+  let data = if len = 0 then Bytes.create 0 else Vfs.read_at file ~off:0 ~len in
+  let rec go off =
+    if off < len then
+      match Log_record.decode data ~off with
+      | Ok (record, next_off) ->
+        let lsn = seg.base + off in
+        if lsn >= from then f lsn record;
+        go next_off
+      | Error _ -> ()  (* torn tail: stop *)
+  in
+  go 0;
+  if seg.closed then Vfs.close file
+
+let iter_from t from f = List.iter (fun seg -> iter_segment t seg ~from f) t.segments
+let iter_all t f = iter_from t 0 f
+
+let archived_segments t =
+  t.segments |> List.filter (fun seg -> seg.closed) |> List.map (fun seg -> seg.sname)
+
+let prune_archived t ~upto =
+  (* a closed segment ends where the next one begins *)
+  let rec annotate = function
+    | [] -> []
+    | [ seg ] -> [ (seg, max_int) ]
+    | a :: (b :: _ as rest) -> (a, b.base) :: annotate rest
+  in
+  let deletable =
+    annotate t.segments
+    |> List.filter (fun (seg, next_base) -> seg.closed && next_base <= upto)
+    |> List.map fst
+  in
+  List.iter (fun seg -> Vfs.delete t.vfs seg.sname) deletable;
+  t.segments <- List.filter (fun seg -> not (List.memq seg deletable)) t.segments;
+  List.length deletable
+
+let segment_bytes t =
+  List.fold_left
+    (fun acc seg ->
+      if seg.closed then
+        let file = Vfs.open_existing t.vfs seg.sname in
+        let n = Vfs.size file in
+        Vfs.close file;
+        acc + n
+      else acc + Vfs.size t.current)
+    0 t.segments

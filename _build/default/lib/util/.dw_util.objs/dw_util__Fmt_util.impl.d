@@ -1,0 +1,1 @@
+lib/util/fmt_util.ml: Array Float List Printf String

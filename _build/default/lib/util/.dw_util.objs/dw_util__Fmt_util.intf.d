@@ -1,0 +1,1 @@
+lib/util/fmt_util.mli:

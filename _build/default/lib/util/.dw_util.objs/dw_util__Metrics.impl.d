@@ -1,0 +1,1 @@
+lib/util/metrics.ml: Format Hashtbl List String

@@ -1,0 +1,41 @@
+let human_bytes n =
+  let f = float_of_int n in
+  let units = [| "B"; "KB"; "MB"; "GB"; "TB" |] in
+  let rec go f i = if f >= 1024.0 && i < Array.length units - 1 then go (f /. 1024.0) (i + 1) else (f, i) in
+  let f, i = go f 0 in
+  if i = 0 then Printf.sprintf "%dB" n
+  else if Float.rem f 1.0 < 0.05 then Printf.sprintf "%.0f%s" f units.(i)
+  else Printf.sprintf "%.1f%s" f units.(i)
+
+let human_duration s =
+  if s < 0.001 then Printf.sprintf "%.0fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.0fms" (s *. 1e3)
+  else if s < 60.0 then Printf.sprintf "%.2fs" s
+  else if s < 3600.0 then
+    let m = int_of_float (s /. 60.0) in
+    let rest = s -. (float_of_int m *. 60.0) in
+    Printf.sprintf "%dmin %.0fs" m rest
+  else
+    let h = int_of_float (s /. 3600.0) in
+    let m = int_of_float ((s -. (float_of_int h *. 3600.0)) /. 60.0) in
+    Printf.sprintf "%dhr %dmin" h m
+
+let pad w s =
+  let n = String.length s in
+  if n >= w then s else s ^ String.make (w - n) ' '
+
+let table ~header ~rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row -> match List.nth_opt row c with Some s -> max acc (String.length s) | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    List.mapi (fun i w -> pad w (match List.nth_opt row i with Some s -> s | None -> "")) widths
+    |> String.concat "  "
+  in
+  let sep = List.map (fun w -> String.make w '-') widths |> String.concat "  " in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)

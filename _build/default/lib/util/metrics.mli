@@ -1,0 +1,30 @@
+(** Lightweight named counters used for I/O and cost accounting.
+
+    A {!t} is a registry of integer counters.  The storage layer counts page
+    reads/writes and bytes moved; benches snapshot a registry before and
+    after a measured region and report the difference, which explains the
+    shape of the wall-clock results. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** [incr t name] adds 1 to counter [name], creating it at 0 if needed. *)
+
+val add : t -> string -> int -> unit
+(** [add t name n] adds [n] to counter [name]. *)
+
+val get : t -> string -> int
+(** [get t name] is the counter value, 0 if never touched. *)
+
+val reset : t -> unit
+(** Zero every counter. *)
+
+val snapshot : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val diff : before:(string * int) list -> after:(string * int) list -> (string * int) list
+(** Per-counter difference [after - before], dropping zero entries. *)
+
+val pp : Format.formatter -> t -> unit

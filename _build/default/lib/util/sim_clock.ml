@@ -1,0 +1,41 @@
+type t = { mutable time : int }
+
+let create () = { time = 0 }
+let now t = t.time
+
+let advance t d =
+  assert (d >= 0);
+  t.time <- t.time + d
+
+module Span_recorder = struct
+  type clock = t
+
+  type t = {
+    clock : clock;
+    mutable opened_at : int option;
+    mutable total : int;
+    mutable count : int;
+  }
+
+  let create clock = { clock; opened_at = None; total = 0; count = 0 }
+
+  let open_span t =
+    match t.opened_at with
+    | Some _ -> ()
+    | None -> t.opened_at <- Some (now t.clock)
+
+  let close_span t =
+    match t.opened_at with
+    | None -> ()
+    | Some start ->
+      t.total <- t.total + (now t.clock - start);
+      t.count <- t.count + 1;
+      t.opened_at <- None
+
+  let total t =
+    match t.opened_at with
+    | None -> t.total
+    | Some start -> t.total + (now t.clock - start)
+
+  let count t = t.count
+end

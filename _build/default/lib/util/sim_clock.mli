@@ -1,0 +1,36 @@
+(** Logical simulated clock.
+
+    Used by the warehouse availability experiment (W2): outage is accounted
+    in logical ticks — intervals during which OLAP queries are blocked —
+    rather than wall-clock time, so the result is deterministic. *)
+
+type t
+
+val create : unit -> t
+(** A clock starting at time 0. *)
+
+val now : t -> int
+(** Current logical time. *)
+
+val advance : t -> int -> unit
+(** [advance t d] moves the clock forward by [d] ticks; [d >= 0]. *)
+
+(** An interval recorder: accumulates total closed time, e.g. warehouse
+    outage windows. *)
+module Span_recorder : sig
+  type clock := t
+  type t
+
+  val create : clock -> t
+  val open_span : t -> unit
+  (** Start a span at the current time; no-op if one is already open. *)
+
+  val close_span : t -> unit
+  (** Close the open span, accumulating its duration; no-op if none open. *)
+
+  val total : t -> int
+  (** Total accumulated closed time (an open span counts up to [now]). *)
+
+  val count : t -> int
+  (** Number of closed spans. *)
+end

@@ -1,0 +1,1 @@
+lib/warehouse/availability_sim.ml: Array List Queue

@@ -1,0 +1,1 @@
+lib/warehouse/availability_sim.mli:

@@ -1,0 +1,1 @@
+lib/warehouse/olap.ml: Dw_engine List Printf Unix Warehouse

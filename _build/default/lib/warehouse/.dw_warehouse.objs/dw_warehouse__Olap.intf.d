@@ -1,0 +1,1 @@
+lib/warehouse/olap.mli: Warehouse

@@ -1,0 +1,1 @@
+lib/warehouse/warehouse.ml: Array Dw_core Dw_engine Dw_relation Dw_sql Dw_storage Hashtbl List Printf Unix

@@ -1,0 +1,1 @@
+lib/warehouse/warehouse.mli: Dw_core Dw_engine Dw_relation Dw_storage

@@ -1,0 +1,150 @@
+type config = {
+  write_jobs : int list;
+  query_duration : int;
+  query_interval : int;
+  horizon : int;
+}
+
+type report = {
+  makespan : int;
+  maintenance_done : int;
+  queries_admitted : int;
+  queries_completed : int;
+  total_query_wait : int;
+  max_query_wait : int;
+  outage_time : int;
+}
+
+type req_kind = Reader | Writer of int  (* writer index *)
+
+type request = {
+  kind : req_kind;
+  duration : int;
+  arrived : int;
+}
+
+type event =
+  | Arrival of request
+  | Reader_done
+  | Writer_done of int  (* writer index *)
+
+module Events = struct
+  (* (time, tie priority, seq)-keyed sorted list; completions before
+     arrivals at the same instant so a freed lock is grantable *)
+  type t = { mutable items : (int * int * int * event) list; mutable seq : int }
+
+  let create () = { items = []; seq = 0 }
+
+  let push t time event =
+    let prio = match event with Reader_done | Writer_done _ -> 0 | Arrival _ -> 1 in
+    t.seq <- t.seq + 1;
+    t.items <-
+      List.merge
+        (fun (t1, p1, s1, _) (t2, p2, s2, _) -> compare (t1, p1, s1) (t2, p2, s2))
+        t.items
+        [ (time, prio, t.seq, event) ]
+
+  let pop t =
+    match t.items with
+    | [] -> None
+    | (time, _, _, event) :: rest ->
+      t.items <- rest;
+      Some (time, event)
+end
+
+let run config =
+  if config.query_duration <= 0 || config.query_interval <= 0 then
+    invalid_arg "Availability_sim.run: non-positive query parameters";
+  List.iter
+    (fun d -> if d <= 0 then invalid_arg "Availability_sim.run: non-positive write job")
+    config.write_jobs;
+  let write_jobs = Array.of_list config.write_jobs in
+  let events = Events.create () in
+  (* query arrivals *)
+  let admitted = ref 0 in
+  let rec admit t =
+    if t < config.horizon then begin
+      incr admitted;
+      Events.push events t
+        (Arrival { kind = Reader; duration = config.query_duration; arrived = t });
+      admit (t + config.query_interval)
+    end
+  in
+  admit config.query_interval;
+  (* first writer *)
+  if Array.length write_jobs > 0 then
+    Events.push events 0 (Arrival { kind = Writer 0; duration = write_jobs.(0); arrived = 0 });
+  (* lock state *)
+  let active_readers = ref 0 in
+  let active_writer = ref false in
+  let queue : request Queue.t = Queue.create () in
+  let now = ref 0 in
+  let blocked_queries () =
+    Queue.fold (fun acc r -> if r.kind = Reader then acc + 1 else acc) 0 queue
+  in
+  let outage = ref 0 in
+  let total_wait = ref 0 in
+  let max_wait = ref 0 in
+  let completed_queries = ref 0 in
+  let maintenance_done = ref 0 in
+  let grant_front () =
+    let progress = ref true in
+    while !progress && not (Queue.is_empty queue) do
+      let front = Queue.peek queue in
+      let compatible =
+        match front.kind with
+        | Reader -> not !active_writer
+        | Writer _ -> (not !active_writer) && !active_readers = 0
+      in
+      if compatible then begin
+        ignore (Queue.pop queue : request);
+        let wait = !now - front.arrived in
+        (match front.kind with
+         | Reader ->
+           total_wait := !total_wait + wait;
+           if wait > !max_wait then max_wait := wait;
+           incr active_readers;
+           Events.push events (!now + front.duration) Reader_done
+         | Writer i ->
+           active_writer := true;
+           Events.push events (!now + front.duration) (Writer_done i))
+      end
+      else progress := false
+    done
+  in
+  let advance_to time =
+    if time > !now then begin
+      if blocked_queries () > 0 then outage := !outage + (time - !now);
+      now := time
+    end
+  in
+  let rec loop () =
+    match Events.pop events with
+    | None -> ()
+    | Some (time, event) ->
+      advance_to time;
+      (match event with
+       | Arrival req -> Queue.push req queue
+       | Reader_done ->
+         active_readers := !active_readers - 1;
+         incr completed_queries
+       | Writer_done i ->
+         active_writer := false;
+         maintenance_done := !now;
+         if i + 1 < Array.length write_jobs then
+           Events.push events !now
+             (Arrival { kind = Writer (i + 1); duration = write_jobs.(i + 1); arrived = !now }));
+      grant_front ();
+      loop ()
+  in
+  grant_front ();
+  loop ();
+  {
+    makespan = !now;
+    maintenance_done = !maintenance_done;
+    queries_admitted = !admitted;
+    queries_completed = !completed_queries;
+    total_query_wait = !total_wait;
+    max_query_wait = !max_wait;
+    outage_time = !outage;
+  }

@@ -1,0 +1,39 @@
+(** Warehouse availability under concurrent maintenance (experiment W2;
+    paper Section 4.1: Op-Delta "can interleave with OLAP queries without
+    impacting the integrity of the query result", whereas value-delta
+    batches force an outage).
+
+    Deterministic discrete-event simulation of a readers/writer lock over
+    the warehouse:
+
+    - the {b integrator} runs its maintenance jobs back to back, each
+      needing the lock exclusively for the job's duration — a value-delta
+      integration is {e one} long job (the indivisible batch), an
+      Op-Delta integration is one short job per source transaction;
+    - {b OLAP queries} arrive on a fixed cadence and each needs the lock
+      shared for its duration.
+
+    Grants are FIFO (no reader or writer starvation).  Durations come
+    from the caller, who typically derives them from real
+    {!Warehouse.stats} (e.g. ticks = row_ops).  Reported outage is the
+    total time during which at least one query sat blocked. *)
+
+type config = {
+  write_jobs : int list;    (** exclusive-lock durations, run back to back *)
+  query_duration : int;     (** shared-lock duration per OLAP query *)
+  query_interval : int;     (** a new query arrives every this many ticks *)
+  horizon : int;            (** stop admitting new queries at this time *)
+}
+
+type report = {
+  makespan : int;              (** completion time of all work *)
+  maintenance_done : int;      (** when the last write job finished *)
+  queries_admitted : int;
+  queries_completed : int;
+  total_query_wait : int;      (** sum of (grant - arrival) over queries *)
+  max_query_wait : int;
+  outage_time : int;           (** ticks during which >= 1 query was blocked *)
+}
+
+val run : config -> report
+(** Raises [Invalid_argument] on non-positive durations/intervals. *)

@@ -1,0 +1,55 @@
+module Db = Dw_engine.Db
+
+type query = { name : string; sql : string }
+
+let standard_queries ~table =
+  [
+    { name = "row count"; sql = Printf.sprintf "SELECT COUNT(*) FROM %s" table };
+    {
+      name = "stock value";
+      sql = Printf.sprintf "SELECT SUM(qty) AS units, SUM(price) AS value FROM %s" table;
+    };
+    {
+      name = "per-qty histogram";
+      sql =
+        Printf.sprintf "SELECT qty, COUNT(*) AS n, AVG(price) FROM %s GROUP BY qty ORDER BY qty"
+          table;
+    };
+    {
+      name = "low-stock price extremes";
+      sql =
+        Printf.sprintf "SELECT MIN(price), MAX(price) FROM %s WHERE qty < 100" table;
+    };
+    {
+      name = "id band";
+      sql =
+        Printf.sprintf
+          "SELECT part_id, price FROM %s WHERE part_id >= 100 AND part_id < 200 ORDER BY part_id"
+          table;
+    };
+  ]
+
+type query_result = { query : string; rows : int; duration : float }
+
+let run wh q =
+  let db = Warehouse.db wh in
+  let start = Unix.gettimeofday () in
+  let txn = Db.begin_txn db in
+  let outcome = Db.exec_sql db txn q.sql in
+  (* read-only: anything but a row set is rolled back *)
+  (match outcome with Ok (Db.Rows _) -> Db.commit db txn | Ok _ | Error _ -> Db.abort db txn);
+  match outcome with
+  | Ok (Db.Rows { rows; _ }) ->
+    Ok { query = q.name; rows = List.length rows; duration = Unix.gettimeofday () -. start }
+  | Ok (Db.Affected _ | Db.Created) -> Error (q.name ^ ": not a query")
+  | Error e -> Error (q.name ^ ": " ^ e)
+
+let run_all wh queries =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | q :: rest -> (
+        match run wh q with
+        | Ok r -> go (r :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] queries

@@ -1,0 +1,28 @@
+(** OLAP query workload over the warehouse.
+
+    The DSS side of the paper's architecture: a set of analyst queries
+    (filters, GROUP BY aggregates) run against replicas and view backing
+    tables through the SQL layer.  Used by examples and by availability
+    experiments to put concrete read work next to the integrators. *)
+
+type query = {
+  name : string;
+  sql : string;
+}
+
+val standard_queries : table:string -> query list
+(** A canned analyst mix over a PARTS-shaped replica: row count, stock
+    value, per-quantity histogram, price extremes of low-stock parts,
+    and a band filter. *)
+
+type query_result = {
+  query : string;
+  rows : int;          (** result rows *)
+  duration : float;    (** wall-clock seconds *)
+}
+
+val run : Warehouse.t -> query -> (query_result, string) result
+(** Each query runs in its own read-only transaction. *)
+
+val run_all : Warehouse.t -> query list -> (query_result list, string) result
+(** Stops at the first failing query. *)

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Dw_engine Dw_relation Dw_sql Dw_storage Dw_util List Printf

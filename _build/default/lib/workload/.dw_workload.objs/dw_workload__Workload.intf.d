@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Dw_engine Dw_relation Dw_sql Dw_util

@@ -1,0 +1,95 @@
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Value = Dw_relation.Value
+module Expr = Dw_relation.Expr
+module Codec = Dw_relation.Codec
+module Ast = Dw_sql.Ast
+module Db = Dw_engine.Db
+module Table = Dw_engine.Table
+module Heap_file = Dw_storage.Heap_file
+module Prng = Dw_util.Prng
+
+let parts_table = "parts"
+
+(* record layout: 1 bitmap + 8 (int) + 2+65 (string) + 8 (int) + 8 (float)
+   + 8 (date) = 100 bytes *)
+let parts_schema =
+  Schema.make
+    [
+      { Schema.name = "part_id"; ty = Value.Tint; nullable = false };
+      { Schema.name = "descr"; ty = Value.Tstring 65; nullable = false };
+      { Schema.name = "qty"; ty = Value.Tint; nullable = false };
+      { Schema.name = "price"; ty = Value.Tfloat; nullable = false };
+      { Schema.name = "last_modified"; ty = Value.Tdate; nullable = false };
+    ]
+
+let () = assert (Schema.record_size parts_schema = 100)
+
+let gen_part rng ~id ~day =
+  [|
+    Value.Int id;
+    Value.Str (Printf.sprintf "part-%08d-%s" id (Prng.alpha_string rng 20));
+    Value.Int (Prng.int rng 1000);
+    Value.Float (float_of_int (Prng.int rng 100000) /. 100.0);
+    Value.Date day;
+  |]
+
+let create_parts_table db =
+  Db.create_table db ~name:parts_table ~ts_column:"last_modified" parts_schema
+
+let load_parts ?(seed = 1) db ~rows () =
+  let rng = Prng.create ~seed in
+  let tbl = Db.table db parts_table in
+  let day = Db.current_day db in
+  for id = 1 to rows do
+    let tuple = gen_part rng ~id ~day in
+    ignore (Table.raw_insert_blind tbl (Codec.encode_binary parts_schema tuple) : Heap_file.rid)
+  done;
+  Table.rebuild_indexes tbl;
+  Db.flush_all db
+
+let insert_stmt_of_tuple tuple =
+  Ast.Insert { table = parts_table; columns = None; rows = [ Array.to_list tuple ] }
+
+let insert_parts_txn ?(seed = 7) ~first_id ~size ~day () =
+  let rng = Prng.create ~seed:(seed + first_id) in
+  List.init size (fun i -> insert_stmt_of_tuple (gen_part rng ~id:(first_id + i) ~day))
+
+let range_pred ~first_id ~size =
+  Expr.And
+    ( Expr.Cmp (Expr.Ge, Expr.Col "part_id", Expr.Lit (Value.Int first_id)),
+      Expr.Cmp (Expr.Lt, Expr.Col "part_id", Expr.Lit (Value.Int (first_id + size))) )
+
+let update_parts_stmt ~first_id ~size =
+  Ast.Update
+    {
+      table = parts_table;
+      sets = [ ("qty", Expr.Binop (Expr.Add, Expr.Col "qty", Expr.Lit (Value.Int 1))) ];
+      where = Some (range_pred ~first_id ~size);
+    }
+
+let delete_parts_stmt ~first_id ~size =
+  Ast.Delete { table = parts_table; where = Some (range_pred ~first_id ~size) }
+
+type op = Mix_insert of int | Mix_update of int * int | Mix_delete of int * int
+
+let gen_mix rng ~existing_ids ~txns ~max_txn_size =
+  let next_id = ref (existing_ids + 1) in
+  List.init txns (fun _ ->
+      match Prng.int rng 3 with
+      | 0 ->
+        let id = !next_id in
+        incr next_id;
+        Mix_insert id
+      | 1 ->
+        let size = 1 + Prng.int rng max_txn_size in
+        Mix_update (1 + Prng.int rng (max 1 existing_ids), size)
+      | _ ->
+        let size = 1 + Prng.int rng max_txn_size in
+        Mix_delete (1 + Prng.int rng (max 1 existing_ids), size))
+
+let op_to_stmts ?seed ~day op =
+  match op with
+  | Mix_insert id -> insert_parts_txn ?seed ~first_id:id ~size:1 ~day ()
+  | Mix_update (first_id, size) -> [ update_parts_stmt ~first_id ~size ]
+  | Mix_delete (first_id, size) -> [ delete_parts_stmt ~first_id ~size ]

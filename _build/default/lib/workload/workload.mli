@@ -1,0 +1,48 @@
+(** Deterministic workload generation matching the paper's experimental
+    setup: a PARTS-style table of fixed 100-byte records, and OLTP
+    transactions of parameterised size (the number of affected records,
+    swept from 10 to 10 000 in Figures 2/3 and Table 4). *)
+
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Ast = Dw_sql.Ast
+module Db = Dw_engine.Db
+module Prng = Dw_util.Prng
+
+val parts_schema : Schema.t
+(** [part_id INT KEY, descr STRING(65), qty INT, price FLOAT,
+    last_modified DATE] — exactly 100 bytes per encoded record. *)
+
+val parts_table : string
+(** ["parts"]. *)
+
+val gen_part : Prng.t -> id:int -> day:int -> Tuple.t
+
+val create_parts_table : Db.t -> Dw_engine.Table.t
+(** With [last_modified] as the maintained timestamp column. *)
+
+val load_parts : ?seed:int -> Db.t -> rows:int -> unit -> unit
+(** Bulk-populate via the direct loader path (fast, unlogged), ids
+    [1..rows], stamped with the database's current day. *)
+
+val insert_parts_txn : ?seed:int -> first_id:int -> size:int -> day:int -> unit -> Ast.stmt list
+(** [size] single-row INSERT statements — one source transaction. *)
+
+val update_parts_stmt : first_id:int -> size:int -> Ast.stmt
+(** One UPDATE statement whose range predicate affects exactly the [size]
+    ids starting at [first_id] (when they exist). *)
+
+val delete_parts_stmt : first_id:int -> size:int -> Ast.stmt
+
+(** Mixed workload for soak-style tests: *)
+
+type op = Mix_insert of int | Mix_update of int * int | Mix_delete of int * int
+(** [Mix_insert first_id] (single row); [Mix_update (first_id, size)];
+    [Mix_delete (first_id, size)]. *)
+
+val gen_mix :
+  Prng.t -> existing_ids:int -> txns:int -> max_txn_size:int -> op list
+(** Deterministic mix of operations over id space [1..existing_ids],
+    inserts beyond it. *)
+
+val op_to_stmts : ?seed:int -> day:int -> op -> Ast.stmt list

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Dw_core Dw_engine Dw_relation Dw_sql Dw_storage Dw_txn Dw_util Dw_workload List Printf QCheck2 QCheck_alcotest Result

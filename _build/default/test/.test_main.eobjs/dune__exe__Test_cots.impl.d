@@ -1,0 +1,1 @@
+test/test_cots.ml: Alcotest Dw_core Dw_cots Dw_engine Dw_relation Dw_sql Dw_storage Dw_util Dw_workload List Printf

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Bytes Dw_engine Dw_relation Dw_storage Dw_txn List Printf QCheck2 QCheck_alcotest Result String

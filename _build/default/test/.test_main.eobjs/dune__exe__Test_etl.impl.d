@@ -1,0 +1,1 @@
+test/test_etl.ml: Alcotest Array Dw_core Dw_engine Dw_etl Dw_relation Dw_storage Dw_util Dw_warehouse Dw_workload List Option

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dw_core Dw_engine Dw_relation Dw_storage Dw_txn Dw_util Dw_workload List

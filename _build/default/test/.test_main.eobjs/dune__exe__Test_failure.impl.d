@@ -1,0 +1,1 @@
+test/test_failure.ml: Alcotest Dw_engine Dw_relation Dw_storage Dw_transport Dw_txn Dw_util Dw_workload List Result

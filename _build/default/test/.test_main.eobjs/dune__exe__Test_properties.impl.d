@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Bytes Dw_core Dw_relation Dw_sql Dw_storage Dw_txn Dw_util Dw_workload List QCheck2 QCheck_alcotest

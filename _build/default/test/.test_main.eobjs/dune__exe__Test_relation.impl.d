@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Bytes Dw_relation List QCheck2 QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Dw_engine Dw_relation Dw_storage Dw_util Dw_workload List Str String

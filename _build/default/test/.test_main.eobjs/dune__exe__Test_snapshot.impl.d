@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Array Bytes Dw_relation Dw_snapshot Dw_storage Dw_util Fun Hashtbl List QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Dw_relation Dw_sql List Option Printf QCheck2 QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Dw_relation Dw_storage Dw_util Filename List Map Option Printf QCheck2 QCheck_alcotest Sys Unix

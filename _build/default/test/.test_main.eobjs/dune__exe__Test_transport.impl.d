@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Bytes Char Dw_core Dw_storage Dw_transport Dw_workload List Printf Result String

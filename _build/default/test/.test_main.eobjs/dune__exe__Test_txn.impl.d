@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Bytes Char Dw_relation Dw_storage Dw_txn List Result

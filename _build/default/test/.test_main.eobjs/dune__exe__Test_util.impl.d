@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dw_util Fun List String

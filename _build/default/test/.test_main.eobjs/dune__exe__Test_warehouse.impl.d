@@ -1,0 +1,1 @@
+test/test_warehouse.ml: Alcotest Array Dw_core Dw_engine Dw_relation Dw_sql Dw_storage Dw_util Dw_warehouse Dw_workload List Printf QCheck2 QCheck_alcotest Result

@@ -1,0 +1,211 @@
+(* Failure injection and nasty edge cases: buffer-pool steal + crash,
+   torn queue sidecar files, key-changing updates, mid-statement errors,
+   trigger stacking, and export/import corruption. *)
+
+module Vfs = Dw_storage.Vfs
+module Buffer_pool = Dw_storage.Buffer_pool
+module Heap_file = Dw_storage.Heap_file
+module Value = Dw_relation.Value
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Expr = Dw_relation.Expr
+module Db = Dw_engine.Db
+module Table = Dw_engine.Table
+module Trigger = Dw_engine.Trigger
+module Workload = Dw_workload.Workload
+module Persistent_queue = Dw_transport.Persistent_queue
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+(* ---------- steal: uncommitted dirty pages reach disk, then crash ---------- *)
+
+let steal_then_crash_undone () =
+  (* a 2-frame pool forces eviction (with write-back) of pages dirtied by
+     the still-running transaction; recovery must undo them *)
+  let vfs = Vfs.in_memory () in
+  let db = Db.create ~pool_pages:2 ~vfs ~name:"src" () in
+  let _ = Workload.create_parts_table db in
+  (* committed baseline *)
+  Db.with_txn db (fun txn ->
+      List.iter
+        (fun s -> ignore (Db.exec db txn s : Db.exec_result))
+        (Workload.insert_parts_txn ~first_id:1 ~size:50 ~day:0 ()));
+  (* loser: dirties far more pages than the pool holds *)
+  let txn = Db.begin_txn db in
+  List.iter
+    (fun s -> ignore (Db.exec db txn s : Db.exec_result))
+    (Workload.insert_parts_txn ~first_id:1000 ~size:200 ~day:0 ());
+  (* crash now (no commit, no abort); prove stolen pages reached the vfs *)
+  check Alcotest.bool "pages were stolen" true
+    (Dw_util.Metrics.get (Db.metrics db) "pool.writebacks" > 0);
+  let stats = Db.recover db in
+  check Alcotest.bool "losers undone" true (stats.Dw_txn.Recovery.undone > 0);
+  check Alcotest.int "only committed rows remain" 50 (Table.row_count (Db.table db "parts"))
+
+let steal_committed_redone () =
+  let vfs = Vfs.in_memory () in
+  let db = Db.create ~pool_pages:2 ~vfs ~name:"src" () in
+  let _ = Workload.create_parts_table db in
+  Db.with_txn db (fun txn ->
+      List.iter
+        (fun s -> ignore (Db.exec db txn s : Db.exec_result))
+        (Workload.insert_parts_txn ~first_id:1 ~size:120 ~day:0 ()));
+  ignore (Db.recover db : Dw_txn.Recovery.stats);
+  check Alcotest.int "committed rows all present" 120 (Table.row_count (Db.table db "parts"))
+
+(* ---------- torn queue sidecar ---------- *)
+
+let torn_offset_file_redelivers () =
+  let vfs = Vfs.in_memory () in
+  let q = Persistent_queue.open_ vfs ~name:"q" in
+  Persistent_queue.enqueue q "m1";
+  Persistent_queue.enqueue q "m2";
+  ignore (Persistent_queue.peek q : string option);
+  Persistent_queue.ack q;
+  Persistent_queue.close q;
+  (* tear the offset sidecar (crash mid-write): only 4 of 8 bytes *)
+  let off = Vfs.open_existing vfs "q.q.off" in
+  Vfs.truncate off 4;
+  Vfs.close off;
+  let q2 = Persistent_queue.open_ vfs ~name:"q" in
+  (* conservative restart: both messages redelivered (at-least-once) *)
+  check Alcotest.int "redelivered from zero" 2 (Persistent_queue.pending q2);
+  check (Alcotest.option Alcotest.string) "m1 again" (Some "m1") (Persistent_queue.peek q2);
+  Persistent_queue.close q2
+
+(* ---------- key-changing updates ---------- *)
+
+let key_update_collision_aborts_statement () =
+  let vfs = Vfs.in_memory () in
+  let db = Db.create ~vfs ~name:"src" () in
+  let _ = Workload.create_parts_table db in
+  Db.with_txn db (fun txn ->
+      List.iter
+        (fun s -> ignore (Db.exec db txn s : Db.exec_result))
+        (Workload.insert_parts_txn ~first_id:1 ~size:5 ~day:0 ()));
+  let before =
+    List.sort Tuple.compare (Db.with_txn db (fun txn -> Db.select db txn "parts" ()))
+  in
+  (* shift every key by +1: the scan hits key 2 while it still exists *)
+  (try
+     Db.with_txn db (fun txn ->
+         ignore
+           (Db.update_where db txn "parts"
+              ~set:[ ("part_id", Expr.Binop (Expr.Add, Expr.Col "part_id", Expr.Lit (Value.Int 1))) ]
+              ~where:None : int));
+     Alcotest.fail "expected key collision"
+   with Invalid_argument _ -> ());
+  let after =
+    List.sort Tuple.compare (Db.with_txn db (fun txn -> Db.select db txn "parts" ()))
+  in
+  check Alcotest.bool "rolled back" true
+    (List.length before = List.length after && List.for_all2 Tuple.equal before after)
+
+let key_update_disjoint_succeeds () =
+  let vfs = Vfs.in_memory () in
+  let db = Db.create ~vfs ~name:"src" () in
+  let _ = Workload.create_parts_table db in
+  Db.with_txn db (fun txn ->
+      List.iter
+        (fun s -> ignore (Db.exec db txn s : Db.exec_result))
+        (Workload.insert_parts_txn ~first_id:1 ~size:5 ~day:0 ()));
+  (* move key 3 to 300: no collision *)
+  ignore
+    (Db.with_txn db (fun txn ->
+         Db.update_where db txn "parts"
+           ~set:[ ("part_id", Expr.Lit (Value.Int 300)) ]
+           ~where:(Some (Expr.Cmp (Expr.Eq, Expr.Col "part_id", Expr.Lit (Value.Int 3))))));
+  let tbl = Db.table db "parts" in
+  check Alcotest.bool "old key gone" true (Table.find_key tbl [| Value.Int 3 |] = None);
+  check Alcotest.bool "new key found" true (Table.find_key tbl [| Value.Int 300 |] <> None)
+
+(* ---------- mid-statement evaluation errors ---------- *)
+
+let division_by_zero_aborts () =
+  let vfs = Vfs.in_memory () in
+  let db = Db.create ~vfs ~name:"src" () in
+  let _ = Workload.create_parts_table db in
+  Db.with_txn db (fun txn ->
+      List.iter
+        (fun s -> ignore (Db.exec db txn s : Db.exec_result))
+        (Workload.insert_parts_txn ~first_id:1 ~size:3 ~day:0 ()));
+  let txn = Db.begin_txn db in
+  (match
+     Db.exec_sql db txn "UPDATE parts SET qty = qty / (part_id - part_id) WHERE part_id = 1"
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "expected division failure");
+  Db.abort db txn;
+  check Alcotest.int "table intact" 3 (Table.row_count (Db.table db "parts"))
+
+(* ---------- multiple triggers stack ---------- *)
+
+let triggers_stack_in_order () =
+  let vfs = Vfs.in_memory () in
+  let db = Db.create ~vfs ~name:"src" () in
+  let _ = Workload.create_parts_table db in
+  let log = ref [] in
+  let mk name = { Trigger.name; on = [ Trigger.On_insert ]; action = (fun _ _ -> log := name :: !log) } in
+  Db.add_trigger db ~table:"parts" (mk "first");
+  Db.add_trigger db ~table:"parts" (mk "second");
+  Db.with_txn db (fun txn ->
+      List.iter
+        (fun s -> ignore (Db.exec db txn s : Db.exec_result))
+        (Workload.insert_parts_txn ~first_id:1 ~size:1 ~day:0 ()));
+  check (Alcotest.list Alcotest.string) "registration order" [ "first"; "second" ]
+    (List.rev !log)
+
+(* ---------- export corruption detection ---------- *)
+
+let truncated_export_rejected () =
+  let vfs = Vfs.in_memory () in
+  let db = Db.create ~vfs ~name:"src" () in
+  let _ = Workload.create_parts_table db in
+  Workload.load_parts db ~rows:20 ();
+  ignore (Dw_engine.Export_util.export_table db ~table:"parts" ~dest:"p.exp" ()
+          : Dw_engine.Export_util.stats);
+  let f = Vfs.open_existing vfs "p.exp" in
+  Vfs.truncate f (Vfs.size f - 150);
+  Vfs.close f;
+  let _ = Db.create_table db ~name:"p2" ~ts_column:"last_modified" Workload.parts_schema in
+  check Alcotest.bool "truncated dump rejected" true
+    (Result.is_error (Dw_engine.Import_util.import_table db ~src:"p.exp" ~table:"p2"))
+
+(* ---------- deep buffer pool churn keeps data intact ---------- *)
+
+let pool_churn_integrity () =
+  let vfs = Vfs.in_memory () in
+  let db = Db.create ~pool_pages:3 ~vfs ~name:"src" () in
+  let _ = Workload.create_parts_table db in
+  Workload.load_parts db ~rows:500 ();
+  (* interleave scans and updates under heavy eviction *)
+  for round = 1 to 5 do
+    ignore
+      (Db.with_txn db (fun txn ->
+           Db.update_where db txn "parts"
+             ~set:[ ("qty", Expr.Lit (Value.Int round)) ]
+             ~where:
+               (Some
+                  (Expr.Cmp (Expr.Le, Expr.Col "part_id", Expr.Lit (Value.Int (round * 50)))))))
+  done;
+  let tbl = Db.table db "parts" in
+  check Alcotest.int "all rows survive" 500 (Table.row_count tbl);
+  match Table.find_key tbl [| Value.Int 10 |] with
+  | Some (_, t) ->
+    check Alcotest.bool "last round visible" true
+      (Tuple.get Workload.parts_schema t "qty" = Value.Int 5)
+  | None -> Alcotest.fail "row 10 missing"
+
+let suite =
+  [
+    test "steal then crash: losers undone" steal_then_crash_undone;
+    test "steal: committed redone" steal_committed_redone;
+    test "torn offset file redelivers" torn_offset_file_redelivers;
+    test "key update collision aborts" key_update_collision_aborts_statement;
+    test "key update disjoint succeeds" key_update_disjoint_succeeds;
+    test "division by zero aborts" division_by_zero_aborts;
+    test "triggers stack in order" triggers_stack_in_order;
+    test "truncated export rejected" truncated_export_rejected;
+    test "pool churn integrity" pool_churn_integrity;
+  ]

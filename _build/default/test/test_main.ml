@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "dw-delta"
+    [
+      ("util", Test_util.suite);
+      ("relation", Test_relation.suite);
+      ("storage", Test_storage.suite);
+      ("txn", Test_txn.suite);
+      ("sql", Test_sql.suite);
+      ("engine", Test_engine.suite);
+      ("snapshot", Test_snapshot.suite);
+      ("core", Test_core.suite);
+      ("transport", Test_transport.suite);
+      ("warehouse", Test_warehouse.suite);
+      ("cots", Test_cots.suite);
+      ("extensions", Test_extensions.suite);
+      ("etl", Test_etl.suite);
+      ("failure", Test_failure.suite);
+      ("properties", Test_properties.suite);
+      ("scheduler", Test_scheduler.suite);
+    ]

@@ -1,0 +1,210 @@
+(* Cross-cutting qcheck property suites that don't belong to a single
+   module's tests: lock-manager safety against a brute-force model,
+   Op-Delta wire-format round-trips over generated transactions, and WAL
+   record-stream round-trips. *)
+
+module Vfs = Dw_storage.Vfs
+module Heap_file = Dw_storage.Heap_file
+module Lock_manager = Dw_txn.Lock_manager
+module Log_record = Dw_txn.Log_record
+module Wal = Dw_txn.Wal
+module Value = Dw_relation.Value
+module Tuple = Dw_relation.Tuple
+module Ast = Dw_sql.Ast
+module Op_delta = Dw_core.Op_delta
+module Workload = Dw_workload.Workload
+
+let test name f = Alcotest.test_case name `Quick f
+let _ = test
+
+(* ---------- lock manager vs. brute-force model ---------- *)
+
+type lock_op =
+  | Acquire of int * int * bool * bool  (* tx, resource id, is_row, exclusive *)
+  | Release of int
+
+let gen_lock_ops =
+  QCheck2.Gen.(
+    list_size (int_range 1 120)
+      (frequency
+         [
+           (6, map (fun ((tx, r), (row, x)) -> Acquire (tx, r, row, x))
+                 (pair (pair (int_range 1 5) (int_range 0 4)) (pair bool bool)));
+           (2, map (fun tx -> Release tx) (int_range 1 5));
+         ]))
+
+let resource_of r is_row =
+  if is_row then Lock_manager.Row ("t", { Heap_file.page = r; slot = 0 })
+  else Lock_manager.Table "t"
+
+(* model resource identity: all table locks are the one table "t" *)
+let model_id r is_row = if is_row then Some r else None
+
+(* model: set of granted (tx, id option, exclusive) *)
+let model_conflicts held tx resource_id is_row exclusive =
+  let id = model_id resource_id is_row in
+  List.filter
+    (fun (otx, oid, ox) ->
+      otx <> tx
+      && (not ((not exclusive) && not ox))  (* S/S compatible *)
+      && (oid = id  (* same resource *)
+          || (oid = None) <> (id = None) (* coarse: table lock vs any row lock *)))
+    held
+  |> List.map (fun (otx, _, _) -> otx)
+  |> List.sort_uniq compare
+
+let prop_lock_manager_model =
+  QCheck2.Test.make ~name:"lock manager matches brute-force model" ~count:300 gen_lock_ops
+    (fun ops ->
+      let lm = Lock_manager.create () in
+      let held = ref [] in  (* (tx, id, is_row, exclusive) granted in model *)
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Release tx ->
+            Lock_manager.release_all lm tx;
+            held := List.filter (fun (otx, _, _) -> otx <> tx) !held
+          | Acquire (tx, r, is_row, x) -> (
+              let resource = resource_of r is_row in
+              let id = model_id r is_row in
+              let mode = if x then Lock_manager.X else Lock_manager.S in
+              let model_blockers = model_conflicts !held tx r is_row x in
+              match Lock_manager.acquire lm tx resource mode with
+              | Lock_manager.Granted ->
+                if model_blockers <> [] then ok := false
+                else begin
+                  (* model grant: upgrade keeps the strongest mode *)
+                  let existing =
+                    List.find_opt (fun (otx, oid, _) -> otx = tx && oid = id) !held
+                  in
+                  let new_x = match existing with Some (_, _, ox) -> ox || x | None -> x in
+                  held :=
+                    (tx, id, new_x)
+                    :: List.filter (fun (otx, oid, _) -> not (otx = tx && oid = id)) !held
+                end
+              | Lock_manager.Blocked blockers | Lock_manager.Deadlock blockers ->
+                if model_blockers = [] then ok := false
+                else if List.sort compare blockers <> model_blockers then ok := false))
+        ops;
+      !ok)
+
+(* ---------- op-delta wire format over generated transactions ---------- *)
+
+let gen_txn =
+  QCheck2.Gen.(
+    let gen_stmt =
+      oneof
+        [
+          map2
+            (fun first size -> List.hd (Workload.insert_parts_txn ~first_id:first ~size:1 ~day:size ()))
+            (int_range 1 100000) (int_range 0 20000);
+          map2 (fun f s -> Workload.update_parts_stmt ~first_id:f ~size:s) (int_range 1 1000)
+            (int_range 1 1000);
+          map2 (fun f s -> Workload.delete_parts_stmt ~first_id:f ~size:s) (int_range 1 1000)
+            (int_range 1 1000);
+        ]
+    in
+    pair (int_range 0 1_000_000) (list_size (int_range 1 8) gen_stmt))
+
+let prop_opdelta_wire_roundtrip =
+  QCheck2.Test.make ~name:"op-delta wire roundtrip (generated txns)" ~count:300 gen_txn
+    (fun (txn_id, stmts) ->
+      let od = Op_delta.make ~txn_id stmts in
+      match Op_delta.decode_line (Op_delta.encode_line od) with
+      | Error _ -> false
+      | Ok od' ->
+        od'.Op_delta.txn_id = txn_id
+        && List.length od'.Op_delta.ops = List.length stmts
+        && List.for_all2
+             (fun stmt (op : Op_delta.op) -> Ast.equal stmt op.Op_delta.stmt)
+             stmts od'.Op_delta.ops)
+
+let gen_images =
+  QCheck2.Gen.(
+    list_size (int_range 1 5)
+      (map2
+         (fun id day -> Workload.gen_part (Dw_util.Prng.create ~seed:id) ~id ~day)
+         (int_range 1 1000) (int_range 0 20000)))
+
+let prop_opdelta_wire_with_images =
+  QCheck2.Test.make ~name:"op-delta wire roundtrip with before images" ~count:200
+    QCheck2.Gen.(pair gen_images (pair (int_range 1 500) (int_range 1 500)))
+    (fun (images, (first_id, size)) ->
+      let od =
+        Op_delta.with_before_images ~txn_id:9
+          [ (Workload.delete_parts_stmt ~first_id ~size, images) ]
+      in
+      let schema_of name = if name = "parts" then Some Workload.parts_schema else None in
+      match Op_delta.decode_line ~schema_of (Op_delta.encode_line ~schema_of od) with
+      | Error _ -> false
+      | Ok od' -> (
+          match od'.Op_delta.ops with
+          | [ op ] ->
+            List.length op.Op_delta.before_images = List.length images
+            && List.for_all2 Tuple.equal images op.Op_delta.before_images
+          | _ -> false))
+
+(* ---------- WAL stream round-trip ---------- *)
+
+let gen_records =
+  QCheck2.Gen.(
+    let bytes_gen = map Bytes.of_string (string_size ~gen:printable (int_range 0 50)) in
+    let rid = map2 (fun p s -> { Heap_file.page = p; slot = s }) (int_range 0 100) (int_range 0 60) in
+    list_size (int_range 1 60)
+      (oneof
+         [
+           map (fun tx -> { Log_record.tx; body = Log_record.Begin }) (int_range 1 50);
+           map (fun tx -> { Log_record.tx; body = Log_record.Commit }) (int_range 1 50);
+           map (fun tx -> { Log_record.tx; body = Log_record.Abort }) (int_range 1 50);
+           map3
+             (fun tx rid after ->
+               { Log_record.tx; body = Log_record.Insert { table = "t"; rid; after } })
+             (int_range 1 50) rid bytes_gen;
+           map3
+             (fun tx rid before ->
+               { Log_record.tx; body = Log_record.Delete { table = "t"; rid; before } })
+             (int_range 1 50) rid bytes_gen;
+         ]))
+
+let record_equal (a : Log_record.t) (b : Log_record.t) =
+  a.Log_record.tx = b.Log_record.tx
+  &&
+  match a.Log_record.body, b.Log_record.body with
+  | Log_record.Begin, Log_record.Begin
+  | Log_record.Commit, Log_record.Commit
+  | Log_record.Abort, Log_record.Abort ->
+    true
+  | Log_record.Insert x, Log_record.Insert y ->
+    x.table = y.table && x.rid = y.rid && Bytes.equal x.after y.after
+  | Log_record.Delete x, Log_record.Delete y ->
+    x.table = y.table && x.rid = y.rid && Bytes.equal x.before y.before
+  | _, _ -> false
+
+let prop_wal_stream_roundtrip =
+  QCheck2.Test.make ~name:"wal stream roundtrip (with checkpoints interleaved)" ~count:150
+    QCheck2.Gen.(pair gen_records (int_range 0 3))
+    (fun (records, checkpoints_every) ->
+      let vfs = Vfs.in_memory () in
+      let wal = Wal.create vfs ~name:"p.wal" ~archive:true in
+      List.iteri
+        (fun i record ->
+          ignore (Wal.append wal record : int);
+          if checkpoints_every > 0 && i mod (checkpoints_every * 7) = 6 then
+            ignore (Wal.checkpoint wal ~active:[] : int))
+        records;
+      let got = ref [] in
+      Wal.iter_all wal (fun _ r ->
+          match r.Log_record.body with
+          | Log_record.Checkpoint _ -> ()
+          | _ -> got := r :: !got);
+      let got = List.rev !got in
+      List.length got = List.length records && List.for_all2 record_equal records got)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_lock_manager_model;
+    QCheck_alcotest.to_alcotest prop_opdelta_wire_roundtrip;
+    QCheck_alcotest.to_alcotest prop_opdelta_wire_with_images;
+    QCheck_alcotest.to_alcotest prop_wal_stream_roundtrip;
+  ]

@@ -1,0 +1,336 @@
+(* Tests for Dw_snapshot: sort-merge and partitioned-hash differentials,
+   including the qcheck property diff(a,b) applied to a == b. *)
+
+module Snapshot_diff = Dw_snapshot.Snapshot_diff
+module Vfs = Dw_storage.Vfs
+module Value = Dw_relation.Value
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Codec = Dw_relation.Codec
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let schema =
+  Schema.make
+    [
+      { Schema.name = "id"; ty = Value.Tint; nullable = false };
+      { Schema.name = "v"; ty = Value.Tstring 20; nullable = false };
+    ]
+
+let row id v = [| Value.Int id; Value.Str v |]
+
+let sort_rows = List.sort Tuple.compare
+
+let rows_equal a b =
+  List.length a = List.length b && List.for_all2 Tuple.equal (sort_rows a) (sort_rows b)
+
+let diff_basic () =
+  let old_rows = [ row 1 "a"; row 2 "b"; row 3 "c" ] in
+  let new_rows = [ row 2 "B"; row 3 "c"; row 4 "d" ] in
+  let entries, stats = Snapshot_diff.sort_merge schema ~old_rows ~new_rows in
+  check Alcotest.int "entry count" 3 stats.Snapshot_diff.entries;
+  let kinds =
+    List.map
+      (function
+        | Snapshot_diff.Added _ -> "add"
+        | Snapshot_diff.Removed _ -> "rem"
+        | Snapshot_diff.Changed _ -> "chg")
+      entries
+  in
+  check (Alcotest.list Alcotest.string) "kinds" [ "rem"; "chg"; "add" ] kinds
+
+let diff_empty_cases () =
+  let entries, _ = Snapshot_diff.sort_merge schema ~old_rows:[] ~new_rows:[] in
+  check Alcotest.int "empty/empty" 0 (List.length entries);
+  let entries, _ = Snapshot_diff.sort_merge schema ~old_rows:[] ~new_rows:[ row 1 "a" ] in
+  check Alcotest.int "initial load" 1 (List.length entries);
+  let entries, _ = Snapshot_diff.sort_merge schema ~old_rows:[ row 1 "a" ] ~new_rows:[] in
+  check Alcotest.int "drop all" 1 (List.length entries)
+
+let diff_rejects_duplicate_keys () =
+  Alcotest.check_raises "dup keys"
+    (Invalid_argument "Snapshot_diff: duplicate key (1) within one snapshot") (fun () ->
+      ignore (Snapshot_diff.sort_merge schema ~old_rows:[ row 1 "a"; row 1 "b" ] ~new_rows:[]))
+
+let write_snapshot vfs name rows =
+  let file = Vfs.create vfs name in
+  List.iter
+    (fun r -> ignore (Vfs.append file (Bytes.of_string (Codec.encode_ascii schema r ^ "\n")) : int))
+    rows;
+  Vfs.close file
+
+let partitioned_matches_sort_merge () =
+  let vfs = Vfs.in_memory () in
+  let old_rows = List.init 100 (fun i -> row i ("v" ^ string_of_int i)) in
+  let new_rows =
+    (* drop multiples of 7, change multiples of 5, add 100..109 *)
+    List.filter_map
+      (fun i ->
+        if i mod 7 = 0 then None
+        else if i mod 5 = 0 then Some (row i "CHANGED")
+        else Some (row i ("v" ^ string_of_int i)))
+      (List.init 100 Fun.id)
+    @ List.init 10 (fun i -> row (100 + i) "new")
+  in
+  write_snapshot vfs "old.snap" old_rows;
+  write_snapshot vfs "new.snap" new_rows;
+  let reference, _ = Snapshot_diff.sort_merge schema ~old_rows ~new_rows in
+  match
+    Snapshot_diff.partitioned_hash ~buckets:4 vfs schema ~old_file:"old.snap"
+      ~new_file:"new.snap"
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (entries, stats) ->
+    check Alcotest.int "same entry count" (List.length reference) (List.length entries);
+    check Alcotest.bool "scratch I/O happened" true (stats.Snapshot_diff.scratch_bytes > 0);
+    (* same multiset of entries: compare keyed sets *)
+    let norm l =
+      List.map
+        (function
+          | Snapshot_diff.Added t -> ("A", Tuple.to_string t)
+          | Snapshot_diff.Removed t -> ("R", Tuple.to_string t)
+          | Snapshot_diff.Changed (b, a) -> ("C", Tuple.to_string b ^ Tuple.to_string a))
+        l
+      |> List.sort compare
+    in
+    check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string)) "same entries"
+      (norm reference) (norm entries)
+
+let partitioned_cleans_scratch () =
+  let vfs = Vfs.in_memory () in
+  write_snapshot vfs "old.snap" [ row 1 "a" ];
+  write_snapshot vfs "new.snap" [ row 1 "b" ];
+  (match
+     Snapshot_diff.partitioned_hash ~buckets:3 vfs schema ~old_file:"old.snap"
+       ~new_file:"new.snap"
+   with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail e);
+  check (Alcotest.list Alcotest.string) "only snapshots remain" [ "new.snap"; "old.snap" ]
+    (Vfs.list_files vfs)
+
+(* ---------- sliding window ---------- *)
+
+let window_exact_with_large_window () =
+  let vfs = Vfs.in_memory () in
+  let old_rows = List.init 200 (fun i -> row i ("v" ^ string_of_int i)) in
+  let new_rows =
+    List.filter_map
+      (fun i ->
+        if i mod 9 = 0 then None
+        else if i mod 4 = 0 then Some (row i "CHANGED")
+        else Some (row i ("v" ^ string_of_int i)))
+      (List.init 200 Fun.id)
+    @ [ row 500 "new1"; row 501 "new2" ]
+  in
+  write_snapshot vfs "wold.snap" old_rows;
+  write_snapshot vfs "wnew.snap" new_rows;
+  let reference, _ = Snapshot_diff.sort_merge schema ~old_rows ~new_rows in
+  match Snapshot_diff.window ~window_rows:4096 vfs schema ~old_file:"wold.snap" ~new_file:"wnew.snap" with
+  | Error e -> Alcotest.fail e
+  | Ok (entries, stats) ->
+    check Alcotest.int "entry count matches sort-merge" (List.length reference)
+      (List.length entries);
+    check Alcotest.int "no scratch traffic" 0 stats.Snapshot_diff.scratch_bytes;
+    check Alcotest.bool "applies correctly" true
+      (rows_equal (Snapshot_diff.apply schema entries old_rows) new_rows)
+
+let window_same_order_small_window () =
+  (* rows in the same scan order: even a tiny window is exact *)
+  let vfs = Vfs.in_memory () in
+  let old_rows = List.init 300 (fun i -> row i "same") in
+  let new_rows = List.init 300 (fun i -> if i = 150 then row i "edit" else row i "same") in
+  write_snapshot vfs "wo.snap" old_rows;
+  write_snapshot vfs "wn.snap" new_rows;
+  match Snapshot_diff.window ~window_rows:2 vfs schema ~old_file:"wo.snap" ~new_file:"wn.snap" with
+  | Error e -> Alcotest.fail e
+  | Ok (entries, _) -> (
+      match entries with
+      | [ Snapshot_diff.Changed (b, a) ] ->
+        check Alcotest.bool "before" true (Tuple.equal b (row 150 "same"));
+        check Alcotest.bool "after" true (Tuple.equal a (row 150 "edit"))
+      | _ -> Alcotest.failf "expected 1 Changed entry, got %d" (List.length entries))
+
+let window_displacement_beyond_window () =
+  (* the same row at opposite ends of the two snapshots, window too small:
+     the algorithm degrades to a spurious Removed+Added pair — but applying
+     the entries still reproduces the new snapshot *)
+  let vfs = Vfs.in_memory () in
+  (* 10 unmatched rows must sit in the aging buffer at once, window is 5:
+     the first ones age out as spurious Removed entries *)
+  let displaced = List.init 10 (fun i -> row (1 + i) "x") in
+  let filler = List.init 50 (fun i -> row (1000 + i) "filler") in
+  let old_rows = displaced @ filler in
+  let new_rows = filler @ displaced in
+  write_snapshot vfs "do.snap" old_rows;
+  write_snapshot vfs "dn.snap" new_rows;
+  match Snapshot_diff.window ~window_rows:5 vfs schema ~old_file:"do.snap" ~new_file:"dn.snap" with
+  | Error e -> Alcotest.fail e
+  | Ok (entries, _) ->
+    let spurious =
+      List.exists (function Snapshot_diff.Removed t -> Tuple.equal t (row 1 "x") | _ -> false)
+        entries
+      && List.exists (function Snapshot_diff.Added t -> Tuple.equal t (row 1 "x") | _ -> false)
+           entries
+    in
+    check Alcotest.bool "spurious remove+add pair" true spurious;
+    check Alcotest.bool "still applies correctly" true
+      (rows_equal (Snapshot_diff.apply schema entries old_rows) new_rows)
+
+let prop_window_apply =
+  QCheck2.Test.make ~name:"window diff applies correctly (any window)" ~count:150
+    QCheck2.Gen.(triple (int_range 1 64) (int_range 0 5000) (int_range 0 5000))
+    (fun (window_rows, seed_a, seed_b) ->
+      let mk seed =
+        let rng = Dw_util.Prng.create ~seed in
+        List.init
+          (Dw_util.Prng.int rng 40)
+          (fun _ ->
+            row (Dw_util.Prng.int rng 30) (Dw_util.Prng.alpha_string rng 3))
+        (* dedup by key *)
+        |> List.fold_left
+             (fun acc r -> if List.exists (fun x -> Tuple.compare_key schema x r = 0) acc then acc else r :: acc)
+             []
+      in
+      let old_rows = mk seed_a and new_rows = mk seed_b in
+      let vfs = Vfs.in_memory () in
+      write_snapshot vfs "po.snap" old_rows;
+      write_snapshot vfs "pn.snap" new_rows;
+      match Snapshot_diff.window ~window_rows vfs schema ~old_file:"po.snap" ~new_file:"pn.snap" with
+      | Error _ -> false
+      | Ok (entries, _) ->
+        rows_equal (Snapshot_diff.apply schema entries old_rows) new_rows)
+
+(* ---------- external sort-merge ---------- *)
+
+let external_matches_sort_merge () =
+  let vfs = Vfs.in_memory () in
+  let rng = Dw_util.Prng.create ~seed:8 in
+  (* unsorted snapshots with adds/removes/changes *)
+  let ids = Array.init 500 (fun i -> i) in
+  Dw_util.Prng.shuffle rng ids;
+  let old_rows = Array.to_list (Array.map (fun i -> row i ("v" ^ string_of_int i)) ids) in
+  let new_rows =
+    List.filter_map
+      (fun r ->
+        match r.(0) with
+        | Value.Int id when id mod 13 = 0 -> None
+        | Value.Int id when id mod 7 = 0 -> Some (row id "CHANGED")
+        | _ -> Some r)
+      old_rows
+    @ List.init 20 (fun i -> row (1000 + i) "new")
+  in
+  write_snapshot vfs "eo.snap" old_rows;
+  write_snapshot vfs "en.snap" new_rows;
+  let reference, _ = Snapshot_diff.sort_merge schema ~old_rows ~new_rows in
+  match
+    Snapshot_diff.external_sort_merge ~run_rows:64 vfs schema ~old_file:"eo.snap"
+      ~new_file:"en.snap"
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (entries, stats) ->
+    check Alcotest.int "entry count" (List.length reference) (List.length entries);
+    check Alcotest.bool "scratch traffic" true (stats.Snapshot_diff.scratch_bytes > 0);
+    check Alcotest.int "old rows" 500 stats.Snapshot_diff.old_rows;
+    check Alcotest.bool "applies correctly" true
+      (rows_equal (Snapshot_diff.apply schema entries old_rows) new_rows);
+    (* entries in global key order *)
+    let keys = List.map (Snapshot_diff.entry_key schema) entries in
+    let rec sorted = function
+      | a :: (b :: _ as rest) -> Tuple.compare a b < 0 && sorted rest
+      | _ -> true
+    in
+    check Alcotest.bool "globally ordered" true (sorted keys)
+
+let external_cleans_scratch () =
+  let vfs = Vfs.in_memory () in
+  write_snapshot vfs "eo.snap" [ row 1 "a"; row 2 "b"; row 3 "c" ];
+  write_snapshot vfs "en.snap" [ row 2 "b" ];
+  (match
+     Snapshot_diff.external_sort_merge ~run_rows:2 vfs schema ~old_file:"eo.snap"
+       ~new_file:"en.snap"
+   with
+   | Ok (entries, _) -> check Alcotest.int "two removals" 2 (List.length entries)
+   | Error e -> Alcotest.fail e);
+  check (Alcotest.list Alcotest.string) "scratch files deleted" [ "en.snap"; "eo.snap" ]
+    (Vfs.list_files vfs)
+
+let external_detects_duplicates () =
+  let vfs = Vfs.in_memory () in
+  write_snapshot vfs "eo.snap" [ row 1 "a"; row 1 "b" ];
+  write_snapshot vfs "en.snap" [ row 1 "a" ];
+  check Alcotest.bool "duplicate rejected" true
+    (Result.is_error
+       (Snapshot_diff.external_sort_merge ~run_rows:10 vfs schema ~old_file:"eo.snap"
+          ~new_file:"en.snap"))
+
+let prop_external_apply =
+  QCheck2.Test.make ~name:"external sort-merge applies correctly" ~count:100
+    QCheck2.Gen.(triple (int_range 1 32) (int_range 0 5000) (int_range 0 5000))
+    (fun (run_rows, seed_a, seed_b) ->
+      let mk seed =
+        let rng = Dw_util.Prng.create ~seed in
+        List.init
+          (Dw_util.Prng.int rng 60)
+          (fun _ -> row (Dw_util.Prng.int rng 40) (Dw_util.Prng.alpha_string rng 3))
+        |> List.fold_left
+             (fun acc r ->
+               if List.exists (fun x -> Tuple.compare_key schema x r = 0) acc then acc
+               else r :: acc)
+             []
+      in
+      let old_rows = mk seed_a and new_rows = mk seed_b in
+      let vfs = Vfs.in_memory () in
+      write_snapshot vfs "po.snap" old_rows;
+      write_snapshot vfs "pn.snap" new_rows;
+      match
+        Snapshot_diff.external_sort_merge ~run_rows vfs schema ~old_file:"po.snap"
+          ~new_file:"pn.snap"
+      with
+      | Error _ -> false
+      | Ok (entries, _) -> rows_equal (Snapshot_diff.apply schema entries old_rows) new_rows)
+
+(* property: apply (diff a b) a == b *)
+
+let gen_snapshot =
+  QCheck2.Gen.(
+    let gen_row = map2 (fun id v -> (id, v)) (int_range 0 60) (string_size ~gen:(char_range 'a' 'z') (int_range 1 5)) in
+    map
+      (fun pairs ->
+        (* dedup by key *)
+        let tbl = Hashtbl.create 16 in
+        List.iter (fun (id, v) -> Hashtbl.replace tbl id v) pairs;
+        Hashtbl.fold (fun id v acc -> row id v :: acc) tbl [])
+      (list_size (int_range 0 60) gen_row))
+
+let prop_diff_apply =
+  QCheck2.Test.make ~name:"apply (diff a b) a = b" ~count:300
+    (QCheck2.Gen.pair gen_snapshot gen_snapshot) (fun (old_rows, new_rows) ->
+      let entries, _ = Snapshot_diff.sort_merge schema ~old_rows ~new_rows in
+      rows_equal (Snapshot_diff.apply schema entries old_rows) new_rows)
+
+let prop_diff_minimal =
+  QCheck2.Test.make ~name:"diff of identical snapshots is empty" ~count:100 gen_snapshot
+    (fun rows ->
+      let entries, _ = Snapshot_diff.sort_merge schema ~old_rows:rows ~new_rows:rows in
+      entries = [])
+
+let suite =
+  [
+    test "diff basic" diff_basic;
+    test "diff empty cases" diff_empty_cases;
+    test "diff rejects duplicate keys" diff_rejects_duplicate_keys;
+    test "partitioned matches sort-merge" partitioned_matches_sort_merge;
+    test "partitioned cleans scratch" partitioned_cleans_scratch;
+    test "window exact with large window" window_exact_with_large_window;
+    test "window same order small window" window_same_order_small_window;
+    test "window displacement beyond window" window_displacement_beyond_window;
+    QCheck_alcotest.to_alcotest prop_window_apply;
+    test "external matches sort-merge" external_matches_sort_merge;
+    test "external cleans scratch" external_cleans_scratch;
+    test "external detects duplicates" external_detects_duplicates;
+    QCheck_alcotest.to_alcotest prop_external_apply;
+    QCheck_alcotest.to_alcotest prop_diff_apply;
+    QCheck_alcotest.to_alcotest prop_diff_minimal;
+  ]

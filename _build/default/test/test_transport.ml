@@ -1,0 +1,149 @@
+(* Tests for Dw_transport: file shipping across vfs instances, persistent
+   queue semantics incl. crash recovery (redelivery of unacked messages). *)
+
+module Vfs = Dw_storage.Vfs
+module File_ship = Dw_transport.File_ship
+module Persistent_queue = Dw_transport.Persistent_queue
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let write_file vfs name contents =
+  let f = Vfs.create vfs name in
+  ignore (Vfs.append f (Bytes.of_string contents) : int);
+  Vfs.close f
+
+let read_file vfs name =
+  let f = Vfs.open_existing vfs name in
+  let s = Bytes.to_string (Vfs.read_at f ~off:0 ~len:(Vfs.size f)) in
+  Vfs.close f;
+  s
+
+let ship_roundtrip () =
+  let src = Vfs.in_memory () and dst = Vfs.in_memory () in
+  let payload = String.concat "\n" (List.init 1000 (fun i -> Printf.sprintf "line-%d" i)) in
+  write_file src "delta.asc" payload;
+  (match
+     File_ship.ship ~chunk_size:256 ~src ~src_name:"delta.asc" ~dst ~dst_name:"staged.asc" ()
+   with
+   | Ok stats ->
+     check Alcotest.int "bytes" (String.length payload) stats.File_ship.bytes;
+     check Alcotest.bool "chunked" true (stats.File_ship.chunks > 1)
+   | Error e -> Alcotest.fail e);
+  check Alcotest.string "identical" payload (read_file dst "staged.asc")
+
+let ship_missing_source () =
+  let src = Vfs.in_memory () and dst = Vfs.in_memory () in
+  check Alcotest.bool "missing" true
+    (Result.is_error (File_ship.ship ~src ~src_name:"nope" ~dst ~dst_name:"x" ()))
+
+let ship_empty_file () =
+  let src = Vfs.in_memory () and dst = Vfs.in_memory () in
+  write_file src "empty" "";
+  match File_ship.ship ~src ~src_name:"empty" ~dst ~dst_name:"empty2" () with
+  | Ok stats -> check Alcotest.int "zero bytes" 0 stats.File_ship.bytes
+  | Error e -> Alcotest.fail e
+
+let queue_fifo () =
+  let vfs = Vfs.in_memory () in
+  let q = Persistent_queue.open_ vfs ~name:"dq" in
+  Persistent_queue.enqueue q "a";
+  Persistent_queue.enqueue q "b";
+  Persistent_queue.enqueue q "c";
+  check Alcotest.int "pending" 3 (Persistent_queue.pending q);
+  check (Alcotest.option Alcotest.string) "peek a" (Some "a") (Persistent_queue.peek q);
+  Persistent_queue.ack q;
+  check (Alcotest.option Alcotest.string) "peek b" (Some "b") (Persistent_queue.peek q);
+  Persistent_queue.ack q;
+  Persistent_queue.ack q;
+  check (Alcotest.option Alcotest.string) "drained" None (Persistent_queue.peek q);
+  check Alcotest.int "pending 0" 0 (Persistent_queue.pending q);
+  Persistent_queue.close q
+
+let queue_ack_empty_raises () =
+  let vfs = Vfs.in_memory () in
+  let q = Persistent_queue.open_ vfs ~name:"dq" in
+  (try
+     Persistent_queue.ack q;
+     Alcotest.fail "expected failure"
+   with Invalid_argument _ -> ());
+  Persistent_queue.close q
+
+let queue_crash_redelivery () =
+  let vfs = Vfs.in_memory () in
+  let q = Persistent_queue.open_ vfs ~name:"dq" in
+  Persistent_queue.enqueue q "batch1";
+  Persistent_queue.enqueue q "batch2";
+  ignore (Persistent_queue.peek q : string option);
+  Persistent_queue.ack q;
+  (* "crash": drop the handle without acking batch2, re-open *)
+  ignore (Persistent_queue.peek q : string option);
+  Persistent_queue.close q;
+  let q2 = Persistent_queue.open_ vfs ~name:"dq" in
+  check Alcotest.int "one pending" 1 (Persistent_queue.pending q2);
+  check (Alcotest.option Alcotest.string) "batch2 redelivered" (Some "batch2")
+    (Persistent_queue.peek q2);
+  check Alcotest.int "total" 2 (Persistent_queue.enqueued_total q2);
+  Persistent_queue.close q2
+
+let queue_binary_safe () =
+  let vfs = Vfs.in_memory () in
+  let q = Persistent_queue.open_ vfs ~name:"dq" in
+  let payload = String.init 256 Char.chr in
+  Persistent_queue.enqueue q payload;
+  check (Alcotest.option Alcotest.string) "binary payload" (Some payload)
+    (Persistent_queue.peek q);
+  Persistent_queue.close q
+
+let queue_survives_torn_tail () =
+  let vfs = Vfs.in_memory () in
+  let q = Persistent_queue.open_ vfs ~name:"dq" in
+  Persistent_queue.enqueue q "ok";
+  Persistent_queue.close q;
+  (* simulate a torn enqueue *)
+  let f = Vfs.open_existing vfs "dq.q" in
+  ignore (Vfs.append f (Bytes.of_string "\x10\x00\x00\x00????") : int);
+  Vfs.close f;
+  let q2 = Persistent_queue.open_ vfs ~name:"dq" in
+  check Alcotest.int "clean messages only" 1 (Persistent_queue.pending q2);
+  Persistent_queue.close q2
+
+(* end-to-end: op-deltas through the queue *)
+let queue_ships_op_deltas () =
+  let vfs = Vfs.in_memory () in
+  let q = Persistent_queue.open_ vfs ~name:"dq" in
+  let ods =
+    List.init 5 (fun i ->
+        Dw_core.Op_delta.make ~txn_id:i
+          [ Dw_workload.Workload.update_parts_stmt ~first_id:i ~size:3 ])
+  in
+  List.iter (fun od -> Persistent_queue.enqueue q (Dw_core.Op_delta.encode_line od)) ods;
+  let rec drain acc =
+    match Persistent_queue.peek q with
+    | None -> List.rev acc
+    | Some line ->
+      Persistent_queue.ack q;
+      (match Dw_core.Op_delta.decode_line line with
+       | Ok od -> drain (od :: acc)
+       | Error e -> Alcotest.fail e)
+  in
+  let received = drain [] in
+  check Alcotest.int "all delivered" 5 (List.length received);
+  List.iter2
+    (fun (a : Dw_core.Op_delta.t) (b : Dw_core.Op_delta.t) ->
+      check Alcotest.int "txn ids in order" a.Dw_core.Op_delta.txn_id b.Dw_core.Op_delta.txn_id)
+    ods received;
+  Persistent_queue.close q
+
+let suite =
+  [
+    test "ship roundtrip" ship_roundtrip;
+    test "ship missing source" ship_missing_source;
+    test "ship empty file" ship_empty_file;
+    test "queue fifo" queue_fifo;
+    test "queue ack empty raises" queue_ack_empty_raises;
+    test "queue crash redelivery" queue_crash_redelivery;
+    test "queue binary safe" queue_binary_safe;
+    test "queue survives torn tail" queue_survives_torn_tail;
+    test "queue ships op-deltas" queue_ships_op_deltas;
+  ]

@@ -1,0 +1,316 @@
+(* Tests for Dw_txn: log record codec, WAL segments/archive, lock manager,
+   recovery passes. *)
+
+module Vfs = Dw_storage.Vfs
+module Buffer_pool = Dw_storage.Buffer_pool
+module Heap_file = Dw_storage.Heap_file
+module Log_record = Dw_txn.Log_record
+module Wal = Dw_txn.Wal
+module Lock_manager = Dw_txn.Lock_manager
+module Recovery = Dw_txn.Recovery
+module Value = Dw_relation.Value
+module Schema = Dw_relation.Schema
+module Codec = Dw_relation.Codec
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let rid page slot = { Heap_file.page; slot }
+
+(* ---------- log record codec ---------- *)
+
+let sample_records =
+  [
+    { Log_record.tx = 1; body = Log_record.Begin };
+    { Log_record.tx = 1; body = Log_record.Commit };
+    { Log_record.tx = 2; body = Log_record.Abort };
+    {
+      Log_record.tx = 3;
+      body = Log_record.Insert { table = "parts"; rid = rid 0 5; after = Bytes.of_string "abc" };
+    };
+    {
+      Log_record.tx = 3;
+      body = Log_record.Delete { table = "t"; rid = rid 9 1; before = Bytes.make 100 'z' };
+    };
+    {
+      Log_record.tx = 4;
+      body =
+        Log_record.Update
+          { table = "x"; rid = rid 2 2; before = Bytes.of_string "old"; after = Bytes.of_string "new" };
+    };
+    { Log_record.tx = 0; body = Log_record.Checkpoint [ 1; 2; 3 ] };
+    { Log_record.tx = 0; body = Log_record.Checkpoint [] };
+  ]
+
+let record_equal (a : Log_record.t) (b : Log_record.t) =
+  a.tx = b.tx
+  &&
+  match a.body, b.body with
+  | Log_record.Begin, Log_record.Begin
+  | Log_record.Commit, Log_record.Commit
+  | Log_record.Abort, Log_record.Abort ->
+    true
+  | Log_record.Insert x, Log_record.Insert y ->
+    x.table = y.table && x.rid = y.rid && Bytes.equal x.after y.after
+  | Log_record.Delete x, Log_record.Delete y ->
+    x.table = y.table && x.rid = y.rid && Bytes.equal x.before y.before
+  | Log_record.Update x, Log_record.Update y ->
+    x.table = y.table && x.rid = y.rid && Bytes.equal x.before y.before
+    && Bytes.equal x.after y.after
+  | Log_record.Checkpoint x, Log_record.Checkpoint y -> x = y
+  | ( ( Log_record.Begin | Log_record.Commit | Log_record.Abort | Log_record.Insert _
+      | Log_record.Delete _ | Log_record.Update _ | Log_record.Checkpoint _ ),
+      _ ) ->
+    false
+
+let log_record_roundtrip () =
+  List.iter
+    (fun record ->
+      let encoded = Log_record.encode record in
+      match Log_record.decode encoded ~off:0 with
+      | Ok (decoded, next) ->
+        check Alcotest.bool "roundtrip" true (record_equal record decoded);
+        check Alcotest.int "consumed all" (Bytes.length encoded) next
+      | Error e -> Alcotest.fail e)
+    sample_records
+
+let log_record_detects_corruption () =
+  let encoded = Log_record.encode (List.nth sample_records 3) in
+  (* flip a payload byte *)
+  Bytes.set encoded 12 (Char.chr (Char.code (Bytes.get encoded 12) lxor 0xFF));
+  check Alcotest.bool "corrupt rejected" true
+    (Result.is_error (Log_record.decode encoded ~off:0))
+
+let log_record_truncated () =
+  let encoded = Log_record.encode (List.nth sample_records 3) in
+  let torn = Bytes.sub encoded 0 (Bytes.length encoded - 2) in
+  check Alcotest.bool "torn rejected" true (Result.is_error (Log_record.decode torn ~off:0))
+
+(* ---------- wal ---------- *)
+
+let wal_append_iter () =
+  let vfs = Vfs.in_memory () in
+  let wal = Wal.create vfs ~name:"test.wal" ~archive:false in
+  let lsns = List.map (Wal.append wal) sample_records in
+  Wal.flush wal;
+  check Alcotest.bool "lsns increase" true
+    (List.for_all2 (fun a b -> a < b) (List.filteri (fun i _ -> i < 7) lsns) (List.tl lsns));
+  let got = ref [] in
+  Wal.iter_all wal (fun _ r -> got := r :: !got);
+  let got = List.rev !got in
+  check Alcotest.int "all read back" (List.length sample_records) (List.length got);
+  List.iter2
+    (fun a b -> check Alcotest.bool "record" true (record_equal a b))
+    sample_records got
+
+let wal_iter_from () =
+  let vfs = Vfs.in_memory () in
+  let wal = Wal.create vfs ~name:"test.wal" ~archive:false in
+  let lsns = List.map (Wal.append wal) sample_records in
+  let from = List.nth lsns 4 in
+  let count = ref 0 in
+  Wal.iter_from wal from (fun lsn _ ->
+      check Alcotest.bool "lsn filtered" true (lsn >= from);
+      incr count);
+  check Alcotest.int "tail records" 4 !count
+
+let wal_archive_retains_segments () =
+  let vfs = Vfs.in_memory () in
+  let wal = Wal.create vfs ~name:"a.wal" ~archive:true in
+  ignore (Wal.append wal { Log_record.tx = 1; body = Log_record.Begin } : int);
+  ignore (Wal.checkpoint wal ~active:[] : int);
+  ignore (Wal.append wal { Log_record.tx = 2; body = Log_record.Begin } : int);
+  ignore (Wal.checkpoint wal ~active:[] : int);
+  check Alcotest.int "archived segments" 2 (List.length (Wal.archived_segments wal));
+  (* archived records still replayable *)
+  let begins = ref 0 in
+  Wal.iter_all wal (fun _ r ->
+      match r.Log_record.body with Log_record.Begin -> incr begins | _ -> ());
+  check Alcotest.int "begins across segments" 2 !begins
+
+let wal_no_archive_recycles () =
+  let vfs = Vfs.in_memory () in
+  let wal = Wal.create vfs ~name:"b.wal" ~archive:false in
+  for i = 1 to 3 do
+    ignore (Wal.append wal { Log_record.tx = i; body = Log_record.Begin } : int);
+    ignore (Wal.checkpoint wal ~active:[] : int)
+  done;
+  (* only the checkpoint-holding segment plus current should remain *)
+  check Alcotest.bool "segments recycled" true (List.length (Vfs.list_files vfs) <= 2)
+
+let wal_survives_torn_tail () =
+  let vfs = Vfs.in_memory () in
+  let wal = Wal.create vfs ~name:"c.wal" ~archive:false in
+  ignore (Wal.append wal { Log_record.tx = 1; body = Log_record.Begin } : int);
+  ignore (Wal.append wal { Log_record.tx = 1; body = Log_record.Commit } : int);
+  Wal.flush wal;
+  (* simulate a torn write: append garbage half-frame to the segment *)
+  let seg = Vfs.open_existing vfs (List.hd (Vfs.list_files vfs)) in
+  ignore (Vfs.append seg (Bytes.of_string "\x40\x00\x00\x00junk") : int);
+  Vfs.close seg;
+  let count = ref 0 in
+  Wal.iter_all wal (fun _ _ -> incr count);
+  check Alcotest.int "clean records only" 2 !count
+
+(* ---------- lock manager ---------- *)
+
+let lm_shared_compatible () =
+  let lm = Lock_manager.create () in
+  check Alcotest.bool "t1 S" true (Lock_manager.acquire lm 1 (Lock_manager.Table "t") Lock_manager.S = Lock_manager.Granted);
+  check Alcotest.bool "t2 S" true (Lock_manager.acquire lm 2 (Lock_manager.Table "t") Lock_manager.S = Lock_manager.Granted)
+
+let lm_exclusive_conflicts () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm 1 (Lock_manager.Table "t") Lock_manager.X);
+  (match Lock_manager.acquire lm 2 (Lock_manager.Table "t") Lock_manager.S with
+   | Lock_manager.Blocked [ 1 ] -> ()
+   | _ -> Alcotest.fail "expected Blocked [1]");
+  Lock_manager.release_all lm 1;
+  check Alcotest.bool "granted after release" true
+    (Lock_manager.acquire lm 2 (Lock_manager.Table "t") Lock_manager.S = Lock_manager.Granted)
+
+let lm_upgrade () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm 1 (Lock_manager.Table "t") Lock_manager.S);
+  check Alcotest.bool "self upgrade" true
+    (Lock_manager.acquire lm 1 (Lock_manager.Table "t") Lock_manager.X = Lock_manager.Granted);
+  (* now X is held: another S blocks *)
+  check Alcotest.bool "other blocked" true
+    (Lock_manager.acquire lm 2 (Lock_manager.Table "t") Lock_manager.S <> Lock_manager.Granted)
+
+let lm_row_table_interaction () =
+  let lm = Lock_manager.create () in
+  let r = Lock_manager.Row ("t", rid 0 1) in
+  ignore (Lock_manager.acquire lm 1 r Lock_manager.X);
+  (* another txn's table S lock conflicts with the row X *)
+  (match Lock_manager.acquire lm 2 (Lock_manager.Table "t") Lock_manager.S with
+   | Lock_manager.Blocked l -> check (Alcotest.list Alcotest.int) "blockers" [ 1 ] l
+   | _ -> Alcotest.fail "expected block");
+  (* a row lock in a different table does not conflict *)
+  check Alcotest.bool "other table ok" true
+    (Lock_manager.acquire lm 2 (Lock_manager.Table "u") Lock_manager.X = Lock_manager.Granted);
+  (* different rows both X fine *)
+  check Alcotest.bool "different rows" true
+    (Lock_manager.acquire lm 2 (Lock_manager.Row ("t", rid 0 2)) Lock_manager.X
+     = Lock_manager.Granted)
+
+let lm_deadlock_detection () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm 1 (Lock_manager.Table "a") Lock_manager.X);
+  ignore (Lock_manager.acquire lm 2 (Lock_manager.Table "b") Lock_manager.X);
+  (* 1 waits for b (held by 2) *)
+  (match Lock_manager.acquire lm 1 (Lock_manager.Table "b") Lock_manager.X with
+   | Lock_manager.Blocked _ -> ()
+   | _ -> Alcotest.fail "expected block");
+  (* 2 requesting a would close the cycle *)
+  match Lock_manager.acquire lm 2 (Lock_manager.Table "a") Lock_manager.X with
+  | Lock_manager.Deadlock _ -> ()
+  | _ -> Alcotest.fail "expected deadlock"
+
+let lm_release_clears_waits () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm 1 (Lock_manager.Table "t") Lock_manager.X);
+  ignore (Lock_manager.acquire lm 2 (Lock_manager.Table "t") Lock_manager.X);
+  check Alcotest.bool "2 waiting" true (Lock_manager.waiting lm 2);
+  Lock_manager.release_all lm 1;
+  check Alcotest.bool "wait cleared" false (Lock_manager.waiting lm 2)
+
+(* ---------- recovery ---------- *)
+
+let rec_schema =
+  Schema.make
+    [
+      { Schema.name = "id"; ty = Value.Tint; nullable = false };
+      { Schema.name = "v"; ty = Value.Tstring 20; nullable = true };
+    ]
+
+let encode t = Codec.encode_binary rec_schema t
+let row id v = [| Value.Int id; Value.Str v |]
+
+let recovery_redo_undo () =
+  let vfs = Vfs.in_memory () in
+  let wal = Wal.create vfs ~name:"r.wal" ~archive:false in
+  let pool = Buffer_pool.create ~vfs ~capacity:8 in
+  let heap = Heap_file.create pool (Vfs.create vfs "t.heap") rec_schema in
+  (* tx 1 commits an insert; tx 2 inserts but never commits; tx 3 commits a
+     delete of tx1's row... build the log by hand *)
+  let r0 = rid 0 0 and r1 = rid 0 1 in
+  let log records = List.iter (fun r -> ignore (Wal.append wal r : int)) records in
+  log
+    [
+      { Log_record.tx = 1; body = Log_record.Begin };
+      { Log_record.tx = 1; body = Log_record.Insert { table = "t"; rid = r0; after = encode (row 1 "keep") } };
+      { Log_record.tx = 1; body = Log_record.Commit };
+      { Log_record.tx = 2; body = Log_record.Begin };
+      { Log_record.tx = 2; body = Log_record.Insert { table = "t"; rid = r1; after = encode (row 2 "lose") } };
+      (* crash: no commit for tx 2 *)
+    ];
+  (* simulate that tx2's dirty page reached disk before the crash *)
+  Heap_file.force_at heap r1 (Some (encode (row 2 "lose")));
+  let stats = Recovery.run ~wal ~resolve:(fun name -> if name = "t" then Some heap else None) in
+  check Alcotest.int "winners" 1 stats.Recovery.winners;
+  check Alcotest.int "losers" 1 stats.Recovery.losers;
+  check Alcotest.bool "committed row present" true (Heap_file.exists_at heap r0);
+  check Alcotest.bool "uncommitted row gone" false (Heap_file.exists_at heap r1)
+
+let recovery_update_images () =
+  let vfs = Vfs.in_memory () in
+  let wal = Wal.create vfs ~name:"r2.wal" ~archive:false in
+  let pool = Buffer_pool.create ~vfs ~capacity:8 in
+  let heap = Heap_file.create pool (Vfs.create vfs "t.heap") rec_schema in
+  let r0 = rid 0 0 in
+  let log records = List.iter (fun r -> ignore (Wal.append wal r : int)) records in
+  log
+    [
+      { Log_record.tx = 1; body = Log_record.Begin };
+      { Log_record.tx = 1; body = Log_record.Insert { table = "t"; rid = r0; after = encode (row 1 "v1") } };
+      { Log_record.tx = 1; body = Log_record.Commit };
+      { Log_record.tx = 2; body = Log_record.Begin };
+      { Log_record.tx = 2;
+        body = Log_record.Update { table = "t"; rid = r0; before = encode (row 1 "v1"); after = encode (row 1 "v2") } };
+      (* tx 2 aborted explicitly but crash interrupted its rollback *)
+      { Log_record.tx = 2; body = Log_record.Abort };
+    ];
+  Heap_file.force_at heap r0 (Some (encode (row 1 "v2")));
+  ignore (Recovery.run ~wal ~resolve:(fun _ -> Some heap) : Recovery.stats);
+  check Alcotest.bool "before image restored" true
+    (Dw_relation.Tuple.equal (Heap_file.get heap r0) (row 1 "v1"))
+
+let recovery_idempotent () =
+  let vfs = Vfs.in_memory () in
+  let wal = Wal.create vfs ~name:"r3.wal" ~archive:false in
+  let pool = Buffer_pool.create ~vfs ~capacity:8 in
+  let heap = Heap_file.create pool (Vfs.create vfs "t.heap") rec_schema in
+  let log records = List.iter (fun r -> ignore (Wal.append wal r : int)) records in
+  log
+    [
+      { Log_record.tx = 1; body = Log_record.Begin };
+      { Log_record.tx = 1; body = Log_record.Insert { table = "t"; rid = rid 0 0; after = encode (row 1 "x") } };
+      { Log_record.tx = 1; body = Log_record.Commit };
+    ];
+  let resolve _ = Some heap in
+  let s1 = Recovery.run ~wal ~resolve in
+  let s2 = Recovery.run ~wal ~resolve in
+  check Alcotest.int "same redone" s1.Recovery.redone s2.Recovery.redone;
+  check Alcotest.int "single row" 1 (Heap_file.count heap)
+
+let suite =
+  [
+    test "log record roundtrip" log_record_roundtrip;
+    test "log record detects corruption" log_record_detects_corruption;
+    test "log record truncated" log_record_truncated;
+    test "wal append/iter" wal_append_iter;
+    test "wal iter_from" wal_iter_from;
+    test "wal archive retains segments" wal_archive_retains_segments;
+    test "wal recycles without archive" wal_no_archive_recycles;
+    test "wal survives torn tail" wal_survives_torn_tail;
+    test "locks: shared compatible" lm_shared_compatible;
+    test "locks: exclusive conflicts" lm_exclusive_conflicts;
+    test "locks: upgrade" lm_upgrade;
+    test "locks: row/table interaction" lm_row_table_interaction;
+    test "locks: deadlock detection" lm_deadlock_detection;
+    test "locks: release clears waits" lm_release_clears_waits;
+    test "recovery redo/undo" recovery_redo_undo;
+    test "recovery update images" recovery_update_images;
+    test "recovery idempotent" recovery_idempotent;
+  ]

@@ -1,0 +1,157 @@
+(* Tests for Dw_util: PRNG determinism, metrics, clock, formatting. *)
+
+module Prng = Dw_util.Prng
+module Metrics = Dw_util.Metrics
+module Sim_clock = Dw_util.Sim_clock
+module Fmt_util = Dw_util.Fmt_util
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let prng_deterministic () =
+  let a = Prng.create ~seed:42 in
+  let b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.int64 a) (Prng.int64 b)
+  done
+
+let prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 in
+  let b = Prng.create ~seed:2 in
+  check Alcotest.bool "different streams" true (Prng.int64 a <> Prng.int64 b)
+
+let prng_bounds () =
+  let g = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 17 in
+    check Alcotest.bool "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in g 5 9 in
+    check Alcotest.bool "in closed range" true (v >= 5 && v <= 9)
+  done
+
+let prng_split_independent () =
+  let parent = Prng.create ~seed:3 in
+  let child = Prng.split parent in
+  (* child and parent produce different streams from here *)
+  check Alcotest.bool "independent" true (Prng.int64 parent <> Prng.int64 child)
+
+let prng_float_range () =
+  let g = Prng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let f = Prng.float g 2.5 in
+    check Alcotest.bool "float range" true (f >= 0.0 && f < 2.5)
+  done
+
+let prng_shuffle_permutation () =
+  let g = Prng.create ~seed:5 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "is permutation" (Array.init 50 Fun.id) sorted
+
+let prng_alpha_string () =
+  let g = Prng.create ~seed:9 in
+  let s = Prng.alpha_string g 64 in
+  check Alcotest.int "length" 64 (String.length s);
+  String.iter (fun c -> check Alcotest.bool "lowercase" true (c >= 'a' && c <= 'z')) s
+
+let metrics_basic () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.add m "a" 4;
+  Metrics.add m "b" 10;
+  check Alcotest.int "a" 5 (Metrics.get m "a");
+  check Alcotest.int "b" 10 (Metrics.get m "b");
+  check Alcotest.int "absent" 0 (Metrics.get m "zzz")
+
+let metrics_snapshot_diff () =
+  let m = Metrics.create () in
+  Metrics.add m "x" 3;
+  let before = Metrics.snapshot m in
+  Metrics.add m "x" 2;
+  Metrics.add m "y" 7;
+  let after = Metrics.snapshot m in
+  let d = Metrics.diff ~before ~after in
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "diff"
+    [ ("x", 2); ("y", 7) ] d
+
+let metrics_reset () =
+  let m = Metrics.create () in
+  Metrics.add m "x" 3;
+  Metrics.reset m;
+  check Alcotest.int "reset" 0 (Metrics.get m "x")
+
+let clock_basic () =
+  let c = Sim_clock.create () in
+  check Alcotest.int "t0" 0 (Sim_clock.now c);
+  Sim_clock.advance c 5;
+  Sim_clock.advance c 3;
+  check Alcotest.int "t8" 8 (Sim_clock.now c)
+
+let clock_spans () =
+  let c = Sim_clock.create () in
+  let r = Sim_clock.Span_recorder.create c in
+  Sim_clock.advance c 10;
+  Sim_clock.Span_recorder.open_span r;
+  Sim_clock.advance c 4;
+  Sim_clock.Span_recorder.close_span r;
+  Sim_clock.advance c 100;
+  Sim_clock.Span_recorder.open_span r;
+  Sim_clock.advance c 6;
+  Sim_clock.Span_recorder.close_span r;
+  check Alcotest.int "total" 10 (Sim_clock.Span_recorder.total r);
+  check Alcotest.int "count" 2 (Sim_clock.Span_recorder.count r)
+
+let clock_open_span_counts () =
+  let c = Sim_clock.create () in
+  let r = Sim_clock.Span_recorder.create c in
+  Sim_clock.Span_recorder.open_span r;
+  Sim_clock.advance c 3;
+  check Alcotest.int "open span total" 3 (Sim_clock.Span_recorder.total r);
+  (* double open is a no-op *)
+  Sim_clock.Span_recorder.open_span r;
+  Sim_clock.advance c 2;
+  Sim_clock.Span_recorder.close_span r;
+  check Alcotest.int "total after close" 5 (Sim_clock.Span_recorder.total r)
+
+let human_bytes () =
+  check Alcotest.string "b" "100B" (Fmt_util.human_bytes 100);
+  check Alcotest.string "kb" "1.5KB" (Fmt_util.human_bytes 1536);
+  check Alcotest.string "mb" "2MB" (Fmt_util.human_bytes (2 * 1024 * 1024))
+
+let human_duration () =
+  check Alcotest.string "ms" "250ms" (Fmt_util.human_duration 0.25);
+  check Alcotest.string "s" "2.50s" (Fmt_util.human_duration 2.5);
+  check Alcotest.string "min" "2min 5s" (Fmt_util.human_duration 125.0);
+  check Alcotest.string "hr" "1hr 8min" (Fmt_util.human_duration 4080.0)
+
+let table_render () =
+  let s = Fmt_util.table ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  let lines = String.split_on_char '\n' s in
+  check Alcotest.int "line count" 4 (List.length lines);
+  List.iter
+    (fun line -> check Alcotest.bool "aligned" true (String.length line >= 6))
+    lines
+
+let suite =
+  [
+    test "prng deterministic" prng_deterministic;
+    test "prng seed sensitivity" prng_seed_sensitivity;
+    test "prng bounds" prng_bounds;
+    test "prng split independent" prng_split_independent;
+    test "prng float range" prng_float_range;
+    test "prng shuffle permutation" prng_shuffle_permutation;
+    test "prng alpha string" prng_alpha_string;
+    test "metrics basic" metrics_basic;
+    test "metrics snapshot diff" metrics_snapshot_diff;
+    test "metrics reset" metrics_reset;
+    test "clock basic" clock_basic;
+    test "clock spans" clock_spans;
+    test "clock open span counts" clock_open_span_counts;
+    test "human bytes" human_bytes;
+    test "human duration" human_duration;
+    test "table render" table_render;
+  ]
