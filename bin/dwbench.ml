@@ -41,6 +41,8 @@ let experiments =
      fun ~scale -> E.Exp_reconcile.run ~scale);
     ("ablate", "ablations: plan mode, group commit, pool size, snapshot algorithms",
      fun ~scale -> E.Exp_ablation.run_all ~scale);
+    ("crash", "robustness: crash-point sweep, faulty shipping, fault/retry counters",
+     fun ~scale -> E.Crash_sim.run_bench ~scale);
     ("micro", "bechamel micro-benchmarks of engine primitives",
      fun ~scale:_ -> E.Micro.run ());
   ]

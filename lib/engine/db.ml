@@ -704,3 +704,23 @@ let recover t =
   let stats = Recovery.run ~wal:t.wal ~resolve in
   Hashtbl.iter (fun _ table -> Table.rebuild_indexes table) t.tables;
   stats
+
+let reopen ?(pool_pages = 256) ?(archive_log = false) ~vfs ~name ~tables:table_specs () =
+  (* Wal.create adopts the surviving segments (truncating torn tails) *)
+  let t = create ~pool_pages ~archive_log ~vfs ~name () in
+  List.iter
+    (fun (tname, schema, ts_column) ->
+      let fname = heap_file_name name tname in
+      (* a crash can predate the table's first page — attach still works
+         on an empty file *)
+      let file = Vfs.open_or_create vfs fname in
+      let table = Table.attach ~pool:t.pool ~file ~name:tname ~schema ~ts_column in
+      Hashtbl.add t.tables tname table)
+    table_specs;
+  let stats = recover t in
+  (* transaction ids must keep growing across the crash, or post-recovery
+     commits would collide with logged history *)
+  let max_tx = ref 0 in
+  Wal.iter_all t.wal (fun _ r -> if r.Log_record.tx > !max_tx then max_tx := r.Log_record.tx);
+  t.next_txid <- !max_tx + 1;
+  (t, stats)

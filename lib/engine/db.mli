@@ -162,4 +162,20 @@ val recover : t -> Dw_txn.Recovery.stats
     that simulate a crash by discarding in-memory state). Rebuilds
     indexes. *)
 
+val reopen :
+  ?pool_pages:int ->
+  ?archive_log:bool ->
+  vfs:Dw_storage.Vfs.t ->
+  name:string ->
+  tables:(string * Schema.t * string option) list ->
+  unit ->
+  t * Dw_txn.Recovery.stats
+(** Post-crash restart from the bytes surviving in [vfs] (pair with
+    {!Dw_storage.Vfs.crash_reset}): adopts the WAL segments (truncating
+    torn tails), re-attaches each listed table's heap file
+    ([(table name, schema, ts_column)] — the catalog is not persisted, so
+    the caller supplies it), runs {!recover}, and resumes transaction ids
+    above everything in the log.  Heap files that never got created before
+    the crash start empty. *)
+
 val flush_all : t -> unit

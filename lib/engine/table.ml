@@ -14,21 +14,22 @@ type t = {
   mutable ts_index : Heap_file.rid Btree.t option;  (* keyed by ts :: key columns *)
 }
 
+let ts_col_idx_of ~name ~schema ts_column =
+  match ts_column with
+  | None -> None
+  | Some col ->
+    let i =
+      match Schema.index_of_opt schema col with
+      | Some i -> i
+      | None -> invalid_arg (Printf.sprintf "Table.create %s: no column %s" name col)
+    in
+    (match (Schema.column schema i).Schema.ty with
+     | Value.Tdate -> Some i
+     | Value.Tint | Value.Tfloat | Value.Tbool | Value.Tstring _ ->
+       invalid_arg (Printf.sprintf "Table.create %s: ts column %s is not DATE" name col))
+
 let create ~pool ~file ~name ~schema ~ts_column =
-  let ts_col_idx =
-    match ts_column with
-    | None -> None
-    | Some col ->
-      let i =
-        match Schema.index_of_opt schema col with
-        | Some i -> i
-        | None -> invalid_arg (Printf.sprintf "Table.create %s: no column %s" name col)
-      in
-      (match (Schema.column schema i).Schema.ty with
-       | Value.Tdate -> Some i
-       | Value.Tint | Value.Tfloat | Value.Tbool | Value.Tstring _ ->
-         invalid_arg (Printf.sprintf "Table.create %s: ts column %s is not DATE" name col))
-  in
+  let ts_col_idx = ts_col_idx_of ~name ~schema ts_column in
   {
     name;
     schema;
@@ -110,6 +111,22 @@ let rebuild_indexes t =
   t.pk <- Btree.of_sorted (sort !pk_bindings);
   t.ts_index <-
     (match t.ts_index with Some _ -> Some (Btree.of_sorted (sort !ts_bindings)) | None -> None)
+
+let attach ~pool ~file ~name ~schema ~ts_column =
+  let ts_col_idx = ts_col_idx_of ~name ~schema ts_column in
+  let t =
+    {
+      name;
+      schema;
+      heap = Heap_file.attach pool file schema;
+      pk = Btree.create ();
+      ts_column;
+      ts_col_idx;
+      ts_index = (match ts_col_idx with Some _ -> Some (Btree.create ()) | None -> None);
+    }
+  in
+  rebuild_indexes t;
+  t
 
 let scan t f = Heap_file.iter t.heap f
 

@@ -23,6 +23,18 @@ val create :
 (** [ts_column], if given, must name a [Tdate] column of the schema;
     it gets a secondary index. *)
 
+val attach :
+  pool:Dw_storage.Buffer_pool.t ->
+  file:Dw_storage.Vfs.file ->
+  name:string ->
+  schema:Schema.t ->
+  ts_column:string option ->
+  t
+(** Re-adopt a heap file that already holds pages (post-crash re-open):
+    the heap is attached rather than created and both indexes are rebuilt
+    from its live records.  The schema must match the one the file was
+    written with. *)
+
 val name : t -> string
 val schema : t -> Schema.t
 val heap : t -> Heap_file.t

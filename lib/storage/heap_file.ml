@@ -144,6 +144,10 @@ let force_at t rid contents =
   (match contents with Some _ -> ensure_page t rid.page | None -> ());
   if rid.page < page_count t then
     Buffer_pool.with_page t.pool t.file rid.page ~dirty:true (fun page ->
+        (* a crash can leave a page image that was never format-written
+           back (all zeros) or whose header was torn: reformat it — any
+           slot that should hold data is re-forced from the log *)
+        if Page.record_width page <> t.width then Page.init page ~record_width:t.width;
         let used = Page.is_used page rid.slot in
         match contents, used with
         | Some record, true -> Page.write_slot page rid.slot record

@@ -1,4 +1,40 @@
 module Metrics = Dw_util.Metrics
+module Prng = Dw_util.Prng
+
+(* deterministic fault injection: a plan is consulted on every write/fsync
+   (events) and read (bit flips).  All decisions come from the seeded Prng,
+   so two runs over the same operation sequence inject identical faults. *)
+module Fault = struct
+  exception Crash of { op : string; index : int }
+  exception Transient of string
+
+  type t = {
+    prng : Prng.t;
+    mutable fail_stop_after : int;  (* crash on event #n (0-based); -1 = never *)
+    mutable tear_on_crash : bool;   (* a crashing write persists a random prefix *)
+    mutable write_fail_p : float;   (* transient write failure (nothing persisted) *)
+    mutable fsync_fail_p : float;   (* transient fsync failure *)
+    mutable read_flip_p : float;    (* flip one bit of a returned read buffer *)
+    mutable events : int;           (* write/fsync events seen so far *)
+    mutable crashed : bool;
+  }
+
+  let make ?(fail_stop_after = -1) ?(tear_on_crash = true) ?(write_fail_p = 0.0)
+      ?(fsync_fail_p = 0.0) ?(read_flip_p = 0.0) ~seed () =
+    {
+      prng = Prng.create ~seed;
+      fail_stop_after;
+      tear_on_crash;
+      write_fail_p;
+      fsync_fail_p;
+      read_flip_p;
+      events = 0;
+      crashed = false;
+    }
+
+  let events t = t.events
+  let crashed t = t.crashed
+end
 
 (* growable byte store for the in-memory backend: random-access reads and
    writes without copying the whole file *)
@@ -41,6 +77,7 @@ type t = {
   metrics : Metrics.t;
   open_files : (string, int) Hashtbl.t;  (* name -> refcount *)
   op_delay : float;  (* simulated per-operation latency, seconds *)
+  mutable fault : Fault.t option;
 }
 
 type file = {
@@ -52,14 +89,24 @@ type file = {
 
 let in_memory ?metrics ?(op_delay = 0.0) () =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
-  { backend = Mem (Hashtbl.create 16); metrics; open_files = Hashtbl.create 16; op_delay }
+  { backend = Mem (Hashtbl.create 16); metrics; open_files = Hashtbl.create 16; op_delay;
+    fault = None }
 
 let on_disk ?metrics dir =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-  { backend = Disk dir; metrics; open_files = Hashtbl.create 16; op_delay = 0.0 }
+  { backend = Disk dir; metrics; open_files = Hashtbl.create 16; op_delay = 0.0; fault = None }
 
 let metrics t = t.metrics
+
+let set_fault t plan = t.fault <- plan
+let fault t = t.fault
+
+let crash_reset t =
+  (* "the process died": no file handle survives, faults are disarmed so
+     recovery code runs against the surviving bytes undisturbed *)
+  Hashtbl.reset t.open_files;
+  t.fault <- None
 
 let check_name name =
   if name = "" || String.contains name '/' then invalid_arg ("Vfs: bad file name " ^ name)
@@ -76,8 +123,15 @@ let track_close t name =
 
 let path dir name = Filename.concat dir name
 
+let check_dead t op =
+  match t.fault with
+  | Some p when p.Fault.crashed ->
+    raise (Fault.Crash { op; index = p.Fault.fail_stop_after })
+  | Some _ | None -> ()
+
 let create t name =
   check_name name;
+  check_dead t "create";
   (match t.backend with
    | Mem files -> Hashtbl.replace files name (Mem_file.create ())
    | Disk dir ->
@@ -110,6 +164,7 @@ let open_or_create t name = if exists t name then open_existing t name else crea
 
 let delete t name =
   check_name name;
+  check_dead t "delete";
   if Hashtbl.mem t.open_files name then invalid_arg ("Vfs.delete: file is open: " ^ name);
   match t.backend with
   | Mem files -> Hashtbl.remove files name
@@ -141,6 +196,52 @@ let size f =
 
 let simulate_latency f = if f.vfs.op_delay > 0.0 then Unix.sleepf f.vfs.op_delay
 
+(* fault-injection decision points.  A crashed plan makes every subsequent
+   operation raise again: the "process" is dead until {!crash_reset}. *)
+
+(* write/fsync are the durability events the crash-point explorer indexes;
+   [kind] is [`Write len] or [`Fsync] *)
+let fault_event t op kind =
+  match t.fault with
+  | None -> `Proceed
+  | Some p ->
+    check_dead t op;
+    let idx = p.Fault.events in
+    p.Fault.events <- idx + 1;
+    if idx = p.Fault.fail_stop_after then begin
+      p.Fault.crashed <- true;
+      Metrics.incr t.metrics "fault.crashes";
+      match kind with
+      | `Write len when p.Fault.tear_on_crash && len > 0 ->
+        Metrics.incr t.metrics "fault.torn_writes";
+        (* strictly partial: [0, len) bytes survive *)
+        `Tear (Prng.int p.Fault.prng len, idx)
+      | `Write _ | `Fsync -> raise (Fault.Crash { op; index = idx })
+    end
+    else begin
+      let transient_p, counter =
+        match kind with
+        | `Write _ -> (p.Fault.write_fail_p, "fault.transient_writes")
+        | `Fsync -> (p.Fault.fsync_fail_p, "fault.transient_fsyncs")
+      in
+      if transient_p > 0.0 && Prng.float p.Fault.prng 1.0 < transient_p then begin
+        Metrics.incr t.metrics counter;
+        raise (Fault.Transient op)
+      end;
+      `Proceed
+    end
+
+let maybe_flip_bits t buf =
+  match t.fault with
+  | Some p when p.Fault.read_flip_p > 0.0 && Bytes.length buf > 0 ->
+    if Prng.float p.Fault.prng 1.0 < p.Fault.read_flip_p then begin
+      let i = Prng.int p.Fault.prng (Bytes.length buf) in
+      let bit = Prng.int p.Fault.prng 8 in
+      Bytes.set buf i (Char.chr (Char.code (Bytes.get buf i) lxor (1 lsl bit)));
+      Metrics.incr t.metrics "fault.bitflips"
+    end
+  | Some _ | None -> ()
+
 let count_read f len =
   simulate_latency f;
   Metrics.incr f.vfs.metrics "vfs.reads";
@@ -157,22 +258,27 @@ let read_at f ~off ~len =
     invalid_arg
       (Printf.sprintf "Vfs.read_at %s: range [%d, %d) beyond size %d" f.fname off (off + len)
          (size f));
+  check_dead f.vfs "read";
   count_read f len;
-  match f.vfs.backend with
-  | Mem _ -> Mem_file.read (mem_file f) ~off ~len
-  | Disk _ ->
-    let fd = Option.get f.fd in
-    let buf = Bytes.create len in
-    ignore (Unix.lseek fd off Unix.SEEK_SET);
-    let rec go pos remaining =
-      if remaining > 0 then begin
-        let n = Unix.read fd buf pos remaining in
-        if n = 0 then invalid_arg "Vfs.read_at: unexpected EOF";
-        go (pos + n) (remaining - n)
-      end
-    in
-    go 0 len;
-    buf
+  let buf =
+    match f.vfs.backend with
+    | Mem _ -> Mem_file.read (mem_file f) ~off ~len
+    | Disk _ ->
+      let fd = Option.get f.fd in
+      let buf = Bytes.create len in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let rec go pos remaining =
+        if remaining > 0 then begin
+          let n = Unix.read fd buf pos remaining in
+          if n = 0 then invalid_arg "Vfs.read_at: unexpected EOF";
+          go (pos + n) (remaining - n)
+        end
+      in
+      go 0 len;
+      buf
+  in
+  maybe_flip_bits f.vfs buf;
+  buf
 
 let write_at f ~off data =
   if f.closed then invalid_arg "Vfs.write_at: closed file";
@@ -180,19 +286,27 @@ let write_at f ~off data =
   let sz = size f in
   if off < 0 || off > sz then
     invalid_arg (Printf.sprintf "Vfs.write_at %s: offset %d beyond size %d" f.fname off sz);
-  count_write f len;
-  match f.vfs.backend with
-  | Mem _ -> Mem_file.write (mem_file f) ~off data
-  | Disk _ ->
-    let fd = Option.get f.fd in
-    ignore (Unix.lseek fd off Unix.SEEK_SET);
-    let rec go pos remaining =
-      if remaining > 0 then begin
-        let n = Unix.write fd data pos remaining in
-        go (pos + n) (remaining - n)
-      end
-    in
-    go 0 len
+  let do_write data =
+    let len = Bytes.length data in
+    count_write f len;
+    match f.vfs.backend with
+    | Mem _ -> Mem_file.write (mem_file f) ~off data
+    | Disk _ ->
+      let fd = Option.get f.fd in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let rec go pos remaining =
+        if remaining > 0 then begin
+          let n = Unix.write fd data pos remaining in
+          go (pos + n) (remaining - n)
+        end
+      in
+      go 0 len
+  in
+  match fault_event f.vfs "write" (`Write len) with
+  | `Proceed -> do_write data
+  | `Tear (keep, index) ->
+    if keep > 0 then do_write (Bytes.sub data 0 keep);
+    raise (Fault.Crash { op = "write"; index })
 
 let append f data =
   let off = size f in
@@ -201,6 +315,9 @@ let append f data =
 
 let fsync f =
   if f.closed then invalid_arg "Vfs.fsync: closed file";
+  (match fault_event f.vfs "fsync" `Fsync with
+   | `Proceed -> ()
+   | `Tear _ -> assert false (* fsync never tears *));
   simulate_latency f;
   Metrics.incr f.vfs.metrics "vfs.fsyncs";
   match f.vfs.backend with
@@ -216,6 +333,7 @@ let close f =
 
 let truncate f new_size =
   if f.closed then invalid_arg "Vfs.truncate: closed file";
+  check_dead f.vfs "truncate";
   let sz = size f in
   if new_size < 0 || new_size > sz then invalid_arg "Vfs.truncate: bad size";
   match f.vfs.backend with

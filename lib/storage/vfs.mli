@@ -5,10 +5,57 @@
     backends exist: an in-memory one (deterministic, fast, used by tests
     and benches) and a real-directory one (used when persistence across
     processes matters).  Counter names: [vfs.reads], [vfs.writes],
-    [vfs.read_bytes], [vfs.write_bytes], [vfs.fsyncs]. *)
+    [vfs.read_bytes], [vfs.write_bytes], [vfs.fsyncs].
+
+    A {!Fault.t} plan can be attached to inject deterministic faults on
+    every byte path (see {!Fault} and DESIGN.md section 8): fail-stop
+    crashes at a chosen write/fsync event, torn writes, transient
+    write/fsync failures, and read-side bit flips.  Injected faults are
+    counted under [fault.*] names. *)
 
 type t
 type file
+
+(** Deterministic fault injection, driven by a seeded {!Dw_util.Prng.t}.
+
+    The plan counts {e events} — every write and fsync, in order — and can
+    fail-stop at a chosen event index, which is how the crash-point
+    explorer enumerates "the process died here" scenarios: everything
+    written before the event survives, the crashing write itself may be
+    torn (a prefix survives), nothing after it happens.  Independently,
+    writes and fsyncs can fail transiently (nothing persisted, retryable),
+    and reads can have one bit flipped (exercises checksum paths).
+
+    Counters: [fault.crashes], [fault.torn_writes],
+    [fault.transient_writes], [fault.transient_fsyncs], [fault.bitflips]. *)
+module Fault : sig
+  exception Crash of { op : string; index : int }
+  (** Fail-stop: the simulated process is dead.  Every subsequent
+      operation on the same [t] raises [Crash] again until
+      {!crash_reset}. *)
+
+  exception Transient of string
+  (** A retryable failure: the operation had no effect (transient write)
+      or did not reach durability (transient fsync). *)
+
+  type t
+
+  val make :
+    ?fail_stop_after:int ->  (* crash at this 0-based event index; -1 = never (default) *)
+    ?tear_on_crash:bool ->   (* default true: the crashing write keeps a random prefix *)
+    ?write_fail_p:float ->   (* transient write failure probability, default 0 *)
+    ?fsync_fail_p:float ->   (* transient fsync failure probability, default 0 *)
+    ?read_flip_p:float ->    (* per-read single-bit corruption probability, default 0 *)
+    seed:int ->
+    unit ->
+    t
+
+  val events : t -> int
+  (** Write/fsync events seen so far — run a workload with a never-crashing
+      plan to count its crash points. *)
+
+  val crashed : t -> bool
+end
 
 val in_memory : ?metrics:Dw_util.Metrics.t -> ?op_delay:float -> unit -> t
 (** Fresh empty in-memory file system.  [op_delay] (seconds, default 0)
@@ -21,6 +68,17 @@ val on_disk : ?metrics:Dw_util.Metrics.t -> string -> t
     names must not contain path separators. *)
 
 val metrics : t -> Dw_util.Metrics.t
+
+val set_fault : t -> Fault.t option -> unit
+(** Attach (or clear) a fault plan.  Works on both backends. *)
+
+val fault : t -> Fault.t option
+
+val crash_reset : t -> unit
+(** Simulate process death + restart over the surviving bytes: clears the
+    open-file accounting (no descriptor survives a crash) and detaches the
+    fault plan so recovery code runs fault-free.  File contents are
+    untouched. *)
 
 val create : t -> string -> file
 (** Create (truncate if it exists) and open. *)

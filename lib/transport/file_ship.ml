@@ -1,25 +1,54 @@
 module Vfs = Dw_storage.Vfs
+module Metrics = Dw_util.Metrics
 
-type stats = { bytes : int; chunks : int }
+type stats = { bytes : int; chunks : int; retries : int }
 
-let ship ?(chunk_size = 64 * 1024) ~src ~src_name ~dst ~dst_name () =
+(* Retry a faultable operation with bounded exponential backoff.  Chunk
+   writes go through [Vfs.write_at] at a fixed offset, so re-running after
+   a transient or torn write simply overwrites the partial data — the
+   retry is idempotent. *)
+let with_retry ~metrics ~max_retries ~backoff_s ~retries f =
+  let rec attempt n =
+    try f ()
+    with Vfs.Fault.Transient _ when n < max_retries ->
+      incr retries;
+      Metrics.incr metrics "retry.ship";
+      if backoff_s > 0.0 then Unix.sleepf (backoff_s *. (2.0 ** float_of_int n));
+      attempt (n + 1)
+  in
+  attempt 0
+
+let ship ?(chunk_size = 64 * 1024) ?(max_retries = 8) ?(backoff_s = 0.0) ~src ~src_name ~dst
+    ~dst_name () =
   if chunk_size <= 0 then invalid_arg "File_ship.ship: chunk_size <= 0";
+  if max_retries < 0 then invalid_arg "File_ship.ship: max_retries < 0";
   match Vfs.open_existing src src_name with
   | exception Not_found -> Error (Printf.sprintf "no such file %s" src_name)
   | src_file ->
     let out = Vfs.create dst dst_name in
     let total = Vfs.size src_file in
-    let rec go off chunks =
-      if off >= total then chunks
-      else begin
-        let len = min chunk_size (total - off) in
-        let data = Vfs.read_at src_file ~off ~len in
-        ignore (Vfs.append out data : int);
-        go (off + len) (chunks + 1)
-      end
+    let retries = ref 0 in
+    let retrying f = with_retry ~metrics:(Vfs.metrics dst) ~max_retries ~backoff_s ~retries f in
+    let result =
+      try
+        let rec go off chunks =
+          if off >= total then chunks
+          else begin
+            let len = min chunk_size (total - off) in
+            let data = Vfs.read_at src_file ~off ~len in
+            (* chunks are written and confirmed in order, and a transient
+               write persists nothing, so on retry [off] still equals the
+               durable size: rewriting at the same offset is idempotent *)
+            retrying (fun () -> Vfs.write_at out ~off data);
+            go (off + len) (chunks + 1)
+          end
+        in
+        let chunks = go 0 0 in
+        retrying (fun () -> Vfs.fsync out);
+        Ok { bytes = total; chunks; retries = !retries }
+      with Vfs.Fault.Transient op ->
+        Error (Printf.sprintf "transient fault on %s persisted after %d retries" op max_retries)
     in
-    let chunks = go 0 0 in
-    Vfs.fsync out;
     Vfs.close out;
     Vfs.close src_file;
-    Ok { bytes = total; chunks }
+    result

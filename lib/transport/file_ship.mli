@@ -3,21 +3,32 @@
 
     Copies a file across {!Dw_storage.Vfs.t} instances in bounded chunks,
     counting bytes.  An optional per-chunk latency cost feeds the
-    simulated clock when transport time matters to an experiment. *)
+    simulated clock when transport time matters to an experiment.
+
+    Transient destination faults ({!Dw_storage.Vfs.Fault.Transient} from
+    an attached fault plan, standing in for a flaky network or device) are
+    retried with bounded exponential backoff; chunk writes are idempotent
+    (fixed offsets), so a retried transfer still produces byte-identical
+    output.  Retries are counted in the destination registry as
+    [retry.ship] and reported in {!stats}. *)
 
 module Vfs = Dw_storage.Vfs
 
 type stats = {
   bytes : int;
   chunks : int;
+  retries : int;  (** transient faults absorbed by retry *)
 }
 
 val ship :
-  ?chunk_size:int ->  (* default 64 KiB *)
+  ?chunk_size:int ->   (* default 64 KiB *)
+  ?max_retries:int ->  (* per-operation retry budget, default 8 *)
+  ?backoff_s:float ->  (* base backoff (doubles per retry), default 0 = no sleep *)
   src:Vfs.t ->
   src_name:string ->
   dst:Vfs.t ->
   dst_name:string ->
   unit ->
   (stats, string) result
-(** Overwrites [dst_name]. *)
+(** Overwrites [dst_name].  [Error _] if the source is missing or a
+    transient fault persists through the whole retry budget. *)

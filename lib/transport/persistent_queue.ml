@@ -1,6 +1,8 @@
 module Vfs = Dw_storage.Vfs
+module Metrics = Dw_util.Metrics
 
-(* frame: [u32 len][u32 fnv1a][payload] *)
+(* log frame: [u32 len][u32 fnv1a][payload]
+   sidecar:   [u64 read_off][u32 fnv1a of the 8 offset bytes] *)
 
 let fnv1a s =
   let h = ref 0x811c9dc5 in
@@ -45,14 +47,50 @@ let count_from log off =
   in
   go off 0 0
 
+(* a crash mid-enqueue can leave a torn frame at the tail; truncate it so a
+   later enqueue cannot land after garbage and become invisible to the
+   reader.  Returns the set of valid frame boundaries, for validating the
+   recovered read offset. *)
+let repair_log vfs log =
+  let size = Vfs.size log in
+  let rec go off boundaries =
+    match read_frame log off with
+    | Some (_, next) -> go next (next :: boundaries)
+    | None -> (off, boundaries)
+  in
+  let valid_end, boundaries = go 0 [ 0 ] in
+  if valid_end < size then begin
+    Vfs.truncate log valid_end;
+    Metrics.incr (Vfs.metrics vfs) "queue.torn_frames";
+    Metrics.add (Vfs.metrics vfs) "queue.torn_bytes" (size - valid_end)
+  end;
+  boundaries
+
+(* The sidecar is only trusted when it is whole (12 bytes), checksums
+   cleanly, and points at a frame boundary of the repaired log.  Anything
+   else — short file from a torn write, flipped bits, an offset into the
+   middle of a frame — falls back to 0: every retained message is
+   redelivered, which at-least-once delivery permits; advancing past
+   unconsumed messages (loss) is what must never happen. *)
+let recover_read_off vfs offset_file ~boundaries =
+  if Vfs.size offset_file < 12 then 0
+  else begin
+    let b = Vfs.read_at offset_file ~off:0 ~len:12 in
+    let off = Int64.to_int (Bytes.get_int64_le b 0) in
+    let csum = Int32.to_int (Bytes.get_int32_le b 8) land 0xFFFFFFFF in
+    let stored = Bytes.to_string (Bytes.sub b 0 8) in
+    if fnv1a stored = csum && List.mem off boundaries then off
+    else begin
+      Metrics.incr (Vfs.metrics vfs) "queue.offset_resets";
+      0
+    end
+  end
+
 let open_ vfs ~name =
   let log = Vfs.open_or_create vfs (name ^ ".q") in
   let offset_file = Vfs.open_or_create vfs (name ^ ".q.off") in
-  let read_off =
-    if Vfs.size offset_file >= 8 then
-      Int64.to_int (Bytes.get_int64_le (Vfs.read_at offset_file ~off:0 ~len:8) 0)
-    else 0
-  in
+  let boundaries = repair_log vfs log in
+  let read_off = recover_read_off vfs offset_file ~boundaries in
   let pending, _ = count_from log read_off in
   let enqueued_before, _ = count_from log 0 in
   { log; offset_file; read_off; peeked = None; pending; enqueued = enqueued_before }
@@ -74,8 +112,9 @@ let peek t =
         Some payload)
 
 let write_offset t off =
-  let b = Bytes.create 8 in
+  let b = Bytes.create 12 in
   Bytes.set_int64_le b 0 (Int64.of_int off);
+  Bytes.set_int32_le b 8 (Int32.of_int (fnv1a (Bytes.to_string (Bytes.sub b 0 8))));
   Vfs.write_at t.offset_file ~off:0 b;
   Vfs.fsync t.offset_file
 

@@ -5,7 +5,15 @@
     lives in a sidecar offset file that is only advanced by {!ack}.  After
     a crash (or plain re-open) every enqueued-but-unacked message is
     redelivered — at-least-once delivery, which is what a warehouse
-    integrator needs to never lose a delta batch. *)
+    integrator needs to never lose a delta batch.
+
+    Crash hardening on {!open_}: a torn frame at the log tail (crash
+    mid-enqueue) is truncated away so later enqueues stay reachable
+    ([queue.torn_frames]/[queue.torn_bytes] counters); the sidecar carries
+    a checksum and is only honoured when it is whole, checksums cleanly,
+    and points at a frame boundary — otherwise the position conservatively
+    resets to 0 ([queue.offset_resets]), trading redelivery for the
+    guarantee that an unacked message is never skipped. *)
 
 module Vfs = Dw_storage.Vfs
 

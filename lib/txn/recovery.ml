@@ -28,63 +28,82 @@ let run ~wal ~resolve =
   let losers =
     Hashtbl.fold (fun _ s n -> if s = Active || s = Aborted then n + 1 else n) states 0
   in
-  (* redo committed *)
+  (* redo committed; remember the highest committed LSN per (table, rid)
+     so the undo pass cannot clobber a slot a winner later reused *)
   let redone = ref 0 in
-  Wal.iter_all wal (fun _ record ->
+  let committed_touch : (string * Heap_file.rid, int) Hashtbl.t = Hashtbl.create 64 in
+  let touch table rid lsn =
+    match Hashtbl.find_opt committed_touch (table, rid) with
+    | Some l when l >= lsn -> ()
+    | Some _ | None -> Hashtbl.replace committed_touch (table, rid) lsn
+  in
+  Wal.iter_all wal (fun lsn record ->
       if state record.Log_record.tx = Committed then
         match record.Log_record.body with
         | Log_record.Insert { table; rid; after } ->
+          touch table rid lsn;
           (match resolve table with
            | Some heap ->
              Heap_file.force_at heap rid (Some after);
              incr redone
            | None -> ())
         | Log_record.Delete { table; rid; _ } ->
+          touch table rid lsn;
           (match resolve table with
            | Some heap ->
              Heap_file.force_at heap rid None;
              incr redone
            | None -> ())
         | Log_record.Update { table; rid; after; _ } ->
+          touch table rid lsn;
           (match resolve table with
            | Some heap ->
              Heap_file.force_at heap rid (Some after);
              incr redone
            | None -> ())
         | Log_record.Begin | Log_record.Commit | Log_record.Abort | Log_record.Checkpoint _ -> ());
-  (* undo losers, reverse order *)
+  (* undo losers, reverse order.  A loser record whose rid was later
+     rewritten by a committed transaction is skipped: under strict 2PL
+     the winner can only have acquired the rid after the loser's
+     rollback completed (e.g. in a previous incarnation, before a second
+     crash), so the redone winner image is the correct final state. *)
   let loser_dml = ref [] in
-  Wal.iter_all wal (fun _ record ->
+  Wal.iter_all wal (fun lsn record ->
       match state record.Log_record.tx with
       | Active | Aborted -> (
           match record.Log_record.body with
           | Log_record.Insert _ | Log_record.Delete _ | Log_record.Update _ ->
-            loser_dml := record :: !loser_dml
+            loser_dml := (lsn, record) :: !loser_dml
           | Log_record.Begin | Log_record.Commit | Log_record.Abort | Log_record.Checkpoint _ ->
             ())
       | Committed -> ());
   let undone = ref 0 in
+  let superseded table rid lsn =
+    match Hashtbl.find_opt committed_touch (table, rid) with
+    | Some winner_lsn -> winner_lsn > lsn
+    | None -> false
+  in
   List.iter
-    (fun record ->
+    (fun (lsn, record) ->
       match record.Log_record.body with
       | Log_record.Insert { table; rid; _ } ->
         (match resolve table with
-         | Some heap ->
+         | Some heap when not (superseded table rid lsn) ->
            Heap_file.force_at heap rid None;
            incr undone
-         | None -> ())
+         | Some _ | None -> ())
       | Log_record.Delete { table; rid; before } ->
         (match resolve table with
-         | Some heap ->
+         | Some heap when not (superseded table rid lsn) ->
            Heap_file.force_at heap rid (Some before);
            incr undone
-         | None -> ())
+         | Some _ | None -> ())
       | Log_record.Update { table; rid; before; _ } ->
         (match resolve table with
-         | Some heap ->
+         | Some heap when not (superseded table rid lsn) ->
            Heap_file.force_at heap rid (Some before);
            incr undone
-         | None -> ())
+         | Some _ | None -> ())
       | Log_record.Begin | Log_record.Commit | Log_record.Abort | Log_record.Checkpoint _ -> ())
     !loser_dml;
   { records_scanned = !scanned; winners; losers; redone = !redone; undone = !undone }

@@ -7,7 +7,13 @@
     + {b redo} — reapply every DML record of winning transactions, in LSN
       order, via {!Dw_storage.Heap_file.force_at} (idempotent full-record
       images);
-    + {b undo} — reverse losers' DML records in reverse LSN order.
+    + {b undo} — reverse losers' DML records in reverse LSN order,
+      {e except} records whose rid a committed transaction rewrote at a
+      higher LSN: under strict 2PL the winner can only have acquired
+      that rid after the loser's rollback completed (typically in a
+      previous incarnation, before a second crash), so the redone winner
+      image is the correct final state and stale undo must not clobber
+      it.
 
     Aborted transactions' records are skipped in redo and also undone
     (the engine applies changes eagerly, so an abort that didn't finish

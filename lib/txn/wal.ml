@@ -1,4 +1,5 @@
 module Vfs = Dw_storage.Vfs
+module Metrics = Dw_util.Metrics
 
 type lsn = int
 
@@ -27,6 +28,27 @@ let parse_segment_name name fname =
     int_of_string_opt (String.sub fname pl (String.length fname - pl))
   else None
 
+(* Scan a segment file for its valid record prefix and truncate anything
+   after it.  A crash can tear the last append; if the garbage tail were
+   left in place, later appends would land after it and be unreachable to
+   iteration (which stops at the first undecodable record).  Truncating on
+   re-open restores the invariant that a segment is a clean prefix of
+   records.  Returns the valid length. *)
+let truncate_torn_tail vfs file =
+  let len = Vfs.size file in
+  let data = if len = 0 then Bytes.create 0 else Vfs.read_at file ~off:0 ~len in
+  let rec go off =
+    if off >= len then off
+    else match Log_record.decode data ~off with Ok (_, next) -> go next | Error _ -> off
+  in
+  let valid = go 0 in
+  if valid < len then begin
+    Vfs.truncate file valid;
+    Metrics.incr (Vfs.metrics vfs) "wal.torn_segments";
+    Metrics.add (Vfs.metrics vfs) "wal.torn_bytes" (len - valid)
+  end;
+  valid
+
 let create vfs ~name ~archive =
   (* adopt any segments already present (re-open after crash) *)
   let existing =
@@ -52,6 +74,14 @@ let create vfs ~name ~archive =
     let segments =
       List.map (fun (base, sname) -> { base; sname; closed = true }) segs
     in
+    (* every adopted segment may carry a torn tail from the crash that
+       orphaned it; truncate each one back to its last whole record *)
+    List.iter
+      (fun seg ->
+        let file = Vfs.open_existing vfs seg.sname in
+        ignore (truncate_torn_tail vfs file : int);
+        Vfs.close file)
+      segments;
     let last = List.nth segments (List.length segments - 1) in
     last.closed <- false;
     let current = Vfs.open_existing vfs last.sname in

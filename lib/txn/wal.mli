@@ -13,7 +13,11 @@ type lsn = int
 
 val create : Dw_storage.Vfs.t -> name:string -> archive:bool -> t
 (** Starts a fresh log (or re-opens one left by a previous run with the
-    same name). *)
+    same name).  On re-open, every adopted segment is scanned and a torn
+    tail — a partial record left by a crash mid-append — is truncated back
+    to the last whole record, so that subsequent appends never land after
+    garbage.  Truncations are counted as [wal.torn_segments] /
+    [wal.torn_bytes] in the Vfs metrics registry. *)
 
 val archive_enabled : t -> bool
 val next_lsn : t -> lsn
@@ -31,7 +35,9 @@ val checkpoint : t -> active:Log_record.txid list -> lsn
 
 val iter_from : t -> lsn -> (lsn -> Log_record.t -> unit) -> unit
 (** Replay retained records with LSN >= the argument, in order.  Corrupt
-    or torn trailing records terminate iteration (crash semantics). *)
+    or torn trailing records terminate iteration (crash semantics) —
+    defence in depth; {!create} already truncates torn tails on
+    re-open. *)
 
 val iter_all : t -> (lsn -> Log_record.t -> unit) -> unit
 

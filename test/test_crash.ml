@@ -1,0 +1,76 @@
+(* Crash-point recovery invariants, CI-bounded: exhaustive enumeration on
+   a small source-DB workload, strided sweeps elsewhere, file shipping
+   under a heavy transient-fault rate, and random-seed properties.  The
+   deeper sweep is `dune build @crash` (test/crash_sweep.ml). *)
+
+module Cs = Dw_experiments.Crash_sim
+module Metrics = Dw_util.Metrics
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let no_failures name (r : Cs.report) =
+  check Alcotest.bool (name ^ ": explored some crash points") true (r.Cs.explored > 0);
+  check
+    Alcotest.(list (pair int string))
+    (name ^ ": every crash point recovers") [] r.Cs.failures
+
+let db_exhaustive_small () = no_failures "db small" (Cs.explore ~spec:Cs.small_db_spec ())
+
+let db_strided_standard () =
+  no_failures "db standard" (Cs.explore ~spec:Cs.default_db_spec ~stride:8 ())
+
+let queue_strided () = no_failures "queue" (Cs.explore_queue ~stride:4 ())
+let refresh_strided () = no_failures "refresh" (Cs.explore_refresh ~stride:4 ())
+
+let fault_counters_exported () =
+  let r = Cs.explore ~spec:Cs.small_db_spec ~stride:4 () in
+  let get name = match List.assoc_opt name r.Cs.fault_metrics with Some v -> v | None -> 0 in
+  check Alcotest.bool "fail-stop crashes counted" true (get "fault.crashes" > 0);
+  check Alcotest.bool "some crashing writes were torn" true (get "fault.torn_writes" > 0)
+
+let ship_under_heavy_transient_faults () =
+  (* >= 20% of destination writes and fsyncs fail transiently; bounded
+     retry must absorb every fault and keep the copy byte-identical *)
+  match Cs.ship_under_faults ~bytes:(64 * 1024) ~fault_p:0.25 ~seed:123 () with
+  | Error e -> Alcotest.fail e
+  | Ok (stats, identical) ->
+    check Alcotest.bool "retried at least once" true (stats.Dw_transport.File_ship.retries > 0);
+    check Alcotest.int "all bytes shipped" (64 * 1024) stats.Dw_transport.File_ship.bytes;
+    check Alcotest.bool "byte-identical copy" true identical
+
+(* random-seed properties: the explorers' invariants hold for arbitrary
+   seeds and crash points, not just the curated specs *)
+
+let prop_queue_random_crash_never_loses =
+  QCheck2.Test.make ~name:"queue never loses an unacked message at a random crash point"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 0 80))
+    (fun (qseed, index) ->
+      let spec = { Cs.default_queue_spec with Cs.qseed } in
+      match Cs.run_queue_crash_point spec ~totals:(Metrics.create ()) index with
+      | Ok () -> true
+      | Error msg -> QCheck2.Test.fail_reportf "seed %d, event %d: %s" qseed index msg)
+
+let prop_db_random_crash_exact_rows =
+  QCheck2.Test.make
+    ~name:"recovery after a random fail-stop leaves exactly the committed rows" ~count:25
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 0 60))
+    (fun (seed, index) ->
+      let spec = { Cs.small_db_spec with Cs.seed } in
+      let ops = Cs.ops_of_spec spec in
+      match Cs.run_db_crash_point spec ops ~totals:(Metrics.create ()) index with
+      | Ok () -> true
+      | Error msg -> QCheck2.Test.fail_reportf "seed %d, event %d: %s" seed index msg)
+
+let suite =
+  [
+    test "db crash points (small, exhaustive)" db_exhaustive_small;
+    test "db crash points (standard, stride 8)" db_strided_standard;
+    test "queue crash points (stride 4)" queue_strided;
+    test "warehouse refresh idempotent on redelivery (stride 4)" refresh_strided;
+    test "fault counters exported" fault_counters_exported;
+    test "ship under 25% transient faults" ship_under_heavy_transient_faults;
+    QCheck_alcotest.to_alcotest prop_queue_random_crash_never_loses;
+    QCheck_alcotest.to_alcotest prop_db_random_crash_exact_rows;
+  ]

@@ -44,6 +44,31 @@ let ship_empty_file () =
   | Ok stats -> check Alcotest.int "zero bytes" 0 stats.File_ship.bytes
   | Error e -> Alcotest.fail e
 
+let ship_retries_transient_faults () =
+  let src = Vfs.in_memory () and dst = Vfs.in_memory () in
+  let payload = String.concat "" (List.init 2000 (fun i -> Printf.sprintf "row-%05d\n" i)) in
+  write_file src "delta.asc" payload;
+  Vfs.set_fault dst
+    (Some (Vfs.Fault.make ~write_fail_p:0.3 ~fsync_fail_p:0.3 ~seed:99 ()));
+  (match
+     File_ship.ship ~chunk_size:512 ~max_retries:64 ~src ~src_name:"delta.asc" ~dst
+       ~dst_name:"staged.asc" ()
+   with
+   | Ok stats ->
+     check Alcotest.int "bytes" (String.length payload) stats.File_ship.bytes;
+     check Alcotest.bool "absorbed transient faults" true (stats.File_ship.retries > 0)
+   | Error e -> Alcotest.fail e);
+  Vfs.set_fault dst None;
+  check Alcotest.string "identical despite faults" payload (read_file dst "staged.asc")
+
+let ship_gives_up_past_retry_budget () =
+  let src = Vfs.in_memory () and dst = Vfs.in_memory () in
+  write_file src "delta.asc" "payload";
+  Vfs.set_fault dst (Some (Vfs.Fault.make ~write_fail_p:1.0 ~seed:7 ()));
+  check Alcotest.bool "persistent fault reported" true
+    (Result.is_error
+       (File_ship.ship ~max_retries:3 ~src ~src_name:"delta.asc" ~dst ~dst_name:"x" ()))
+
 let queue_fifo () =
   let vfs = Vfs.in_memory () in
   let q = Persistent_queue.open_ vfs ~name:"dq" in
@@ -108,6 +133,68 @@ let queue_survives_torn_tail () =
   check Alcotest.int "clean messages only" 1 (Persistent_queue.pending q2);
   Persistent_queue.close q2
 
+(* regression: the torn tail must be truncated on open, or a later
+   enqueue appends after the garbage and is never delivered *)
+let queue_enqueue_after_torn_tail () =
+  let vfs = Vfs.in_memory () in
+  let q = Persistent_queue.open_ vfs ~name:"dq" in
+  Persistent_queue.enqueue q "before";
+  Persistent_queue.close q;
+  let f = Vfs.open_existing vfs "dq.q" in
+  ignore (Vfs.append f (Bytes.of_string "\x10\x00\x00\x00????") : int);
+  Vfs.close f;
+  let q2 = Persistent_queue.open_ vfs ~name:"dq" in
+  check Alcotest.bool "torn frame counted" true
+    (Dw_util.Metrics.get (Vfs.metrics vfs) "queue.torn_frames" > 0);
+  Persistent_queue.enqueue q2 "after";
+  Persistent_queue.close q2;
+  let q3 = Persistent_queue.open_ vfs ~name:"dq" in
+  check Alcotest.int "both reachable" 2 (Persistent_queue.pending q3);
+  check (Alcotest.option Alcotest.string) "fifo kept" (Some "before")
+    (Persistent_queue.peek q3);
+  Persistent_queue.ack q3;
+  check (Alcotest.option Alcotest.string) "new message delivered" (Some "after")
+    (Persistent_queue.peek q3);
+  Persistent_queue.close q3
+
+(* a corrupted or torn sidecar resets the position: redelivery, not loss *)
+let queue_corrupt_sidecar_redelivers () =
+  let vfs = Vfs.in_memory () in
+  let q = Persistent_queue.open_ vfs ~name:"dq" in
+  Persistent_queue.enqueue q "m1";
+  Persistent_queue.enqueue q "m2";
+  ignore (Persistent_queue.peek q : string option);
+  Persistent_queue.ack q;
+  Persistent_queue.close q;
+  (* flip the stored offset without fixing the checksum *)
+  let f = Vfs.open_existing vfs "dq.q.off" in
+  Vfs.write_at f ~off:0 (Bytes.make 1 '\xFF');
+  Vfs.close f;
+  let q2 = Persistent_queue.open_ vfs ~name:"dq" in
+  check Alcotest.bool "reset counted" true
+    (Dw_util.Metrics.get (Vfs.metrics vfs) "queue.offset_resets" > 0);
+  check Alcotest.int "acked m1 redelivered rather than m2 lost" 2
+    (Persistent_queue.pending q2);
+  check (Alcotest.option Alcotest.string) "from the start" (Some "m1")
+    (Persistent_queue.peek q2);
+  Persistent_queue.close q2
+
+let queue_torn_sidecar_redelivers () =
+  let vfs = Vfs.in_memory () in
+  let q = Persistent_queue.open_ vfs ~name:"dq" in
+  Persistent_queue.enqueue q "m1";
+  Persistent_queue.enqueue q "m2";
+  ignore (Persistent_queue.peek q : string option);
+  Persistent_queue.ack q;
+  Persistent_queue.close q;
+  (* torn offset write: only 5 of 12 bytes survive *)
+  let f = Vfs.open_existing vfs "dq.q.off" in
+  Vfs.truncate f 5;
+  Vfs.close f;
+  let q2 = Persistent_queue.open_ vfs ~name:"dq" in
+  check Alcotest.int "conservative reset" 2 (Persistent_queue.pending q2);
+  Persistent_queue.close q2
+
 (* end-to-end: op-deltas through the queue *)
 let queue_ships_op_deltas () =
   let vfs = Vfs.in_memory () in
@@ -140,10 +227,15 @@ let suite =
     test "ship roundtrip" ship_roundtrip;
     test "ship missing source" ship_missing_source;
     test "ship empty file" ship_empty_file;
+    test "ship retries transient faults" ship_retries_transient_faults;
+    test "ship gives up past retry budget" ship_gives_up_past_retry_budget;
     test "queue fifo" queue_fifo;
     test "queue ack empty raises" queue_ack_empty_raises;
     test "queue crash redelivery" queue_crash_redelivery;
     test "queue binary safe" queue_binary_safe;
     test "queue survives torn tail" queue_survives_torn_tail;
+    test "queue enqueue after torn tail" queue_enqueue_after_torn_tail;
+    test "queue corrupt sidecar redelivers" queue_corrupt_sidecar_redelivers;
+    test "queue torn sidecar redelivers" queue_torn_sidecar_redelivers;
     test "queue ships op-deltas" queue_ships_op_deltas;
   ]

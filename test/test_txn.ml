@@ -152,6 +152,31 @@ let wal_survives_torn_tail () =
   Wal.iter_all wal (fun _ _ -> incr count);
   check Alcotest.int "clean records only" 2 !count
 
+(* regression: a torn tail must be *truncated* on re-open, not just
+   skipped by the reader — otherwise a later append lands after the
+   garbage and is unreachable forever *)
+let wal_appends_after_torn_tail () =
+  let vfs = Vfs.in_memory () in
+  let wal = Wal.create vfs ~name:"d.wal" ~archive:false in
+  ignore (Wal.append wal { Log_record.tx = 1; body = Log_record.Begin } : int);
+  ignore (Wal.append wal { Log_record.tx = 1; body = Log_record.Commit } : int);
+  Wal.flush wal;
+  let seg = Vfs.open_existing vfs (List.hd (Vfs.list_files vfs)) in
+  ignore (Vfs.append seg (Bytes.of_string "\x40\x00\x00\x00junk") : int);
+  Vfs.close seg;
+  (* crash + restart: adoption truncates the torn tail... *)
+  let wal2 = Wal.create vfs ~name:"d.wal" ~archive:false in
+  check Alcotest.bool "torn tail truncated" true
+    (Dw_util.Metrics.get (Vfs.metrics vfs) "wal.torn_segments" > 0);
+  (* ...so post-recovery appends stay reachable across another restart *)
+  ignore (Wal.append wal2 { Log_record.tx = 2; body = Log_record.Begin } : int);
+  ignore (Wal.append wal2 { Log_record.tx = 2; body = Log_record.Commit } : int);
+  Wal.flush wal2;
+  let wal3 = Wal.create vfs ~name:"d.wal" ~archive:false in
+  let count = ref 0 in
+  Wal.iter_all wal3 (fun _ _ -> incr count);
+  check Alcotest.int "old + new records all readable" 4 !count
+
 (* ---------- lock manager ---------- *)
 
 let lm_shared_compatible () =
@@ -304,6 +329,7 @@ let suite =
     test "wal archive retains segments" wal_archive_retains_segments;
     test "wal recycles without archive" wal_no_archive_recycles;
     test "wal survives torn tail" wal_survives_torn_tail;
+    test "wal appends after torn tail" wal_appends_after_torn_tail;
     test "locks: shared compatible" lm_shared_compatible;
     test "locks: exclusive conflicts" lm_exclusive_conflicts;
     test "locks: upgrade" lm_upgrade;
