@@ -3,11 +3,16 @@
    runs).
 
      dwbench run t1 t2 --scale 2
+     dwbench run t3 w1 --json out.json   # machine-readable results
+     dwbench stats t3                    # metrics tables after the run
      dwbench list
      dwbench demo            # tiny end-to-end walkthrough on stdout *)
 
 open Cmdliner
 module E = Dw_experiments
+module Metrics = Dw_util.Metrics
+module Json = Dw_util.Json
+module Fmt_util = Dw_util.Fmt_util
 
 let experiments =
   [
@@ -47,6 +52,115 @@ let experiments =
      fun ~scale:_ -> E.Micro.run ());
   ]
 
+let unknown_ids ids =
+  List.filter
+    (fun id -> id <> "all" && not (List.exists (fun (i, _, _) -> i = id) experiments))
+    ids
+
+(* Run each selected experiment under a fresh sink registry: every
+   counter/histogram mutation and finished span anywhere in the process
+   (the experiments build many private Vfs instances, each with its own
+   registry) is mirrored into the sink, giving one merged per-experiment
+   view.  Returns (id, wall seconds, captured registry) per experiment. *)
+let run_captured ~scale ids =
+  let want id = List.mem "all" ids || List.mem id ids in
+  List.filter_map
+    (fun (id, _, f) ->
+      if not (want id) then None
+      else begin
+        let sink = Metrics.create () in
+        Metrics.set_sink (Some sink);
+        Fun.protect
+          ~finally:(fun () -> Metrics.set_sink None)
+          (fun () ->
+            let t0 = Unix.gettimeofday () in
+            f ~scale;
+            Some (id, Unix.gettimeofday () -. t0, sink))
+      end)
+    experiments
+
+(* Aggregate completed spans by (name, parent): occurrence count and
+   total time, for both the JSON payload and the stats tables. *)
+let span_rollup sink =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Metrics.span_record) ->
+      let key = (r.span_name, r.span_parent) in
+      match Hashtbl.find_opt tbl key with
+      | Some (n, total) -> Hashtbl.replace tbl key (n + 1, total +. r.span_duration)
+      | None ->
+        Hashtbl.add tbl key (1, r.span_duration);
+        order := key :: !order)
+    (Metrics.spans sink);
+  List.rev_map (fun key -> (key, Hashtbl.find tbl key)) !order
+
+let experiment_json (id, wall, sink) =
+  match Metrics.to_json sink with
+  | Json.Obj fields -> Json.Obj (("id", Json.String id) :: ("wall_s", Json.Float wall) :: fields)
+  | j -> Json.Obj [ ("id", Json.String id); ("wall_s", Json.Float wall); ("metrics", j) ]
+
+let write_json ~file ~scale ~quick results =
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ("suite", Json.String "dwbench");
+        ("scale", Json.Int scale);
+        ("quick", Json.Bool quick);
+        ("experiments", Json.List (List.map experiment_json results));
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d experiment%s)\n" file (List.length results)
+    (if List.length results = 1 then "" else "s")
+
+let print_stats (id, wall, sink) =
+  Printf.printf "\n==== metrics: %s (wall %s) ====\n" id (Fmt_util.human_duration wall);
+  let counters = Metrics.snapshot sink in
+  if counters <> [] then begin
+    print_newline ();
+    print_string
+      (Fmt_util.table ~header:[ "counter"; "value" ]
+         ~rows:(List.map (fun (k, v) -> [ k; string_of_int v ]) counters))
+  end;
+  let gauges = Metrics.gauges sink in
+  if gauges <> [] then begin
+    print_newline ();
+    print_string
+      (Fmt_util.table ~header:[ "gauge"; "value" ]
+         ~rows:(List.map (fun (k, v) -> [ k; Printf.sprintf "%.6g" v ]) gauges))
+  end;
+  let hists = Metrics.histograms sink in
+  if hists <> [] then begin
+    print_newline ();
+    let d = Fmt_util.human_duration in
+    print_string
+      (Fmt_util.table
+         ~header:[ "histogram"; "count"; "p50"; "p95"; "p99"; "max" ]
+         ~rows:
+           (List.map
+              (fun (name, (s : Metrics.histogram_summary)) ->
+                [ name; string_of_int s.count; d s.p50; d s.p95; d s.p99; d s.vmax ])
+              hists))
+  end;
+  let rollup = span_rollup sink in
+  if rollup <> [] then begin
+    print_newline ();
+    print_string
+      (Fmt_util.table
+         ~header:[ "span"; "parent"; "count"; "total" ]
+         ~rows:
+           (List.map
+              (fun ((name, parent), (n, total)) ->
+                [ name; Option.value parent ~default:"-"; string_of_int n;
+                  Fmt_util.human_duration total ])
+              rollup))
+  end
+
 let list_cmd =
   let doc = "List available experiments." in
   let run () =
@@ -54,33 +168,68 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
+let ids_arg =
+  let all = List.map (fun (id, _, _) -> id) experiments in
+  let doc = Printf.sprintf "Experiment ids (%s or 'all')." (String.concat ", " all) in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let scale_arg =
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc:"Workload scale factor (>= 1).")
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:
+          "Shrink workloads ~25x and drop repetitions: same shapes, CI-sized runtimes. \
+           Numbers from quick runs are not for quoting.")
+
 let run_cmd =
   let doc = "Run selected experiments (or all)." in
-  let ids =
-    let all = List.map (fun (id, _, _) -> id) experiments in
-    let doc = Printf.sprintf "Experiment ids (%s or 'all')." (String.concat ", " all) in
-    Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write per-experiment metrics (counters, gauges, latency histograms, span \
+             rollups) as JSON to $(docv).")
   in
-  let scale =
-    Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc:"Workload scale factor (>= 1).")
-  in
-  let run scale ids =
+  let run scale quick json ids =
     if scale < 1 then `Error (false, "--scale must be >= 1")
-    else begin
-      let want id = List.mem "all" ids || List.mem id ids in
-      let unknown =
-        List.filter
-          (fun id -> id <> "all" && not (List.mem_assoc id (List.map (fun (i, d, _) -> (i, d)) experiments)))
-          ids
-      in
-      match unknown with
+    else
+      match unknown_ids ids with
       | u :: _ -> `Error (false, "unknown experiment " ^ u)
       | [] ->
-        List.iter (fun (id, _, f) -> if want id then f ~scale) experiments;
+        E.Bench_support.set_quick quick;
+        (match json with
+         | None ->
+           let want id = List.mem "all" ids || List.mem id ids in
+           List.iter (fun (id, _, f) -> if want id then f ~scale) experiments
+         | Some file ->
+           let results = run_captured ~scale ids in
+           write_json ~file ~scale ~quick results);
         `Ok ()
-    end
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ scale $ ids))
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ scale_arg $ quick_arg $ json_arg $ ids_arg))
+
+let stats_cmd =
+  let doc =
+    "Run selected experiments and print their captured metrics: counter totals, gauges, \
+     latency percentiles, and a trace-span rollup."
+  in
+  let run scale quick ids =
+    if scale < 1 then `Error (false, "--scale must be >= 1")
+    else
+      match unknown_ids ids with
+      | u :: _ -> `Error (false, "unknown experiment " ^ u)
+      | [] ->
+        E.Bench_support.set_quick quick;
+        let results = run_captured ~scale ids in
+        List.iter print_stats results;
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ scale_arg $ quick_arg $ ids_arg))
 
 let demo_cmd =
   let doc = "A miniature end-to-end delta extraction walkthrough." in
@@ -111,4 +260,4 @@ let demo_cmd =
 let () =
   let doc = "delta-extraction experiment suite (Ram & Do, ICDE 2000 reproduction)" in
   let info = Cmd.info "dwbench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; demo_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; stats_cmd; list_cmd; demo_cmd ]))

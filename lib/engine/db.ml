@@ -53,7 +53,7 @@ let create ?(pool_pages = 256) ?(archive_log = false) ~vfs ~name () =
     vfs;
     pool = Buffer_pool.create ~vfs ~capacity:pool_pages;
     wal = Wal.create vfs ~name:(name ^ ".wal") ~archive:archive_log;
-    locks = Lock_manager.create ();
+    locks = Lock_manager.create ~metrics:(Vfs.metrics vfs) ();
     tables = Hashtbl.create 16;
     triggers = Hashtbl.create 16;
     next_txid = 1;
@@ -204,7 +204,9 @@ let rec acquire t txn resource mode =
   | Lock_manager.Blocked blockers -> (
       match t.block_hook with
       | Some wait ->
-        wait ~txid:txn.id ~blockers;
+        (* one observed sample per wait episode; a txn blocked repeatedly
+           on the same resource contributes one sample per suspension *)
+        Dw_util.Metrics.time (metrics t) "lock.wait" (fun () -> wait ~txid:txn.id ~blockers);
         acquire t txn resource mode
       | None -> raise (Would_block { tx = txn.id; blockers }))
   | Lock_manager.Deadlock blockers -> raise (Deadlock_abort { tx = txn.id; blockers })

@@ -13,12 +13,23 @@ let time f =
 
 let time_only f = snd (time f)
 
+(* Quick mode (dwbench --quick, the @bench-json alias): shrink workloads
+   ~25x and drop repetitions so a full experiment subset finishes in CI
+   time.  The shapes stay measurable; the absolute numbers are not for
+   quoting. *)
+let quick = ref false
+let set_quick b = quick := b
+let is_quick () = !quick
+
+let scaled base ~scale = (if !quick then max 100 (base / 25) else base) * scale
+
 (* median-of-n response-time measurement: [setup ()] builds fresh state,
    [run state] is the measured region; a major GC runs before each
    repetition so one cell's garbage does not bill the next.  The median is
    robust against one unlucky GC pause in either direction, which matters
    because the experiment tables report ratios of these cells. *)
 let best_of ?(repeat = 5) ~setup run =
+  let repeat = if !quick then 1 else repeat in
   let samples =
     List.init repeat (fun _ ->
         let state = setup () in
@@ -31,7 +42,7 @@ let best_of ?(repeat = 5) ~setup run =
 (* default scaled sizes: the paper sweeps 100M..1000M deltas over a 1G
    table, i.e. 10%..100% of the source; we keep those proportions over a
    50k-row source of 100-byte records; scale multiplies both *)
-let source_rows ~scale = 50_000 * scale
+let source_rows ~scale = scaled 50_000 ~scale
 let delta_row_steps ~scale =
   List.map (fun pct -> source_rows ~scale * pct / 100) [ 10; 20; 40; 60; 80; 100 ]
 let txn_sizes = [ 10; 100; 1000; 10000 ]

@@ -12,6 +12,7 @@ module Timestamp_extract = Dw_core.Timestamp_extract
 module Import_util = Dw_engine.Import_util
 module Ascii_util = Dw_engine.Ascii_util
 module File_ship = Dw_transport.File_ship
+module Metrics = Dw_util.Metrics
 open Bench_support
 
 (* Build a source where exactly [delta_rows] rows carry a fresh timestamp:
@@ -84,42 +85,50 @@ let run_t3 ~scale =
       let dw_vfs = Vfs.in_memory () in
       let dw = Db.create ~pool_pages:1024 ~vfs:dw_vfs ~name:"dw" () in
       let _ = Db.create_table dw ~name:"parts" ~ts_column:"last_modified" Workload.parts_schema in
-      (* path 1: file output -> ship -> DBMS Loader *)
+      (* path 1: file output -> ship -> DBMS Loader.  Trace spans decompose
+         the refresh into the paper's Table 3 segments. *)
+      let dwm = Vfs.metrics dw_vfs in
       let t_path1 =
         time_only (fun () ->
-            let _ =
-              Timestamp_extract.extract db ~table:"parts" ~since:watermark
-                ~output:(Timestamp_extract.To_file "ts.asc")
-            in
-            (match
-               File_ship.ship ~src:(Db.vfs db) ~src_name:"ts.asc" ~dst:dw_vfs
-                 ~dst_name:"ts.asc" ()
-             with
-             | Ok _ -> ()
-             | Error e -> failwith e);
-            match Ascii_util.load dw ~table:"parts" ~src:"ts.asc" with
-            | Ok _ -> ()
-            | Error e -> failwith e)
+            Metrics.with_span dwm "t3.refresh" (fun () ->
+                Metrics.with_span dwm "t3.extract" (fun () ->
+                    ignore
+                      (Timestamp_extract.extract db ~table:"parts" ~since:watermark
+                         ~output:(Timestamp_extract.To_file "ts.asc")));
+                Metrics.with_span dwm "t3.transport" (fun () ->
+                    match
+                      File_ship.ship ~src:(Db.vfs db) ~src_name:"ts.asc" ~dst:dw_vfs
+                        ~dst_name:"ts.asc" ()
+                    with
+                    | Ok _ -> ()
+                    | Error e -> failwith e);
+                Metrics.with_span dwm "t3.load" (fun () ->
+                    match Ascii_util.load dw ~table:"parts" ~src:"ts.asc" with
+                    | Ok _ -> ()
+                    | Error e -> failwith e)))
       in
       (* path 2: table output + Export -> ship -> Import *)
       let _ = Db.create_table dw ~name:"parts2" ~ts_column:"last_modified" Workload.parts_schema in
       let t_path2 =
         time_only (fun () ->
-            let _ =
-              Timestamp_extract.extract db ~table:"parts" ~since:watermark
-                ~output:
-                  (Timestamp_extract.To_table_export
-                     { delta_table = "ts_delta"; export_file = "ts.exp" })
-            in
-            (match
-               File_ship.ship ~src:(Db.vfs db) ~src_name:"ts.exp" ~dst:dw_vfs
-                 ~dst_name:"ts.exp" ()
-             with
-             | Ok _ -> ()
-             | Error e -> failwith e);
-            match Import_util.import_table dw ~src:"ts.exp" ~table:"parts2" with
-            | Ok _ -> ()
-            | Error e -> failwith e)
+            Metrics.with_span dwm "t3.refresh" (fun () ->
+                Metrics.with_span dwm "t3.extract" (fun () ->
+                    ignore
+                      (Timestamp_extract.extract db ~table:"parts" ~since:watermark
+                         ~output:
+                           (Timestamp_extract.To_table_export
+                              { delta_table = "ts_delta"; export_file = "ts.exp" })));
+                Metrics.with_span dwm "t3.transport" (fun () ->
+                    match
+                      File_ship.ship ~src:(Db.vfs db) ~src_name:"ts.exp" ~dst:dw_vfs
+                        ~dst_name:"ts.exp" ()
+                    with
+                    | Ok _ -> ()
+                    | Error e -> failwith e);
+                Metrics.with_span dwm "t3.load" (fun () ->
+                    match Import_util.import_table dw ~src:"ts.exp" ~table:"parts2" with
+                    | Ok _ -> ()
+                    | Error e -> failwith e)))
       in
       path1_times := t_path1 :: !path1_times;
       path2_times := t_path2 :: !path2_times)

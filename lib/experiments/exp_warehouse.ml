@@ -72,10 +72,11 @@ let capture_both ~table_rows kind size =
 
 let run_w1 ~scale =
   section "W1: warehouse maintenance window - Op-Delta vs value delta";
-  let table_rows = 20_000 * scale in
+  let table_rows = scaled 20_000 ~scale in
   let header =
     [ "Op"; "Txn size"; "value delta window"; "Op-Delta window"; "Op-Delta shorter by" ]
   in
+  let sizes = if is_quick () then [ 10; 100; 1000 ] else w1_txn_sizes in
   let rows = ref [] in
   let improvements = Hashtbl.create 4 in
   List.iter
@@ -108,7 +109,7 @@ let run_w1 ~scale =
               Printf.sprintf "%.1f%%" shorter;
             ]
             :: !rows)
-        w1_txn_sizes)
+        sizes)
     [ Insert; Delete; Update ];
   print_table ~title:"Maintenance window per source transaction" ~header ~rows:(List.rev !rows);
   let avg kind =
@@ -144,7 +145,7 @@ let mk_agg_warehouse ~replica_rows =
 
 let run_w3 ~scale =
   section "W3: maintenance window with an aggregate (GROUP BY) view";
-  let table_rows = 10_000 * scale in
+  let table_rows = scaled 10_000 ~scale in
   let header = [ "Op"; "Txn size"; "value delta"; "Op-Delta"; "Op-Delta shorter by" ] in
   let rows = ref [] in
   List.iter
@@ -176,7 +177,7 @@ let run_w3 ~scale =
 
 let run_w2 ~scale =
   section "W2: warehouse availability during maintenance (Op-Delta online vs value-delta batch)";
-  let table_rows = 5_000 * scale in
+  let table_rows = scaled 5_000 ~scale in
   (* a maintenance cycle of 40 source transactions, ~25 rows each *)
   let db = fresh_source ~rows:table_rows () in
   Db.set_day db (Db.current_day db + 1);
@@ -245,7 +246,7 @@ module Scheduler = Dw_engine.Scheduler
 
 let run_w2_real ~scale =
   section "W2R: availability with real 2PL (effect-handler scheduler)";
-  let table_rows = 2_000 * scale in
+  let table_rows = scaled 2_000 ~scale in
   let txns = 20 in
   let run_mode online =
     let wh = mk_warehouse ~replica_rows:table_rows in

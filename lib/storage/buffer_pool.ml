@@ -1,19 +1,28 @@
 module Metrics = Dw_util.Metrics
 
+(* Frames live in a fixed array; replacement order is an intrusive doubly
+   linked LRU list over frame indices (head = most recent, tail = victim),
+   so a miss picks its victim in O(1) instead of scanning every frame.
+   Invariant: a frame is on the LRU list iff [valid], on the free list
+   otherwise. *)
+
 type frame = {
   mutable key : string * int;  (* file name, page number *)
   data : bytes;
   mutable dirty : bool;
-  mutable last_used : int;  (* LRU stamp *)
   mutable valid : bool;
   mutable file : Vfs.file option;
+  mutable prev : int;  (* towards MRU; -1 = none *)
+  mutable next : int;  (* towards LRU; -1 = none *)
 }
 
 type t = {
   vfs : Vfs.t;
   frames : frame array;
   table : (string * int, int) Hashtbl.t;  (* key -> frame index *)
-  mutable tick : int;
+  mutable mru : int;   (* -1 when the list is empty *)
+  mutable lru : int;
+  mutable free : int list;  (* invalid frames *)
 }
 
 let create ~vfs ~capacity =
@@ -22,10 +31,12 @@ let create ~vfs ~capacity =
     vfs;
     frames =
       Array.init capacity (fun _ ->
-          { key = ("", -1); data = Bytes.create Page.size; dirty = false; last_used = 0;
-            valid = false; file = None });
+          { key = ("", -1); data = Bytes.create Page.size; dirty = false; valid = false;
+            file = None; prev = -1; next = -1 });
     table = Hashtbl.create (capacity * 2);
-    tick = 0;
+    mru = -1;
+    lru = -1;
+    free = List.init capacity Fun.id;
   }
 
 let vfs t = t.vfs
@@ -33,6 +44,29 @@ let vfs t = t.vfs
 let page_count _t file = Vfs.size file / Page.size
 
 let metrics t = Vfs.metrics t.vfs
+
+(* ---- LRU list primitives ---- *)
+
+let unlink t i =
+  let f = t.frames.(i) in
+  (match f.prev with -1 -> t.mru <- f.next | p -> t.frames.(p).next <- f.next);
+  (match f.next with -1 -> t.lru <- f.prev | n -> t.frames.(n).prev <- f.prev);
+  f.prev <- -1;
+  f.next <- -1
+
+let push_mru t i =
+  let f = t.frames.(i) in
+  f.prev <- -1;
+  f.next <- t.mru;
+  (match t.mru with -1 -> () | m -> t.frames.(m).prev <- i);
+  t.mru <- i;
+  if t.lru = -1 then t.lru <- i
+
+let touch t i =
+  if t.mru <> i then begin
+    unlink t i;
+    push_mru t i
+  end
 
 let write_back t frame =
   match frame.file with
@@ -43,50 +77,41 @@ let write_back t frame =
     Metrics.incr (metrics t) "pool.writebacks"
   | Some _ | None -> ()
 
+(* an invalid frame if one exists, otherwise the least recently used *)
 let victim t =
-  (* least-recently-used valid or any invalid frame *)
-  let best = ref 0 in
-  let best_score = ref max_int in
-  Array.iteri
-    (fun i f ->
-      let score = if f.valid then f.last_used else -1 in
-      if score < !best_score then begin
-        best := i;
-        best_score := score
-      end)
-    t.frames;
-  !best
-
-let touch t frame =
-  t.tick <- t.tick + 1;
-  frame.last_used <- t.tick
+  match t.free with
+  | i :: rest ->
+    t.free <- rest;
+    i
+  | [] -> t.lru
 
 let load t file pno =
   let key = (Vfs.name file, pno) in
   match Hashtbl.find_opt t.table key with
   | Some idx ->
     Metrics.incr (metrics t) "pool.hits";
-    let frame = t.frames.(idx) in
-    touch t frame;
-    frame
+    touch t idx;
+    t.frames.(idx)
   | None ->
     Metrics.incr (metrics t) "pool.misses";
-    let idx = victim t in
-    let frame = t.frames.(idx) in
-    if frame.valid then begin
-      write_back t frame;
-      Hashtbl.remove t.table frame.key;
-      Metrics.incr (metrics t) "pool.evictions"
-    end;
-    let data = Vfs.read_at file ~off:(pno * Page.size) ~len:Page.size in
-    Bytes.blit data 0 frame.data 0 Page.size;
-    frame.key <- key;
-    frame.valid <- true;
-    frame.dirty <- false;
-    frame.file <- Some file;
-    Hashtbl.replace t.table key idx;
-    touch t frame;
-    frame
+    Metrics.time (metrics t) "pool.miss" (fun () ->
+        let idx = victim t in
+        let frame = t.frames.(idx) in
+        if frame.valid then begin
+          write_back t frame;
+          Hashtbl.remove t.table frame.key;
+          Metrics.incr (metrics t) "pool.evictions";
+          unlink t idx
+        end;
+        let data = Vfs.read_at file ~off:(pno * Page.size) ~len:Page.size in
+        Bytes.blit data 0 frame.data 0 Page.size;
+        frame.key <- key;
+        frame.valid <- true;
+        frame.dirty <- false;
+        frame.file <- Some file;
+        Hashtbl.replace t.table key idx;
+        push_mru t idx;
+        frame)
 
 let with_page t file pno ~dirty f =
   if pno < 0 || pno >= page_count t file then
@@ -117,12 +142,14 @@ let flush_all t = Array.iter (fun frame -> if frame.valid then write_back t fram
 
 let invalidate_file t file =
   let fname = Vfs.name file in
-  Array.iter
-    (fun frame ->
+  Array.iteri
+    (fun i frame ->
       if frame.valid && fst frame.key = fname then begin
         Hashtbl.remove t.table frame.key;
         frame.valid <- false;
         frame.dirty <- false;
-        frame.file <- None
+        frame.file <- None;
+        unlink t i;
+        t.free <- i :: t.free
       end)
     t.frames

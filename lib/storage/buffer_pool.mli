@@ -1,9 +1,14 @@
 (** Buffer pool: a fixed number of page frames cached over a {!Vfs.t}, with
     LRU eviction and dirty-page write-back.
 
-    Counter names (in the pool's own metrics registry, which is the
-    Vfs registry): [pool.hits], [pool.misses], [pool.evictions],
-    [pool.writebacks]. *)
+    Victim selection is O(1): frames are threaded on an intrusive doubly
+    linked LRU list (plus a free list of invalid frames), so a miss never
+    scans the frame array.
+
+    Metric names (in the pool's own metrics registry, which is the Vfs
+    registry): counters [pool.hits], [pool.misses], [pool.evictions],
+    [pool.writebacks]; latency histogram [pool.miss] (one sample per miss,
+    covering victim selection, write-back and the page read). *)
 
 type t
 

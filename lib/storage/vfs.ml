@@ -259,26 +259,27 @@ let read_at f ~off ~len =
       (Printf.sprintf "Vfs.read_at %s: range [%d, %d) beyond size %d" f.fname off (off + len)
          (size f));
   check_dead f.vfs "read";
-  count_read f len;
-  let buf =
-    match f.vfs.backend with
-    | Mem _ -> Mem_file.read (mem_file f) ~off ~len
-    | Disk _ ->
-      let fd = Option.get f.fd in
-      let buf = Bytes.create len in
-      ignore (Unix.lseek fd off Unix.SEEK_SET);
-      let rec go pos remaining =
-        if remaining > 0 then begin
-          let n = Unix.read fd buf pos remaining in
-          if n = 0 then invalid_arg "Vfs.read_at: unexpected EOF";
-          go (pos + n) (remaining - n)
-        end
+  Metrics.time f.vfs.metrics "vfs.read" (fun () ->
+      count_read f len;
+      let buf =
+        match f.vfs.backend with
+        | Mem _ -> Mem_file.read (mem_file f) ~off ~len
+        | Disk _ ->
+          let fd = Option.get f.fd in
+          let buf = Bytes.create len in
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          let rec go pos remaining =
+            if remaining > 0 then begin
+              let n = Unix.read fd buf pos remaining in
+              if n = 0 then invalid_arg "Vfs.read_at: unexpected EOF";
+              go (pos + n) (remaining - n)
+            end
+          in
+          go 0 len;
+          buf
       in
-      go 0 len;
-      buf
-  in
-  maybe_flip_bits f.vfs buf;
-  buf
+      maybe_flip_bits f.vfs buf;
+      buf)
 
 let write_at f ~off data =
   if f.closed then invalid_arg "Vfs.write_at: closed file";
@@ -302,11 +303,12 @@ let write_at f ~off data =
       in
       go 0 len
   in
-  match fault_event f.vfs "write" (`Write len) with
-  | `Proceed -> do_write data
-  | `Tear (keep, index) ->
-    if keep > 0 then do_write (Bytes.sub data 0 keep);
-    raise (Fault.Crash { op = "write"; index })
+  Metrics.time f.vfs.metrics "vfs.write" (fun () ->
+      match fault_event f.vfs "write" (`Write len) with
+      | `Proceed -> do_write data
+      | `Tear (keep, index) ->
+        if keep > 0 then do_write (Bytes.sub data 0 keep);
+        raise (Fault.Crash { op = "write"; index }))
 
 let append f data =
   let off = size f in
@@ -315,14 +317,15 @@ let append f data =
 
 let fsync f =
   if f.closed then invalid_arg "Vfs.fsync: closed file";
-  (match fault_event f.vfs "fsync" `Fsync with
-   | `Proceed -> ()
-   | `Tear _ -> assert false (* fsync never tears *));
-  simulate_latency f;
-  Metrics.incr f.vfs.metrics "vfs.fsyncs";
-  match f.vfs.backend with
-  | Mem _ -> ()
-  | Disk _ -> Unix.fsync (Option.get f.fd)
+  Metrics.time f.vfs.metrics "vfs.fsync" (fun () ->
+      (match fault_event f.vfs "fsync" `Fsync with
+       | `Proceed -> ()
+       | `Tear _ -> assert false (* fsync never tears *));
+      simulate_latency f;
+      Metrics.incr f.vfs.metrics "vfs.fsyncs";
+      match f.vfs.backend with
+      | Mem _ -> ()
+      | Disk _ -> Unix.fsync (Option.get f.fd))
 
 let close f =
   if not f.closed then begin

@@ -13,7 +13,13 @@ let with_retry ~metrics ~max_retries ~backoff_s ~retries f =
     with Vfs.Fault.Transient _ when n < max_retries ->
       incr retries;
       Metrics.incr metrics "retry.ship";
-      if backoff_s > 0.0 then Unix.sleepf (backoff_s *. (2.0 ** float_of_int n));
+      if backoff_s > 0.0 then begin
+        let pause = backoff_s *. (2.0 ** float_of_int n) in
+        (* backoff time is where a flaky link actually hurts the
+           maintenance window: record the distribution, not just a count *)
+        Metrics.observe metrics "ship.backoff" pause;
+        Unix.sleepf pause
+      end;
       attempt (n + 1)
   in
   attempt 0
@@ -31,21 +37,24 @@ let ship ?(chunk_size = 64 * 1024) ?(max_retries = 8) ?(backoff_s = 0.0) ~src ~s
     let retrying f = with_retry ~metrics:(Vfs.metrics dst) ~max_retries ~backoff_s ~retries f in
     let result =
       try
-        let rec go off chunks =
-          if off >= total then chunks
-          else begin
-            let len = min chunk_size (total - off) in
-            let data = Vfs.read_at src_file ~off ~len in
-            (* chunks are written and confirmed in order, and a transient
-               write persists nothing, so on retry [off] still equals the
-               durable size: rewriting at the same offset is idempotent *)
-            retrying (fun () -> Vfs.write_at out ~off data);
-            go (off + len) (chunks + 1)
-          end
-        in
-        let chunks = go 0 0 in
-        retrying (fun () -> Vfs.fsync out);
-        Ok { bytes = total; chunks; retries = !retries }
+        Metrics.time (Vfs.metrics dst) "ship.total" (fun () ->
+            let rec go off chunks =
+              if off >= total then chunks
+              else begin
+                let len = min chunk_size (total - off) in
+                Metrics.time (Vfs.metrics dst) "ship.chunk" (fun () ->
+                    let data = Vfs.read_at src_file ~off ~len in
+                    (* chunks are written and confirmed in order, and a
+                       transient write persists nothing, so on retry [off]
+                       still equals the durable size: rewriting at the same
+                       offset is idempotent *)
+                    retrying (fun () -> Vfs.write_at out ~off data));
+                go (off + len) (chunks + 1)
+              end
+            in
+            let chunks = go 0 0 in
+            retrying (fun () -> Vfs.fsync out);
+            Ok { bytes = total; chunks; retries = !retries })
       with Vfs.Fault.Transient op ->
         Error (Printf.sprintf "transient fault on %s persisted after %d retries" op max_retries)
     in

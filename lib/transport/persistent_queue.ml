@@ -10,6 +10,7 @@ let fnv1a s =
   !h
 
 type t = {
+  metrics : Metrics.t;
   log : Vfs.file;
   offset_file : Vfs.file;
   mutable read_off : int;   (* offset of the oldest unacked frame *)
@@ -93,11 +94,13 @@ let open_ vfs ~name =
   let read_off = recover_read_off vfs offset_file ~boundaries in
   let pending, _ = count_from log read_off in
   let enqueued_before, _ = count_from log 0 in
-  { log; offset_file; read_off; peeked = None; pending; enqueued = enqueued_before }
+  { metrics = Vfs.metrics vfs; log; offset_file; read_off; peeked = None; pending;
+    enqueued = enqueued_before }
 
 let enqueue t payload =
-  ignore (Vfs.append t.log (frame payload) : int);
-  Vfs.fsync t.log;
+  Metrics.time t.metrics "queue.enqueue" (fun () ->
+      ignore (Vfs.append t.log (frame payload) : int);
+      Vfs.fsync t.log);
   t.pending <- t.pending + 1;
   t.enqueued <- t.enqueued + 1
 
@@ -119,20 +122,21 @@ let write_offset t off =
   Vfs.fsync t.offset_file
 
 let ack t =
-  match t.peeked with
-  | None -> (
-      (* allow ack directly after an un-peeked message? require peek *)
-      match read_frame t.log t.read_off with
-      | None -> invalid_arg "Persistent_queue.ack: queue is empty"
+  Metrics.time t.metrics "queue.ack" (fun () ->
+      match t.peeked with
+      | None -> (
+          (* allow ack directly after an un-peeked message? require peek *)
+          match read_frame t.log t.read_off with
+          | None -> invalid_arg "Persistent_queue.ack: queue is empty"
+          | Some (_, next) ->
+            t.read_off <- next;
+            write_offset t next;
+            t.pending <- t.pending - 1)
       | Some (_, next) ->
+        t.peeked <- None;
         t.read_off <- next;
         write_offset t next;
         t.pending <- t.pending - 1)
-  | Some (_, next) ->
-    t.peeked <- None;
-    t.read_off <- next;
-    write_offset t next;
-    t.pending <- t.pending - 1
 
 let pending t = t.pending
 let enqueued_total t = t.enqueued

@@ -8,19 +8,23 @@ type outcome = Granted | Blocked of txid list | Deadlock of txid list
    conflicting row locks in O(#transactions) instead of O(#locks) *)
 type tally = { mutable s_rows : int; mutable x_rows : int }
 
+module Metrics = Dw_util.Metrics
+
 type t = {
   locks : (resource, (txid, mode) Hashtbl.t) Hashtbl.t;
   wait_for : (txid, txid list) Hashtbl.t;  (* waiter -> blockers *)
   held : (txid, (resource, unit) Hashtbl.t) Hashtbl.t;
   row_tally : (string, (txid, tally) Hashtbl.t) Hashtbl.t;
+  metrics : Metrics.t;
 }
 
-let create () =
+let create ?metrics () =
   {
     locks = Hashtbl.create 64;
     wait_for = Hashtbl.create 16;
     held = Hashtbl.create 16;
     row_tally = Hashtbl.create 16;
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
   }
 
 let holders_tbl t resource =
@@ -128,6 +132,7 @@ let bump_tally t tx resource ~old_mode ~new_mode =
      | X -> tally.x_rows <- tally.x_rows + 1)
 
 let acquire t tx resource mode =
+  Metrics.incr t.metrics "lock.acquires";
   let blockers = conflicts t tx resource mode in
   match blockers with
   | [] ->
@@ -148,8 +153,12 @@ let acquire t tx resource mode =
     Hashtbl.remove t.wait_for tx;
     Granted
   | _ ->
-    if closes_cycle t tx blockers then Deadlock blockers
+    if closes_cycle t tx blockers then begin
+      Metrics.incr t.metrics "lock.deadlocks";
+      Deadlock blockers
+    end
     else begin
+      Metrics.incr t.metrics "lock.blocks";
       Hashtbl.replace t.wait_for tx blockers;
       Blocked blockers
     end

@@ -24,7 +24,11 @@ type outcome =
 
 type t
 
-val create : unit -> t
+val create : ?metrics:Dw_util.Metrics.t -> unit -> t
+(** [metrics] receives counters [lock.acquires], [lock.blocks] and
+    [lock.deadlocks] (a private registry is used when omitted); the
+    caller's scheduler is responsible for timing actual waits (the engine
+    records a [lock.wait] latency histogram around its block hook). *)
 
 val acquire : t -> txid -> resource -> mode -> outcome
 (** Upgrades S→X when possible.  Re-acquiring a held lock is [Granted].

@@ -24,8 +24,16 @@ let segment_name name base = Printf.sprintf "%s.%012d" name base
 let parse_segment_name name fname =
   let prefix = name ^ "." in
   let pl = String.length prefix in
-  if String.length fname > pl && String.sub fname 0 pl = prefix then
-    int_of_string_opt (String.sub fname pl (String.length fname - pl))
+  (* only the fixed-width decimal suffixes [segment_name] writes are
+     segments; [int_of_string_opt] alone would also accept 0x/0o/0b
+     prefixes, sign characters and '_' separators, adopting stray files
+     like "wal.0x01" on re-open *)
+  let sl = String.length fname - pl in
+  if sl >= 12 && String.sub fname 0 pl = prefix then begin
+    let suffix = String.sub fname pl sl in
+    if String.for_all (fun c -> c >= '0' && c <= '9') suffix then int_of_string_opt suffix
+    else None
+  end
   else None
 
 (* Scan a segment file for its valid record prefix and truncate anything
@@ -96,17 +104,19 @@ let create vfs ~name ~archive =
     }
 
 let archive_enabled t = t.archive
+let metrics t = Vfs.metrics t.vfs
 let next_lsn t = t.next
 let last_checkpoint t = t.last_checkpoint
 
 let append t record =
   let lsn = t.next in
   let data = Log_record.encode record in
-  ignore (Vfs.append t.current data : int);
+  Metrics.time (Vfs.metrics t.vfs) "wal.append" (fun () ->
+      ignore (Vfs.append t.current data : int));
   t.next <- lsn + Bytes.length data;
   lsn
 
-let flush t = Vfs.fsync t.current
+let flush t = Metrics.time (Vfs.metrics t.vfs) "wal.fsync" (fun () -> Vfs.fsync t.current)
 
 let rotate t =
   Vfs.fsync t.current;

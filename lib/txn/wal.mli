@@ -20,6 +20,12 @@ val create : Dw_storage.Vfs.t -> name:string -> archive:bool -> t
     [wal.torn_bytes] in the Vfs metrics registry. *)
 
 val archive_enabled : t -> bool
+
+val metrics : t -> Dw_util.Metrics.t
+(** The underlying Vfs registry.  The WAL records [wal.append] and
+    [wal.fsync] latency histograms there, besides the torn-tail
+    counters. *)
+
 val next_lsn : t -> lsn
 
 val append : t -> Log_record.t -> lsn

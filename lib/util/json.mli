@@ -1,0 +1,32 @@
+(** Minimal JSON values, printer, and parser.
+
+    Used by the instrumentation layer ({!Metrics.to_json}) and the bench
+    harness to emit machine-readable experiment results, and by the
+    [@bench-json] schema validator to check them.  No external dependency
+    — the repo rule is "no new packages". *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize.  [Float] nan/infinity become [null] (JSON has no
+    representation for them), so emitted documents always re-parse. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document.  [\uXXXX] escapes are decoded as
+    UTF-8 (BMP only; surrogate pairs are not combined). *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)
+
+val to_list : t -> t list option
+val to_number : t -> float option
+(** [Int] and [Float] both convert; everything else is [None]. *)
+
+val to_str : t -> string option

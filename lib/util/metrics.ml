@@ -1,23 +1,310 @@
-type t = (string, int ref) Hashtbl.t
+(* Instrumentation registry: counters, gauges, log-bucketed latency
+   histograms, scoped timers and trace spans, all driven by a pluggable
+   clock so deterministic tests can substitute a Sim_clock. *)
 
-let create () : t = Hashtbl.create 32
+(* ---------- histogram bucketing ----------
 
-let counter t name =
-  match Hashtbl.find_opt t name with
-  | Some r -> r
+   Log-spaced buckets: bucket [i] covers (gamma^(i-1), gamma^i] with
+   gamma = 2^(1/8), i.e. 8 buckets per doubling, bounding the relative
+   quantile error at ~4.4%.  Indices are clamped to [min_bucket,
+   max_bucket] (under/overflow buckets) so arbitrary inputs cannot grow
+   the table without bound; exact min/max are tracked separately and
+   percentile results are clamped into [min, max], which also makes the
+   one-sample and overflow edges exact. *)
+
+let gamma = Float.pow 2.0 0.125
+let log_gamma = Float.log gamma
+let min_bucket = -1024 (* gamma^-1024 = 2^-128: below any real latency *)
+let max_bucket = 1024
+
+let bucket_of v =
+  if v <= 0.0 then min_bucket
+  else
+    let i = int_of_float (Float.ceil (Float.log v /. log_gamma)) in
+    if i < min_bucket then min_bucket else if i > max_bucket then max_bucket else i
+
+let bucket_upper i = Float.pow gamma (float_of_int i)
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : (int, int ref) Hashtbl.t;
+}
+
+type entry = Counter of int ref | Gauge of float ref | Histogram of histogram
+
+type clock = unit -> float
+
+type span_record = {
+  span_name : string;
+  span_parent : string option;
+  span_start : float;
+  span_duration : float;
+  span_deltas : (string * int) list;
+}
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  mutable clock : clock;
+  mutable span_stack : open_span list;
+  mutable completed_spans : span_record list; (* newest first *)
+}
+
+and open_span = {
+  sp_reg : t;
+  sp_name : string;
+  sp_parent : string option;
+  sp_start : float;
+  sp_counters : (string * int) list;
+  mutable sp_finished : bool;
+}
+
+let default_clock = Unix.gettimeofday
+
+let create () =
+  { entries = Hashtbl.create 32; clock = default_clock; span_stack = []; completed_spans = [] }
+
+let set_clock t clock = t.clock <- clock
+let use_sim_clock t clk = t.clock <- (fun () -> float_of_int (Sim_clock.now clk))
+let now t = t.clock ()
+
+(* ---------- the recording sink ----------
+
+   When set, every counter/gauge/histogram mutation on ANY registry is
+   mirrored into the sink (and finished spans are appended to it), so a
+   bench harness can capture the union of per-Vfs registries an
+   experiment creates internally without threading a registry through
+   every constructor. *)
+
+let the_sink : t option ref = ref None
+
+let set_sink s = the_sink := s
+let sink () = !the_sink
+
+let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+let find_entry t name make =
+  match Hashtbl.find_opt t.entries name with
+  | Some e -> e
   | None ->
-    let r = ref 0 in
-    Hashtbl.add t name r;
-    r
+    let e = make () in
+    Hashtbl.add t.entries name e;
+    e
 
-let add t name n = counter t name := !(counter t name) + n
+let counter_ref t name =
+  match find_entry t name (fun () -> Counter (ref 0)) with
+  | Counter r -> r
+  | e -> invalid_arg (Printf.sprintf "Metrics: %s is a %s, not a counter" name (kind_name e))
+
+let gauge_ref t name =
+  match find_entry t name (fun () -> Gauge (ref 0.0)) with
+  | Gauge r -> r
+  | e -> invalid_arg (Printf.sprintf "Metrics: %s is a %s, not a gauge" name (kind_name e))
+
+let histogram_of t name =
+  match
+    find_entry t name (fun () ->
+        Histogram
+          { h_count = 0; h_sum = 0.0; h_min = Float.infinity; h_max = Float.neg_infinity;
+            h_buckets = Hashtbl.create 16 })
+  with
+  | Histogram h -> h
+  | e -> invalid_arg (Printf.sprintf "Metrics: %s is a %s, not a histogram" name (kind_name e))
+
+let mirror t f = match !the_sink with Some s when s != t -> f s | Some _ | None -> ()
+
+(* ---------- counters ---------- *)
+
+let rec add t name n =
+  let r = counter_ref t name in
+  r := !r + n;
+  mirror t (fun s -> add s name n)
+
 let incr t name = add t name 1
-let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
-let reset t = Hashtbl.iter (fun _ r -> r := 0) t
+
+let get t name =
+  match Hashtbl.find_opt t.entries name with Some (Counter r) -> !r | Some _ | None -> 0
+
+(* ---------- gauges ---------- *)
+
+let rec set_gauge t name v =
+  gauge_ref t name := v;
+  mirror t (fun s -> set_gauge s name v)
+
+let gauge t name =
+  match Hashtbl.find_opt t.entries name with Some (Gauge r) -> !r | Some _ | None -> 0.0
+
+let gauges t =
+  Hashtbl.fold (fun k e acc -> match e with Gauge r -> (k, !r) :: acc | _ -> acc) t.entries []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---------- histograms ---------- *)
+
+let rec observe t name v =
+  let h = histogram_of t name in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_of v in
+  (match Hashtbl.find_opt h.h_buckets i with
+   | Some r -> Stdlib.incr r
+   | None -> Hashtbl.add h.h_buckets i (ref 1));
+  mirror t (fun s -> observe s name v)
+
+let observed_count t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Histogram h) -> h.h_count
+  | Some _ | None -> 0
+
+let observed_sum t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Histogram h) -> h.h_sum
+  | Some _ | None -> 0.0
+
+let percentile_of_histogram h q =
+  if h.h_count = 0 then 0.0
+  else if q <= 0.0 then h.h_min
+  else if q >= 1.0 then h.h_max
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
+      if r < 1 then 1 else if r > h.h_count then h.h_count else r
+    in
+    let buckets =
+      Hashtbl.fold (fun i r acc -> (i, !r) :: acc) h.h_buckets []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let rec walk seen = function
+      | [] -> h.h_max
+      | (i, c) :: rest -> if seen + c >= rank then bucket_upper i else walk (seen + c) rest
+    in
+    let v = walk 0 buckets in
+    (* clamp the bucket upper bound into the observed range: exact for
+       empty/one-sample/overflow edges, and never outside [min, max] *)
+    if v < h.h_min then h.h_min else if v > h.h_max then h.h_max else v
+  end
+
+let percentile t name q =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Histogram h) -> percentile_of_histogram h q
+  | Some _ | None -> 0.0
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  vmin : float;
+  vmax : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summary_of_histogram h =
+  if h.h_count = 0 then
+    { count = 0; sum = 0.0; vmin = 0.0; vmax = 0.0; p50 = 0.0; p95 = 0.0; p99 = 0.0 }
+  else
+    {
+      count = h.h_count;
+      sum = h.h_sum;
+      vmin = h.h_min;
+      vmax = h.h_max;
+      p50 = percentile_of_histogram h 0.50;
+      p95 = percentile_of_histogram h 0.95;
+      p99 = percentile_of_histogram h 0.99;
+    }
+
+let summary t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Histogram h) -> Some (summary_of_histogram h)
+  | Some _ | None -> None
+
+let histograms t =
+  Hashtbl.fold
+    (fun k e acc -> match e with Histogram h -> (k, summary_of_histogram h) :: acc | _ -> acc)
+    t.entries []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---------- scoped timers ---------- *)
+
+type timer = { tm_reg : t; tm_name : string; tm_start : float }
+
+let start_timer t name = { tm_reg = t; tm_name = name; tm_start = now t }
+
+let stop_timer tm =
+  let elapsed = now tm.tm_reg -. tm.tm_start in
+  observe tm.tm_reg tm.tm_name elapsed;
+  elapsed
+
+let time t name f =
+  let tm = start_timer t name in
+  Fun.protect ~finally:(fun () -> ignore (stop_timer tm : float)) f
+
+(* ---------- trace spans ---------- *)
+
+type span = open_span
+
+let counters_snapshot t =
+  Hashtbl.fold (fun k e acc -> match e with Counter r -> (k, !r) :: acc | _ -> acc) t.entries []
+
+let start_span t name =
+  let parent = match t.span_stack with [] -> None | sp :: _ -> Some sp.sp_name in
+  let sp =
+    { sp_reg = t; sp_name = name; sp_parent = parent; sp_start = now t;
+      sp_counters = counters_snapshot t; sp_finished = false }
+  in
+  t.span_stack <- sp :: t.span_stack;
+  sp
+
+let counter_deltas ~before t =
+  counters_snapshot t
+  |> List.filter_map (fun (k, v) ->
+         let v0 = match List.assoc_opt k before with Some v0 -> v0 | None -> 0 in
+         if v = v0 then None else Some (k, v - v0))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let finish_span sp =
+  if not sp.sp_finished then begin
+    sp.sp_finished <- true;
+    let t = sp.sp_reg in
+    (* tolerate missed finishes below us: drop abandoned frames *)
+    t.span_stack <- List.filter (fun other -> other != sp && not other.sp_finished) t.span_stack;
+    let record =
+      {
+        span_name = sp.sp_name;
+        span_parent = sp.sp_parent;
+        span_start = sp.sp_start;
+        span_duration = now t -. sp.sp_start;
+        span_deltas = counter_deltas ~before:sp.sp_counters t;
+      }
+    in
+    t.completed_spans <- record :: t.completed_spans;
+    observe t sp.sp_name record.span_duration;
+    mirror t (fun s -> s.completed_spans <- record :: s.completed_spans)
+  end
+
+let with_span t name f =
+  let sp = start_span t name in
+  Fun.protect ~finally:(fun () -> finish_span sp) f
+
+let spans t = List.rev t.completed_spans
+let span_depth t = List.length t.span_stack
+let clear_spans t =
+  t.span_stack <- [];
+  t.completed_spans <- []
+
+(* ---------- snapshots, reset, rendering ---------- *)
 
 let snapshot t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  counters_snapshot t |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  (* clear entries outright: keeping zeroed keys pollutes later snapshots
+     of a registry shared across experiments with stale counters *)
+  Hashtbl.reset t.entries;
+  clear_spans t
 
 let diff ~before ~after =
   let tbl = Hashtbl.create 16 in
@@ -32,7 +319,58 @@ let diff ~before ~after =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let pp ppf t =
-  let entries = snapshot t in
   Format.fprintf ppf "@[<v>";
-  List.iter (fun (k, v) -> Format.fprintf ppf "%s = %d@," k v) entries;
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s = %d@," k v) (snapshot t);
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s = %g@," k v) (gauges t);
+  List.iter
+    (fun (k, s) ->
+      Format.fprintf ppf "%s: n=%d sum=%.6f min=%.6f p50=%.6f p95=%.6f p99=%.6f max=%.6f@," k
+        s.count s.sum s.vmin s.p50 s.p95 s.p99 s.vmax)
+    (histograms t);
   Format.fprintf ppf "@]"
+
+(* aggregate completed spans by (name, parent) for compact reporting *)
+let span_rollup t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let key = (r.span_name, r.span_parent) in
+      match Hashtbl.find_opt tbl key with
+      | Some (n, total) -> Hashtbl.replace tbl key (n + 1, total +. r.span_duration)
+      | None -> Hashtbl.add tbl key (1, r.span_duration))
+    t.completed_spans;
+  Hashtbl.fold (fun (name, parent) (n, total) acc -> (name, parent, n, total) :: acc) tbl []
+  |> List.sort (fun (a, pa, _, _) (b, pb, _, _) -> compare (a, pa) (b, pb))
+
+let to_json t =
+  let counters = List.map (fun (k, v) -> (k, Json.Int v)) (snapshot t) in
+  let gauges_j = List.map (fun (k, v) -> (k, Json.Float v)) (gauges t) in
+  let histo (k, s) =
+    ( k,
+      Json.Obj
+        [
+          ("count", Json.Int s.count);
+          ("sum", Json.Float s.sum);
+          ("min", Json.Float s.vmin);
+          ("max", Json.Float s.vmax);
+          ("p50", Json.Float s.p50);
+          ("p95", Json.Float s.p95);
+          ("p99", Json.Float s.p99);
+        ] )
+  in
+  let span_j (name, parent, n, total) =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("parent", match parent with Some p -> Json.String p | None -> Json.Null);
+        ("count", Json.Int n);
+        ("total", Json.Float total);
+      ]
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges_j);
+      ("histograms", Json.Obj (List.map histo (histograms t)));
+      ("spans", Json.List (List.map span_j (span_rollup t)));
+    ]

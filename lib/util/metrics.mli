@@ -1,13 +1,45 @@
-(** Lightweight named counters used for I/O and cost accounting.
+(** Instrumentation registry: counters, gauges, latency histograms,
+    scoped timers and trace spans.
 
-    A {!t} is a registry of integer counters.  The storage layer counts page
-    reads/writes and bytes moved; benches snapshot a registry before and
-    after a measured region and report the difference, which explains the
-    shape of the wall-clock results. *)
+    A {!t} is a registry of named metrics.  The storage layer counts page
+    reads/writes and bytes moved; hot paths (Vfs I/O, buffer-pool misses,
+    WAL fsyncs, lock waits, queue and transport operations, warehouse
+    refreshes) additionally record latency distributions, and benches
+    snapshot a registry before and after a measured region and report the
+    difference, which explains the shape of the wall-clock results.
+
+    {b Metric taxonomy} (see DESIGN.md §9 for naming conventions):
+    - {e counters}: monotonically increasing ints ([incr]/[add]);
+    - {e gauges}: last-write-wins floats ([set_gauge]);
+    - {e histograms}: log-bucketed latency/size distributions ([observe],
+      [time], percentile queries);
+    - {e spans}: named, nested timed regions with counter deltas
+      ([with_span]), for decomposing e.g. a warehouse refresh into
+      extract → transport → load → apply segments.
+
+    Timers and spans read a pluggable {!clock}; substitute a
+    {!Sim_clock.t} ({!use_sim_clock}) for deterministic tests.
+
+    A metric name denotes one kind; using it as another raises
+    [Invalid_argument]. *)
 
 type t
 
+type clock = unit -> float
+(** Seconds; only differences are meaningful.  The default is
+    [Unix.gettimeofday]. *)
+
 val create : unit -> t
+
+val set_clock : t -> clock -> unit
+
+val use_sim_clock : t -> Sim_clock.t -> unit
+(** Drive timers/spans from a logical clock: one tick = one second. *)
+
+val now : t -> float
+(** The registry clock's current reading. *)
+
+(** {2 Counters} *)
 
 val incr : t -> string -> unit
 (** [incr t name] adds 1 to counter [name], creating it at 0 if needed. *)
@@ -18,13 +50,112 @@ val add : t -> string -> int -> unit
 val get : t -> string -> int
 (** [get t name] is the counter value, 0 if never touched. *)
 
-val reset : t -> unit
-(** Zero every counter. *)
-
 val snapshot : t -> (string * int) list
-(** All counters, sorted by name. *)
+(** All counters, sorted by name (gauges/histograms are not included). *)
 
 val diff : before:(string * int) list -> after:(string * int) list -> (string * int) list
 (** Per-counter difference [after - before], dropping zero entries. *)
 
+(** {2 Gauges} *)
+
+val set_gauge : t -> string -> float -> unit
+val gauge : t -> string -> float
+(** 0.0 if never set. *)
+
+val gauges : t -> (string * float) list
+
+(** {2 Histograms}
+
+    Log-spaced buckets (8 per doubling, ~4.4% relative quantile error);
+    bucket indices are clamped into under/overflow buckets, and exact
+    min/max are tracked so percentile results are always within the
+    observed range — exact for the empty, one-sample, and overflow
+    edges. *)
+
+val observe : t -> string -> float -> unit
+(** Record one sample (typically seconds of latency). *)
+
+val observed_count : t -> string -> int
+val observed_sum : t -> string -> float
+
+val percentile : t -> string -> float -> float
+(** [percentile t name q] for [q] in [0, 1]; [q <= 0] is the minimum,
+    [q >= 1] the maximum; 0.0 on an empty or absent histogram. *)
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  vmin : float;
+  vmax : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summary : t -> string -> histogram_summary option
+(** [None] if [name] is not a histogram. *)
+
+val histograms : t -> (string * histogram_summary) list
+
+(** {2 Scoped timers} — measure a region into a histogram. *)
+
+type timer
+
+val start_timer : t -> string -> timer
+val stop_timer : timer -> float
+(** Observes the elapsed time into histogram [name], returns it. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t name f] runs [f], observing its duration even on raise. *)
+
+(** {2 Trace spans} — nested timed regions.  A span's parent is whatever
+    span was open on the same registry when it started; finishing records
+    (name, parent, start, duration, counter deltas) and observes the
+    duration into histogram [name].  [finish_span] is idempotent. *)
+
+type span
+
+type span_record = {
+  span_name : string;
+  span_parent : string option;
+  span_start : float;
+  span_duration : float;
+  span_deltas : (string * int) list;  (** nonzero counter movement *)
+}
+
+val start_span : t -> string -> span
+val finish_span : span -> unit
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** Balanced open/finish even on raise. *)
+
+val spans : t -> span_record list
+(** Completed spans in completion order. *)
+
+val span_depth : t -> int
+(** Currently open spans (0 when balanced — property-tested). *)
+
+val clear_spans : t -> unit
+
+(** {2 Reset, rendering, export} *)
+
+val reset : t -> unit
+(** Remove every entry and span.  Entries are {e cleared}, not zeroed:
+    a later {!snapshot}/{!pp} shows nothing from before the reset. *)
+
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+(** [{"counters": {..}, "gauges": {..}, "histograms": {name: {count, sum,
+    min, max, p50, p95, p99}}, "spans": [{name, parent, count, total}]}] —
+    the per-experiment payload of [dwbench run --json]. *)
+
+(** {2 Recording sink}
+
+    When a sink registry is installed, every counter/gauge/histogram
+    mutation on any other registry is mirrored into it, and finished
+    spans are appended to it.  The bench harness uses this to capture the
+    union of the per-Vfs registries an experiment creates internally.
+    Not mirrored recursively (mutating the sink itself is local). *)
+
+val set_sink : t option -> unit
+val sink : unit -> t option

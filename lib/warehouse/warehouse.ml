@@ -11,6 +11,7 @@ module Delta = Dw_core.Delta
 module Op_delta = Dw_core.Op_delta
 module Spj_view = Dw_core.Spj_view
 module Agg_view = Dw_core.Agg_view
+module Metrics = Dw_util.Metrics
 
 type view_state = {
   def : Spj_view.t;
@@ -446,6 +447,7 @@ let update_stmt table schema tuple =
   Dw_sql.Ast.Update { table; sets; where = Some (key_predicate schema tuple) }
 
 let integrate_value_delta (t : t) delta =
+  Metrics.with_span (Db.metrics t.db) "warehouse.refresh" @@ fun () ->
   let table = delta.Delta.table in
   let schema = delta.Delta.schema in
   let start = Unix.gettimeofday () in
@@ -485,6 +487,7 @@ let integrate_value_delta (t : t) delta =
   }
 
 let integrate_op_delta (t : t) od =
+  Metrics.with_span (Db.metrics t.db) "warehouse.refresh" @@ fun () ->
   let start = Unix.gettimeofday () in
   let row_ops0 = t.row_ops in
   let statements = ref 0 in
@@ -566,6 +569,7 @@ let viewonly_after_image schema sets before =
     before sets
 
 let integrate_op_delta_viewonly (t : t) od =
+  Metrics.with_span (Db.metrics t.db) "warehouse.refresh" @@ fun () ->
   let start = Unix.gettimeofday () in
   let row_ops0 = t.row_ops in
   let statements = ref 0 in

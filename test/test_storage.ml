@@ -166,6 +166,86 @@ let pool_dirty_flush () =
   check Alcotest.char "flushed" 'y' (Bytes.get raw 0);
   Vfs.close f
 
+(* regression for the victim-scan rewrite: eviction must pick the least
+   recently *used* frame, with an intervening touch promoting a page out
+   of victim position.  Observed through the miss counter: a page touched
+   just before the eviction-triggering miss must still be resident. *)
+let pool_lru_eviction_order () =
+  let m = Metrics.create () in
+  let vfs = Vfs.in_memory ~metrics:m () in
+  let pool = Buffer_pool.create ~vfs ~capacity:3 in
+  let f = Vfs.create vfs "lru.dat" in
+  let pages =
+    Array.init 4 (fun i ->
+        Buffer_pool.append_page pool f (fun p -> Bytes.set p 0 (Char.chr (Char.code 'a' + i))))
+  in
+  let touch p = Buffer_pool.with_page pool f p ~dirty:false (fun _ -> ()) in
+  (* appending 4 pages into 3 frames leaves pages 1,2,3 resident *)
+  touch pages.(1);
+  touch pages.(2);
+  touch pages.(3);
+  touch pages.(1);
+  (* page 1 is now most recent and page 2 least: the next miss evicts 2 *)
+  let misses0 = Metrics.get m "pool.misses" in
+  touch pages.(0);
+  check Alcotest.int "faulting page 0 misses" (misses0 + 1) (Metrics.get m "pool.misses");
+  touch pages.(3);
+  touch pages.(1);
+  check Alcotest.int "recently used pages stayed resident" (misses0 + 1)
+    (Metrics.get m "pool.misses");
+  touch pages.(2);
+  check Alcotest.int "the LRU page was the victim" (misses0 + 2) (Metrics.get m "pool.misses");
+  Vfs.close f
+
+(* a pool-thrashing sequential scan: every miss contributes one sample to
+   the pool.miss latency histogram, so its count tracks the counter *)
+let pool_miss_histogram () =
+  let m = Metrics.create () in
+  let vfs = Vfs.in_memory ~metrics:m () in
+  let pool = Buffer_pool.create ~vfs ~capacity:4 in
+  let f = Vfs.create vfs "thrash.dat" in
+  let n = 32 in
+  let pages =
+    Array.init n (fun i ->
+        Buffer_pool.append_page pool f (fun p -> Bytes.set p 0 (Char.chr i)))
+  in
+  for _round = 1 to 3 do
+    Array.iteri
+      (fun i p ->
+        Buffer_pool.with_page pool f p ~dirty:false (fun page ->
+            check Alcotest.char "page content survives thrash" (Char.chr i) (Bytes.get page 0)))
+      pages
+  done;
+  check Alcotest.bool "workload actually thrashed" true (Metrics.get m "pool.misses" >= 3 * n);
+  check Alcotest.int "one histogram sample per miss" (Metrics.get m "pool.misses")
+    (Metrics.observed_count m "pool.miss");
+  check Alcotest.bool "samples are non-negative durations" true
+    (Metrics.observed_sum m "pool.miss" >= 0.0);
+  Vfs.close f
+
+let pool_invalidate_refill () =
+  let m = Metrics.create () in
+  let vfs = Vfs.in_memory ~metrics:m () in
+  let pool = Buffer_pool.create ~vfs ~capacity:4 in
+  let f = Vfs.create vfs "inv.dat" in
+  let pages =
+    Array.init 4 (fun i ->
+        Buffer_pool.append_page pool f (fun p -> Bytes.set p 0 (Char.chr (Char.code '0' + i))))
+  in
+  Buffer_pool.flush_file pool f;
+  Buffer_pool.invalidate_file pool f;
+  let evictions0 = Metrics.get m "pool.evictions" in
+  (* re-faulting after invalidate reuses the freed frames: no evictions *)
+  Array.iteri
+    (fun i p ->
+      Buffer_pool.with_page pool f p ~dirty:false (fun page ->
+          check Alcotest.char "reread from disk" (Char.chr (Char.code '0' + i))
+            (Bytes.get page 0)))
+    pages;
+  check Alcotest.int "freed frames reused without eviction" evictions0
+    (Metrics.get m "pool.evictions");
+  Vfs.close f
+
 let pool_out_of_range () =
   let vfs = Vfs.in_memory () in
   let pool = Buffer_pool.create ~vfs ~capacity:2 in
@@ -454,6 +534,9 @@ let suite =
     test "page update in place" page_update_in_place;
     test "pool hit/miss/evict" pool_hit_miss_evict;
     test "pool dirty flush" pool_dirty_flush;
+    test "pool lru eviction order" pool_lru_eviction_order;
+    test "pool miss histogram" pool_miss_histogram;
+    test "pool invalidate refill" pool_invalidate_refill;
     test "pool out of range" pool_out_of_range;
     test "heap crud" heap_crud;
     test "heap many pages" heap_many_pages;

@@ -177,6 +177,42 @@ let wal_appends_after_torn_tail () =
   Wal.iter_all wal3 (fun _ _ -> incr count);
   check Alcotest.int "old + new records all readable" 4 !count
 
+(* regression: segment adoption used bare [int_of_string_opt], which also
+   accepts "0x.."/"0o.."-prefixed, signed and '_'-separated forms — so a
+   stray file like "e.wal.0x0000000001" was adopted as a segment on
+   re-open, truncated as torn garbage, and shifted the recovered LSN.
+   Only the fixed-width decimal names [segment_name] writes are valid. *)
+let wal_ignores_stray_segment_names () =
+  let vfs = Vfs.in_memory () in
+  let wal = Wal.create vfs ~name:"e.wal" ~archive:false in
+  ignore (Wal.append wal { Log_record.tx = 1; body = Log_record.Begin } : int);
+  ignore (Wal.append wal { Log_record.tx = 1; body = Log_record.Commit } : int);
+  Wal.flush wal;
+  let lsn_before = Wal.next_lsn wal in
+  let strays =
+    [ "e.wal.0x0000000001"; "e.wal.+00000000001"; "e.wal.0_0000000001"; "e.wal.1" ]
+  in
+  List.iter
+    (fun name ->
+      let f = Vfs.create vfs name in
+      ignore (Vfs.append f (Bytes.of_string "not a log segment") : int);
+      Vfs.close f)
+    strays;
+  let wal2 = Wal.create vfs ~name:"e.wal" ~archive:false in
+  check Alcotest.int "lsn unaffected by stray files" lsn_before (Wal.next_lsn wal2);
+  check Alcotest.int "no stray file was 'repaired' as torn" 0
+    (Dw_util.Metrics.get (Vfs.metrics vfs) "wal.torn_segments");
+  let count = ref 0 in
+  Wal.iter_all wal2 (fun _ _ -> incr count);
+  check Alcotest.int "only real records iterate" 2 !count;
+  (* the stray files were left alone, not truncated or deleted *)
+  List.iter
+    (fun name ->
+      let f = Vfs.open_existing vfs name in
+      check Alcotest.int (name ^ " untouched") 17 (Vfs.size f);
+      Vfs.close f)
+    strays
+
 (* ---------- lock manager ---------- *)
 
 let lm_shared_compatible () =
@@ -330,6 +366,7 @@ let suite =
     test "wal recycles without archive" wal_no_archive_recycles;
     test "wal survives torn tail" wal_survives_torn_tail;
     test "wal appends after torn tail" wal_appends_after_torn_tail;
+    test "wal ignores stray segment names" wal_ignores_stray_segment_names;
     test "locks: shared compatible" lm_shared_compatible;
     test "locks: exclusive conflicts" lm_exclusive_conflicts;
     test "locks: upgrade" lm_upgrade;

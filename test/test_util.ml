@@ -1,9 +1,11 @@
-(* Tests for Dw_util: PRNG determinism, metrics, clock, formatting. *)
+(* Tests for Dw_util: PRNG determinism, metrics (counters, gauges,
+   histograms, timers, spans, sink), JSON, clock, formatting. *)
 
 module Prng = Dw_util.Prng
 module Metrics = Dw_util.Metrics
 module Sim_clock = Dw_util.Sim_clock
 module Fmt_util = Dw_util.Fmt_util
+module Json = Dw_util.Json
 
 let check = Alcotest.check
 let test name f = Alcotest.test_case name `Quick f
@@ -84,6 +86,282 @@ let metrics_reset () =
   Metrics.reset m;
   check Alcotest.int "reset" 0 (Metrics.get m "x")
 
+(* regression: reset used to zero counters in place but keep the keys, so
+   a later snapshot of a registry shared across experiments still listed
+   every stale name.  Reset must clear entries of every kind. *)
+let metrics_reset_clears_entries () =
+  let m = Metrics.create () in
+  Metrics.add m "x" 3;
+  Metrics.set_gauge m "g" 2.0;
+  Metrics.observe m "h" 0.5;
+  Metrics.with_span m "s" (fun () -> ());
+  Metrics.reset m;
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "snapshot empty" []
+    (Metrics.snapshot m);
+  check Alcotest.int "gauges empty" 0 (List.length (Metrics.gauges m));
+  check Alcotest.int "histograms empty" 0 (List.length (Metrics.histograms m));
+  check Alcotest.int "spans cleared" 0 (List.length (Metrics.spans m));
+  check Alcotest.int "counter gone" 0 (Metrics.get m "x")
+
+let metrics_gauges () =
+  let m = Metrics.create () in
+  Metrics.set_gauge m "pool.capacity" 64.0;
+  Metrics.set_gauge m "pool.capacity" 128.0;
+  Metrics.set_gauge m "a" 1.5;
+  check (Alcotest.float 0.0) "last write wins" 128.0 (Metrics.gauge m "pool.capacity");
+  check (Alcotest.float 0.0) "absent gauge" 0.0 (Metrics.gauge m "zz");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 0.0)))
+    "sorted"
+    [ ("a", 1.5); ("pool.capacity", 128.0) ]
+    (Metrics.gauges m)
+
+let metrics_kind_mismatch () =
+  let m = Metrics.create () in
+  Metrics.incr m "n";
+  (try
+     Metrics.observe m "n" 1.0;
+     Alcotest.fail "observe on a counter should raise"
+   with Invalid_argument _ -> ());
+  Metrics.observe m "h" 1.0;
+  (try
+     Metrics.set_gauge m "h" 1.0;
+     Alcotest.fail "set_gauge on a histogram should raise"
+   with Invalid_argument _ -> ())
+
+(* ---------- histograms ---------- *)
+
+let hist_empty_and_single () =
+  let m = Metrics.create () in
+  check (Alcotest.float 0.0) "absent percentile" 0.0 (Metrics.percentile m "h" 0.5);
+  check Alcotest.int "absent count" 0 (Metrics.observed_count m "h");
+  check Alcotest.bool "absent summary" true (Metrics.summary m "h" = None);
+  Metrics.observe m "h" 0.0123;
+  (* one sample: every percentile is that exact value (min/max clamping) *)
+  List.iter
+    (fun q ->
+      check (Alcotest.float 1e-15) "single sample exact" 0.0123 (Metrics.percentile m "h" q))
+    [ 0.0; 0.5; 0.95; 0.99; 1.0 ];
+  match Metrics.summary m "h" with
+  | None -> Alcotest.fail "summary expected"
+  | Some s ->
+    check Alcotest.int "count" 1 s.Metrics.count;
+    check (Alcotest.float 1e-15) "sum" 0.0123 s.Metrics.sum;
+    check (Alcotest.float 1e-15) "min=max" s.Metrics.vmin s.Metrics.vmax
+
+let hist_overflow_edges () =
+  let m = Metrics.create () in
+  (* far beyond the last bucket (gamma^1024 = 2^128): the index clamps to
+     the overflow bucket but min/max stay exact, and a one-sample
+     percentile clamps back to the observed value *)
+  Metrics.observe m "big" 1e300;
+  check (Alcotest.float 0.0) "overflow p50 exact" 1e300 (Metrics.percentile m "big" 0.5);
+  check (Alcotest.float 0.0) "overflow max exact" 1e300 (Metrics.percentile m "big" 1.0);
+  (* non-positive samples land in the underflow bucket; min stays exact *)
+  Metrics.observe m "mix" (-5.0);
+  Metrics.observe m "mix" 0.0;
+  Metrics.observe m "mix" 2.0;
+  check (Alcotest.float 0.0) "min exact" (-5.0) (Metrics.percentile m "mix" 0.0);
+  check (Alcotest.float 0.0) "max exact" 2.0 (Metrics.percentile m "mix" 1.0);
+  let p50 = Metrics.percentile m "mix" 0.5 in
+  check Alcotest.bool "p50 within observed range" true (p50 >= -5.0 && p50 <= 2.0)
+
+let hist_bucket_error_bound () =
+  let m = Metrics.create () in
+  for i = 1 to 1000 do
+    Metrics.observe m "lat" (float_of_int i)
+  done;
+  (* 8 buckets per doubling: a percentile is the upper bound of its
+     bucket, at most gamma = 2^(1/8) ~ 1.09x above the true value *)
+  List.iter
+    (fun (q, true_v) ->
+      let v = Metrics.percentile m "lat" q in
+      check Alcotest.bool
+        (Printf.sprintf "p%.0f within one bucket of %g (got %g)" (q *. 100.0) true_v v)
+        true
+        (v >= true_v && v <= true_v *. 1.0906))
+    [ (0.5, 500.0); (0.95, 950.0); (0.99, 990.0) ];
+  let p q = Metrics.percentile m "lat" q in
+  check Alcotest.bool "percentiles monotone" true
+    (p 0.0 <= p 0.5 && p 0.5 <= p 0.95 && p 0.95 <= p 0.99 && p 0.99 <= p 1.0)
+
+(* ---------- timers and spans (sim clock: deterministic durations) ---------- *)
+
+let timer_sim_clock () =
+  let m = Metrics.create () in
+  let clk = Sim_clock.create () in
+  Metrics.use_sim_clock m clk;
+  let v = Metrics.time m "op" (fun () -> Sim_clock.advance clk 3; 42) in
+  check Alcotest.int "result passed through" 42 v;
+  check Alcotest.int "count" 1 (Metrics.observed_count m "op");
+  check (Alcotest.float 1e-9) "sum" 3.0 (Metrics.observed_sum m "op");
+  check (Alcotest.float 1e-9) "one-sample p50" 3.0 (Metrics.percentile m "op" 0.5);
+  (* a raising body still observes its duration *)
+  (try Metrics.time m "op" (fun () -> Sim_clock.advance clk 5; failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.int "count after raise" 2 (Metrics.observed_count m "op");
+  check (Alcotest.float 1e-9) "sum after raise" 8.0 (Metrics.observed_sum m "op")
+
+let spans_nesting () =
+  let m = Metrics.create () in
+  let clk = Sim_clock.create () in
+  Metrics.use_sim_clock m clk;
+  Metrics.with_span m "outer" (fun () ->
+      Sim_clock.advance clk 1;
+      Metrics.with_span m "inner" (fun () ->
+          Sim_clock.advance clk 2;
+          Metrics.incr m "rows");
+      Sim_clock.advance clk 1);
+  check Alcotest.int "depth balanced" 0 (Metrics.span_depth m);
+  (match Metrics.spans m with
+   | [ inner; outer ] ->
+     check Alcotest.string "inner name" "inner" inner.Metrics.span_name;
+     check (Alcotest.option Alcotest.string) "inner parent" (Some "outer")
+       inner.Metrics.span_parent;
+     check (Alcotest.float 1e-9) "inner duration" 2.0 inner.Metrics.span_duration;
+     check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "inner deltas"
+       [ ("rows", 1) ] inner.Metrics.span_deltas;
+     check Alcotest.string "outer name" "outer" outer.Metrics.span_name;
+     check (Alcotest.option Alcotest.string) "outer parent" None outer.Metrics.span_parent;
+     check (Alcotest.float 1e-9) "outer duration" 4.0 outer.Metrics.span_duration
+   | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l));
+  (* finishing also observes the duration into a histogram of the name *)
+  check Alcotest.int "inner observed" 1 (Metrics.observed_count m "inner");
+  check (Alcotest.float 1e-9) "inner observed sum" 2.0 (Metrics.observed_sum m "inner")
+
+let span_finish_idempotent () =
+  let m = Metrics.create () in
+  let clk = Sim_clock.create () in
+  Metrics.use_sim_clock m clk;
+  let sp = Metrics.start_span m "once" in
+  Sim_clock.advance clk 2;
+  Metrics.finish_span sp;
+  Metrics.finish_span sp;
+  check Alcotest.int "one record" 1 (List.length (Metrics.spans m));
+  check Alcotest.int "one observation" 1 (Metrics.observed_count m "once");
+  check Alcotest.int "depth" 0 (Metrics.span_depth m)
+
+(* property: arbitrarily nested with_span calls — some unwinding through
+   exceptions — always leave the stack balanced and record one span per
+   entered region *)
+let prop_span_balance =
+  QCheck.Test.make ~name:"span nesting stays balanced" ~count:100
+    QCheck.(list (int_bound 5))
+    (fun depths ->
+      let m = Metrics.create () in
+      let clk = Sim_clock.create () in
+      Metrics.use_sim_clock m clk;
+      List.iter
+        (fun d ->
+          let rec nest k =
+            if k = 0 then Sim_clock.advance clk 1
+            else Metrics.with_span m (Printf.sprintf "s%d" k) (fun () -> nest (k - 1))
+          in
+          if d land 1 = 1 then (
+            (* odd depths raise out of the innermost frame *)
+            try
+              Metrics.with_span m "err" (fun () ->
+                  nest d;
+                  failwith "unwind")
+            with Failure _ -> ())
+          else nest d)
+        depths;
+      let expected =
+        List.fold_left (fun acc d -> acc + d + (if d land 1 = 1 then 1 else 0)) 0 depths
+      in
+      Metrics.span_depth m = 0 && List.length (Metrics.spans m) = expected)
+
+(* ---------- recording sink ---------- *)
+
+let metrics_sink_mirrors () =
+  let s = Metrics.create () in
+  Metrics.set_sink (Some s);
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_sink None)
+    (fun () ->
+      let m = Metrics.create () in
+      let clk = Sim_clock.create () in
+      Metrics.use_sim_clock m clk;
+      Metrics.incr m "c";
+      Metrics.observe m "h" 0.25;
+      Metrics.with_span m "sp" (fun () -> Sim_clock.advance clk 1);
+      check Alcotest.int "counter mirrored" 1 (Metrics.get s "c");
+      check Alcotest.int "histogram mirrored" 1 (Metrics.observed_count s "h");
+      check Alcotest.int "span record mirrored" 1 (List.length (Metrics.spans s));
+      (* mutating the sink itself stays local: no recursion *)
+      Metrics.incr s "own";
+      check Alcotest.int "sink-local counter" 1 (Metrics.get s "own"));
+  let m2 = Metrics.create () in
+  Metrics.incr m2 "c2";
+  check Alcotest.int "not mirrored after unset" 0 (Metrics.get s "c2")
+
+let metrics_to_json () =
+  let m = Metrics.create () in
+  let clk = Sim_clock.create () in
+  Metrics.use_sim_clock m clk;
+  Metrics.add m "n" 7;
+  Metrics.set_gauge m "g" 1.5;
+  Metrics.with_span m "work" (fun () -> Sim_clock.advance clk 2);
+  let j = Metrics.to_json m in
+  let get path =
+    List.fold_left (fun j k -> Option.get (Json.member k j)) j path
+  in
+  check Alcotest.bool "counter" true (get [ "counters"; "n" ] = Json.Int 7);
+  check Alcotest.bool "gauge" true (Json.to_number (get [ "gauges"; "g" ]) = Some 1.5);
+  check Alcotest.bool "histogram count" true
+    (Json.member "count" (get [ "histograms"; "work" ]) = Some (Json.Int 1));
+  match Json.to_list (get [ "spans" ]) with
+  | Some [ sp ] ->
+    check Alcotest.bool "span name" true (Json.member "name" sp = Some (Json.String "work"));
+    check Alcotest.bool "span count" true (Json.member "count" sp = Some (Json.Int 1))
+  | _ -> Alcotest.fail "expected one span rollup entry"
+
+(* ---------- json ---------- *)
+
+let json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.List [ Json.Null; Json.Bool true; Json.Float 1.5; Json.Float 2.0 ]);
+        ("s", Json.String "he\"llo\n\ttab\\");
+        ("empty", Json.Obj []);
+        ("nested", Json.Obj [ ("l", Json.List []) ]);
+      ]
+  in
+  List.iter
+    (fun pretty ->
+      match Json.of_string (Json.to_string ~pretty doc) with
+      | Ok j -> check Alcotest.bool "roundtrip equal" true (j = doc)
+      | Error e -> Alcotest.failf "roundtrip parse error: %s" e)
+    [ false; true ]
+
+let json_special_floats () =
+  (* JSON has no nan/inf: they serialize as null so documents re-parse *)
+  check Alcotest.string "nan" "null" (Json.to_string (Json.Float Float.nan));
+  check Alcotest.string "inf" "null" (Json.to_string (Json.Float Float.infinity))
+
+let json_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2"; "" ]
+
+let json_accessors () =
+  match Json.of_string {|{"x": 3, "y": [1.5, "s"], "z": null}|} with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok j ->
+    check Alcotest.bool "member x" true (Json.member "x" j = Some (Json.Int 3));
+    check Alcotest.bool "member absent" true (Json.member "w" j = None);
+    check Alcotest.bool "to_number int" true (Json.to_number (Json.Int 3) = Some 3.0);
+    (match Json.member "y" j with
+     | Some (Json.List [ f; s ]) ->
+       check Alcotest.bool "float elem" true (Json.to_number f = Some 1.5);
+       check Alcotest.bool "string elem" true (Json.to_str s = Some "s")
+     | _ -> Alcotest.fail "y should be a 2-list")
+
 let clock_basic () =
   let c = Sim_clock.create () in
   check Alcotest.int "t0" 0 (Sim_clock.now c);
@@ -148,6 +426,22 @@ let suite =
     test "metrics basic" metrics_basic;
     test "metrics snapshot diff" metrics_snapshot_diff;
     test "metrics reset" metrics_reset;
+    test "metrics reset clears entries" metrics_reset_clears_entries;
+    test "metrics gauges" metrics_gauges;
+    test "metrics kind mismatch" metrics_kind_mismatch;
+    test "histogram empty/single sample" hist_empty_and_single;
+    test "histogram overflow edges" hist_overflow_edges;
+    test "histogram bucket error bound" hist_bucket_error_bound;
+    test "timer with sim clock" timer_sim_clock;
+    test "spans nesting" spans_nesting;
+    test "span finish idempotent" span_finish_idempotent;
+    QCheck_alcotest.to_alcotest prop_span_balance;
+    test "metrics sink mirrors" metrics_sink_mirrors;
+    test "metrics to_json" metrics_to_json;
+    test "json roundtrip" json_roundtrip;
+    test "json special floats" json_special_floats;
+    test "json rejects malformed" json_rejects_malformed;
+    test "json accessors" json_accessors;
     test "clock basic" clock_basic;
     test "clock spans" clock_spans;
     test "clock open span counts" clock_open_span_counts;

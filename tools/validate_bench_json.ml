@@ -1,0 +1,86 @@
+(* Schema check for dwbench's --json output, run by the @bench-json
+   alias: a quick-mode experiment subset must produce a document that
+   parses, carries the stable top-level keys, and reports latency
+   percentiles for the histograms the acceptance criteria name
+   (wal.fsync, pool.miss, warehouse.refresh).  Exits 1 with a message on
+   the first violation, so a schema regression fails `dune runtest`
+   rather than surfacing downstream in whatever consumes the JSON. *)
+
+module Json = Dw_util.Json
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("bench-json: " ^ msg); exit 1) fmt
+
+let require_member name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> fail "missing key %S" name
+
+let require_number ctx name j =
+  match Json.to_number (require_member name j) with
+  | Some v -> v
+  | None -> fail "%s: %S is not a number" ctx name
+
+let check_histogram ~exp_id name h =
+  let ctx = Printf.sprintf "experiment %S histogram %S" exp_id name in
+  let count = require_number ctx "count" h in
+  if count < 1.0 then fail "%s: empty (count = %g)" ctx count;
+  List.iter (fun k -> ignore (require_number ctx k h : float)) [ "sum"; "min"; "max"; "p50"; "p95"; "p99" ]
+
+let required_histograms = [ "wal.fsync"; "pool.miss"; "warehouse.refresh" ]
+
+let check_experiment seen j =
+  let id =
+    match Json.to_str (require_member "id" j) with
+    | Some s -> s
+    | None -> fail "experiment \"id\" is not a string"
+  in
+  ignore (require_number id "wall_s" j : float);
+  (match Json.member "counters" j with
+   | Some (Json.Obj _) -> ()
+   | Some _ | None -> fail "experiment %S: \"counters\" is not an object" id);
+  match Json.member "histograms" j with
+  | Some (Json.Obj fields) ->
+    List.iter
+      (fun (name, h) ->
+        check_histogram ~exp_id:id name h;
+        Hashtbl.replace seen name ())
+      fields
+  | Some _ | None -> fail "experiment %S: \"histograms\" is not an object" id
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; file |] -> file
+    | _ -> fail "usage: validate_bench_json FILE"
+  in
+  let doc =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Json.of_string s with
+    | Ok j -> j
+    | Error e -> fail "%s does not parse: %s" file e
+  in
+  (match Json.to_number (require_member "schema_version" doc) with
+   | Some 1.0 -> ()
+   | Some v -> fail "schema_version %g, expected 1" v
+   | None -> fail "schema_version is not a number");
+  (match Json.to_str (require_member "suite" doc) with
+   | Some "dwbench" -> ()
+   | _ -> fail "suite is not \"dwbench\"");
+  let experiments =
+    match Json.to_list (require_member "experiments" doc) with
+    | Some [] -> fail "\"experiments\" is empty"
+    | Some l -> l
+    | None -> fail "\"experiments\" is not a list"
+  in
+  let seen = Hashtbl.create 32 in
+  List.iter (check_experiment seen) experiments;
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem seen name) then
+        fail "required histogram %S missing from every experiment" name)
+    required_histograms;
+  Printf.printf "bench-json: %s ok (%d experiments, %d histograms)\n" file
+    (List.length experiments) (Hashtbl.length seen)
