@@ -6,11 +6,11 @@
      dune exec bench/main.exe -- t1 f2   # selected experiments
      dune exec bench/main.exe -- --scale 2 all
 
-   Experiment ids: t1 t2 t3 f2 f3 t4 w1 w2 s1 r1 v1 ablate micro (see DESIGN.md). *)
+   Experiment ids: t1 t2 t3 t5 f2 f3 t4 w1 w2 s1 r1 v1 ablate micro (see DESIGN.md). *)
 
 let usage () =
   print_endline
-    "usage: main.exe [--scale N] [t1|t2|t3|f2|f2r|f3|t4|w1|w2|w2r|w3|s1|r1|v1|ablate|micro|all ...]";
+    "usage: main.exe [--scale N] [t1|t2|t3|t5|f2|f2r|f3|t4|w1|w2|w2r|w3|s1|r1|v1|ablate|micro|all ...]";
   exit 1
 
 let () =
@@ -39,6 +39,7 @@ let () =
   if want "t1" then Dw_experiments.Exp_dump_load.run ~scale;
   if want "t2" then ignore (Dw_experiments.Exp_timestamp.run_t2 ~scale);
   if want "t3" then Dw_experiments.Exp_timestamp.run_t3 ~scale;
+  if want "t5" then Dw_experiments.Exp_batching.run_t5 ~scale;
   if want "f2" then Dw_experiments.Exp_trigger.run ~scale;
   if want "f2r" then Dw_experiments.Exp_trigger.run_remote ~scale;
   if want "f3" then Dw_experiments.Exp_opdelta.run_f3 ~scale;

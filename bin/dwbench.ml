@@ -40,6 +40,8 @@ let experiments =
      fun ~scale -> E.Exp_warehouse.run_w2_real ~scale);
     ("w3", "extension: maintenance window with an aggregate view",
      fun ~scale -> E.Exp_warehouse.run_w3 ~scale);
+    ("t5", "batching ablation: group commit, transport coalescing, micro-batched refresh",
+     fun ~scale -> E.Exp_batching.run_t5 ~scale);
     ("s1", "Section 3.1.2: snapshot differential vs other methods",
      fun ~scale -> E.Exp_snapshot.run ~scale);
     ("r1", "Sections 2.2/4.1: replicated sources and reconciliation",

@@ -7,6 +7,7 @@ module Vfs = Dw_storage.Vfs
 module Buffer_pool = Dw_storage.Buffer_pool
 module Heap_file = Dw_storage.Heap_file
 module Wal = Dw_txn.Wal
+module Group_commit = Dw_txn.Group_commit
 module Log_record = Dw_txn.Log_record
 module Lock_manager = Dw_txn.Lock_manager
 module Recovery = Dw_txn.Recovery
@@ -41,18 +42,19 @@ and t = {
   mutable active : (int, txn) Hashtbl.t;
   mutable day : int;
   mutable plan_mode : [ `Scan_only | `Index_preferred ];
-  mutable sync_mode : [ `Every_commit | `Group of int ];
-  mutable commits_since_sync : int;
+  mutable sync_mode : [ `Every_commit | `Group of int | `Group_policy of Group_commit.policy ];
+  group : Group_commit.t;
   mutable yield_hook : (unit -> unit) option;
   mutable block_hook : (txid:int -> blockers:int list -> unit) option;
 }
 
 let create ?(pool_pages = 256) ?(archive_log = false) ~vfs ~name () =
+  let wal = Wal.create vfs ~name:(name ^ ".wal") ~archive:archive_log in
   {
     db_name = name;
     vfs;
     pool = Buffer_pool.create ~vfs ~capacity:pool_pages;
-    wal = Wal.create vfs ~name:(name ^ ".wal") ~archive:archive_log;
+    wal;
     locks = Lock_manager.create ~metrics:(Vfs.metrics vfs) ();
     tables = Hashtbl.create 16;
     triggers = Hashtbl.create 16;
@@ -61,7 +63,7 @@ let create ?(pool_pages = 256) ?(archive_log = false) ~vfs ~name () =
     day = Value.(match date_of_ymd ~year:1999 ~month:12 ~day:5 with Date d -> d | _ -> 0);
     plan_mode = `Scan_only;
     sync_mode = `Every_commit;
-    commits_since_sync = 0;
+    group = Group_commit.create wal;
     yield_hook = None;
     block_hook = None;
   }
@@ -81,13 +83,29 @@ let sync_mode t = t.sync_mode
 let set_sync_mode t mode =
   (match mode with
    | `Group n when n < 1 -> invalid_arg "Db.set_sync_mode: group size < 1"
+   | `Group_policy p -> Group_commit.validate_policy p
    | `Group _ | `Every_commit -> ());
+  (* commits acknowledged under the old policy must not wait on the new
+     one (set_policy flushes, but Every_commit bypasses it) *)
+  Group_commit.sync t.group;
+  (match mode with
+   | `Every_commit -> ()
+   | `Group n -> Group_commit.set_policy t.group { Group_commit.max_group = n; max_wait_s = infinity }
+   | `Group_policy p -> Group_commit.set_policy t.group p);
   t.sync_mode <- mode
+
+let sync t = Group_commit.sync t.group
+let pending_group_commits t = Group_commit.pending t.group
 
 let set_yield_hook t hook = t.yield_hook <- hook
 let set_block_hook t hook = t.block_hook <- hook
 
-let statement_boundary t = match t.yield_hook with Some f -> f () | None -> ()
+let statement_boundary t =
+  (* a commit lull must not starve a waiting group leader: the max-wait
+     deadline is re-checked whenever any session reaches a statement
+     boundary (free when no group is open) *)
+  Group_commit.poll t.group;
+  match t.yield_hook with Some f -> f () | None -> ()
 
 let current_day t = t.day
 let set_day t d = t.day <- d
@@ -152,12 +170,7 @@ let commit t txn =
   ignore (Wal.append t.wal { Log_record.tx = txn.id; body = Log_record.Commit } : Wal.lsn);
   (match t.sync_mode with
    | `Every_commit -> Wal.flush t.wal
-   | `Group n ->
-     t.commits_since_sync <- t.commits_since_sync + 1;
-     if t.commits_since_sync >= n then begin
-       Wal.flush t.wal;
-       t.commits_since_sync <- 0
-     end);
+   | `Group _ | `Group_policy _ -> Group_commit.note_commit t.group);
   finish t txn
 
 let abort t txn =
@@ -181,7 +194,9 @@ let abort t txn =
     txn.undo_log;
   txn.undo_log <- [];
   ignore (Wal.append t.wal { Log_record.tx = txn.id; body = Log_record.Abort } : Wal.lsn);
-  Wal.flush t.wal;
+  (* the abort record must always reach the device; the same fsync covers
+     any commits still pending in an open group *)
+  Group_commit.flush_now t.group;
   finish t txn
 
 let with_txn t f =
@@ -698,7 +713,9 @@ let flush_all t = Buffer_pool.flush_all t.pool
 
 let checkpoint t =
   flush_all t;
-  t.commits_since_sync <- 0;
+  (* the checkpoint's own flush (inside Wal.checkpoint) covers any open
+     group; account it without a second fsync *)
+  Group_commit.absorb t.group;
   ignore (Wal.checkpoint t.wal ~active:(active_txns t) : Wal.lsn)
 
 let recover t =

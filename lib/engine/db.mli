@@ -49,12 +49,34 @@ val plan_mode : t -> [ `Scan_only | `Index_preferred ]
 val set_plan_mode : t -> [ `Scan_only | `Index_preferred ] -> unit
 
 (** {2 Commit durability} — [`Every_commit] (default) fsyncs the log at
-    each commit; [`Group n] fsyncs every [n]-th commit (group commit) and
-    at checkpoints, trading a bounded durability window for throughput.
-    Only observable on the on-disk Vfs backend. *)
+    each commit.  [`Group n] is group commit with a size-only bound: the
+    leader holds the group open until [n] commits are pending, then one
+    fsync covers them all.  [`Group_policy p] exposes the full
+    {!Dw_txn.Group_commit.policy} object: a [max_group] size bound {e and}
+    a [max_wait_s] deadline on the registry clock (deterministic under
+    {!Dw_util.Sim_clock}), re-checked at every commit and statement
+    boundary.  Both group modes trade a bounded durability window for
+    throughput; the amortization shows up in the [wal.fsync] /
+    [wal.group_size] histograms.  Aborts and checkpoints always flush
+    (covering any open group).  Wall-clock impact is only observable on
+    the on-disk Vfs backend. *)
 
-val sync_mode : t -> [ `Every_commit | `Group of int ]
-val set_sync_mode : t -> [ `Every_commit | `Group of int ] -> unit
+val sync_mode : t -> [ `Every_commit | `Group of int | `Group_policy of Dw_txn.Group_commit.policy ]
+
+val set_sync_mode :
+  t -> [ `Every_commit | `Group of int | `Group_policy of Dw_txn.Group_commit.policy ] -> unit
+(** Flushes any open group before switching, so commits acknowledged
+    under the old policy never wait on the new one.  Raises
+    [Invalid_argument] on [`Group n] with [n < 1] or an invalid policy. *)
+
+val sync : t -> unit
+(** Durability barrier: flush the open commit group, if any.  No-op under
+    [`Every_commit]. *)
+
+val pending_group_commits : t -> int
+(** Commits acknowledged but not yet covered by an fsync (0 under
+    [`Every_commit]). *)
+
 val metrics : t -> Dw_util.Metrics.t
 val wal : t -> Dw_txn.Wal.t
 val locks : t -> Dw_txn.Lock_manager.t

@@ -120,13 +120,18 @@ let ship t payloads =
   match t.queue with
   | None -> (payloads, List.fold_left (fun acc p -> acc + String.length p) 0 payloads)
   | Some q ->
-    List.iter (Persistent_queue.enqueue q) payloads;
+    (* coalesced: one fsync covers the whole batch of payloads, and the
+       consumer side acks whole runs under one sidecar update *)
+    Persistent_queue.enqueue_batch q payloads;
     let rec drain acc bytes =
-      match Persistent_queue.peek q with
-      | None -> (List.rev acc, bytes)
-      | Some payload ->
-        Persistent_queue.ack q;
-        drain (payload :: acc) (bytes + String.length payload)
+      match Persistent_queue.peek_run q ~max:64 with
+      | [] -> (List.rev acc, bytes)
+      | run ->
+        Persistent_queue.ack_run q (List.length run);
+        let bytes =
+          List.fold_left (fun acc p -> acc + String.length p) bytes run
+        in
+        drain (List.rev_append run acc) bytes
     in
     drain [] 0
 

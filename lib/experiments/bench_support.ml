@@ -23,6 +23,14 @@ let is_quick () = !quick
 
 let scaled base ~scale = (if !quick then max 100 (base / 25) else base) * scale
 
+(* Chunk/block sizes must shrink with the workloads: a --quick run ships
+   ~25x less data, and an unscaled 64 KiB chunk would cover the whole
+   transfer — a degenerate single-chunk path that exercises none of the
+   chunking/coalescing logic the experiments measure.  Floor at 512 B so
+   frames still fit. *)
+let scaled_chunk base = if !quick then max 512 (base / 25) else base
+let ship_chunk () = scaled_chunk (64 * 1024)
+
 (* median-of-n response-time measurement: [setup ()] builds fresh state,
    [run state] is the measured region; a major GC runs before each
    repetition so one cell's garbage does not bill the next.  The median is

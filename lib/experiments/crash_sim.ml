@@ -68,10 +68,17 @@ type db_spec = {
   txn_size : int;  (* rows touched per transaction *)
   seed : int;
   checkpoint_every : int;  (* 0 = never *)
+  group : int;  (* group-commit size; 1 = fsync every commit *)
 }
 
-let small_db_spec = { txns = 6; txn_size = 3; seed = 42; checkpoint_every = 4 }
-let default_db_spec = { txns = 12; txn_size = 8; seed = 42; checkpoint_every = 5 }
+let small_db_spec = { txns = 6; txn_size = 3; seed = 42; checkpoint_every = 4; group = 1 }
+let default_db_spec = { txns = 12; txn_size = 8; seed = 42; checkpoint_every = 5; group = 1 }
+
+(* group commit widens the window between a commit's append and its
+   fsync; the sweep over this spec covers crashes inside that window —
+   including fail-stop AT the group's one fsync event (the paper-level
+   "between leader fsync and follower wakeup" point) *)
+let grouped_db_spec = { default_db_spec with group = 3 }
 
 type op =
   | Insert of { first_id : int; size : int }
@@ -145,6 +152,7 @@ type db_progress = { mutable committed : op list (* newest first *); mutable in_
 let run_db_workload spec vfs ops progress =
   let db = Db.create ~pool_pages:64 ~vfs ~name:"src" () in
   Db.set_day db 0;
+  if spec.group > 1 then Db.set_sync_mode db (`Group spec.group);
   let (_ : Table.t) = Workload.create_parts_table db in
   List.iteri
     (fun i op ->
@@ -357,6 +365,161 @@ let explore_queue ?(spec = default_queue_spec) ?(stride = 1) () =
     fault_metrics = Metrics.snapshot totals;
   }
 
+(* ---------- batched-queue explorer ---------- *)
+
+(* The coalesced transport path: enqueue_batch appends a whole batch of
+   frames under one fsync, ack_run consumes whole runs under one sidecar
+   write.  New crash windows vs the per-message path:
+
+   - mid-batch append: the torn write may persist a frame-boundary
+     PREFIX of the batch (the tail-repair truncates the rest) — allowed,
+     because none of the batch was acknowledged, but the surviving
+     subset must be a prefix (no holes, no reordering);
+   - mid-ack_run: the sidecar write is one event, so the whole run is
+     either consumed or redelivered — never split. *)
+
+type batched_queue_spec = {
+  b_messages : int;
+  batch : int;  (* messages per enqueue_batch *)
+  run : int;    (* max messages per peek_run/ack_run *)
+  bseed : int;
+}
+
+let default_batched_queue_spec = { b_messages = 18; batch = 3; run = 4; bseed = 13 }
+
+type batched_queue_progress = {
+  mutable b_enqueued : string list;  (* completed batches' messages, newest first *)
+  mutable b_enq_in_flight : string list;  (* batch being appended, in order *)
+  mutable b_acked : string list;
+  mutable b_ack_in_flight : string list;  (* run being acked, in order *)
+}
+
+let batched_queue_batches spec =
+  let rng = Prng.create ~seed:spec.bseed in
+  let msgs =
+    List.init spec.b_messages (fun i ->
+        Printf.sprintf "msg-%04d-%s" (i + 1) (Prng.alpha_string rng 8))
+  in
+  let rec split acc = function
+    | [] -> List.rev acc
+    | rest ->
+      let b = List.filteri (fun i _ -> i < spec.batch) rest in
+      let rest = List.filteri (fun i _ -> i >= spec.batch) rest in
+      split (b :: acc) rest
+  in
+  split [] msgs
+
+let drain_runs spec p q =
+  let continue = ref true in
+  while !continue do
+    match Pq.peek_run q ~max:spec.run with
+    | [] -> continue := false
+    | run ->
+      p.b_ack_in_flight <- run;
+      Pq.ack_run q (List.length run);
+      p.b_acked <- List.rev_append run p.b_acked;
+      p.b_ack_in_flight <- []
+  done
+
+let run_batched_queue_workload spec vfs p =
+  let q = Pq.open_ vfs ~name:"deltas" in
+  List.iteri
+    (fun i batch ->
+      p.b_enq_in_flight <- batch;
+      Pq.enqueue_batch q batch;
+      p.b_enqueued <- List.rev_append batch p.b_enqueued;
+      p.b_enq_in_flight <- [];
+      if (i + 1) mod 2 = 0 then drain_runs spec p q)
+    (batched_queue_batches spec);
+  q
+
+let count_batched_queue_events spec =
+  let vfs = Vfs.in_memory () in
+  Vfs.set_fault vfs (Some (Fault.make ~seed:spec.bseed ()));
+  let p = { b_enqueued = []; b_enq_in_flight = []; b_acked = []; b_ack_in_flight = [] } in
+  let (_ : Pq.t) = run_batched_queue_workload spec vfs p in
+  match Vfs.fault vfs with Some f -> Fault.events f | None -> assert false
+
+(* [sub] must be a prefix of [full] — the only shape a torn batch append
+   may survive in *)
+let rec is_prefix sub full =
+  match (sub, full) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs, y :: ys -> x = y && is_prefix xs ys
+
+let run_batched_queue_crash_point spec ~totals index =
+  let vfs = Vfs.in_memory () in
+  Vfs.set_fault vfs (Some (Fault.make ~fail_stop_after:index ~seed:(spec.bseed + index) ()));
+  let p = { b_enqueued = []; b_enq_in_flight = []; b_acked = []; b_ack_in_flight = [] } in
+  (match run_batched_queue_workload spec vfs p with
+   | (_ : Pq.t) -> ()
+   | exception Fault.Crash _ -> ());
+  Vfs.crash_reset vfs;
+  let q = Pq.open_ vfs ~name:"deltas" in
+  let delivered =
+    let rec go acc =
+      match Pq.peek_run q ~max:spec.run with
+      | [] -> List.rev acc
+      | run ->
+        Pq.ack_run q (List.length run);
+        go (List.rev_append run acc)
+    in
+    go []
+  in
+  let required =
+    List.filter
+      (fun m -> not (List.mem m p.b_acked) && not (List.mem m p.b_ack_in_flight))
+      (List.rev p.b_enqueued)
+  in
+  let lost = List.filter (fun m -> not (List.mem m delivered)) required in
+  let phantom =
+    List.filter
+      (fun m -> not (List.mem m p.b_enqueued) && not (List.mem m p.b_enq_in_flight))
+      delivered
+  in
+  let torn_survivors = List.filter (fun m -> List.mem m delivered) p.b_enq_in_flight in
+  let result =
+    if lost <> [] then
+      Error
+        (Printf.sprintf "lost %d unacked message(s), e.g. %s" (List.length lost) (List.hd lost))
+    else if phantom <> [] then
+      Error
+        (Printf.sprintf "delivered %d phantom message(s), e.g. %s" (List.length phantom)
+           (List.hd phantom))
+    else if not (is_prefix torn_survivors p.b_enq_in_flight) then
+      Error "torn batch survived as a non-prefix subset (hole or reorder inside the batch)"
+    else begin
+      (* the repaired log must keep accepting batches durably *)
+      Pq.enqueue_batch q [ "probe-1"; "probe-2" ];
+      Vfs.crash_reset vfs;
+      let q2 = Pq.open_ vfs ~name:"deltas" in
+      let redelivered = drain q2 in
+      if List.mem "probe-1" redelivered && List.mem "probe-2" redelivered then Ok ()
+      else Error "post-recovery batch enqueue lost after a second restart"
+    end
+  in
+  accumulate totals vfs;
+  result
+
+let explore_batched_queue ?(spec = default_batched_queue_spec) ?(stride = 1) () =
+  let total_events = count_batched_queue_events spec in
+  let totals = Metrics.create () in
+  let failures = ref [] in
+  let points = indices ~total:total_events ~stride in
+  List.iter
+    (fun k ->
+      match run_batched_queue_crash_point spec ~totals k with
+      | Ok () -> ()
+      | Error msg -> failures := (k, msg) :: !failures)
+    points;
+  {
+    total_events;
+    explored = List.length points;
+    failures = List.rev !failures;
+    fault_metrics = Metrics.snapshot totals;
+  }
+
 (* ---------- warehouse-refresh idempotency explorer ---------- *)
 
 (* Delta batches travel through the queue; the consumer applies each to
@@ -466,7 +629,7 @@ let run_refresh_crash_point spec ~totals index =
   consume spec q2 wh2;
   let expected =
     model_rows
-      { txns = 0; txn_size = 0; seed = spec.rseed; checkpoint_every = 0 }
+      { txns = 0; txn_size = 0; seed = spec.rseed; checkpoint_every = 0; group = 1 }
       (List.init spec.batches (fun i ->
            Insert { first_id = 1 + (i * spec.batch_size); size = spec.batch_size }))
   in
@@ -492,6 +655,113 @@ let explore_refresh ?(spec = default_refresh_spec) ?(stride = 1) () =
   List.iter
     (fun k ->
       match run_refresh_crash_point spec ~totals k with
+      | Ok () -> ()
+      | Error msg -> failures := (k, msg) :: !failures)
+    points;
+  {
+    total_events;
+    explored = List.length points;
+    failures = List.rev !failures;
+    fault_metrics = Metrics.snapshot totals;
+  }
+
+(* ---------- micro-batched refresh explorer ---------- *)
+
+(* Like the refresh explorer, but the consumer applies a RUN of delta
+   batches per warehouse transaction (the micro-batched integrator's
+   shape): every batch in the run with bid > watermark is applied and
+   the watermark advances to the run's last bid, all in one transaction,
+   then the whole run is acked at once.  A crash mid-run must leave the
+   warehouse at a batch (source-transaction) boundary: either the whole
+   run's transaction committed or none of it, and redelivery after the
+   crash is filtered by the watermark — still exactly-once. *)
+
+let apply_run spec wh msgs =
+  match msgs with
+  | [] -> ()
+  | _ ->
+    Db.with_txn wh (fun txn ->
+        let wm = watermark wh txn in
+        let last = ref wm in
+        List.iter
+          (fun msg ->
+            let bid, first_id, size = decode_batch msg in
+            if bid > wm then begin
+              List.iter
+                (fun s -> ignore (Db.exec wh txn s : Db.exec_result))
+                (Workload.insert_parts_txn ~seed:spec.rseed ~first_id ~size ~day:0 ());
+              last := max !last bid
+            end)
+          msgs;
+        if !last > wm then
+          ignore
+            (Db.update_where wh txn wm_table
+               ~set:[ ("last_batch", Expr.Lit (Value.Int !last)) ]
+               ~where:None
+              : int))
+
+let consume_runs spec ~run q wh =
+  let continue = ref true in
+  while !continue do
+    match Pq.peek_run q ~max:run with
+    | [] -> continue := false
+    | msgs ->
+      apply_run spec wh msgs;
+      Pq.ack_run q (List.length msgs)
+  done
+
+let count_batched_refresh_events spec ~run =
+  let qvfs = Vfs.in_memory () in
+  produce spec qvfs;
+  Vfs.set_fault qvfs (Some (Fault.make ~seed:spec.rseed ()));
+  let _, wh = fresh_warehouse () in
+  let q = Pq.open_ qvfs ~name:"deltas" in
+  consume_runs spec ~run q wh;
+  match Vfs.fault qvfs with Some f -> Fault.events f | None -> assert false
+
+let run_batched_refresh_crash_point spec ~run ~totals index =
+  let qvfs = Vfs.in_memory () in
+  produce spec qvfs;
+  Vfs.set_fault qvfs (Some (Fault.make ~fail_stop_after:index ~seed:(spec.rseed + index) ()));
+  let whvfs, wh = fresh_warehouse () in
+  (match
+     let q = Pq.open_ qvfs ~name:"deltas" in
+     consume_runs spec ~run q wh
+   with
+   | () -> ()
+   | exception Fault.Crash _ -> ());
+  Vfs.crash_reset qvfs;
+  let wh2 = reopen_warehouse whvfs in
+  let q2 = Pq.open_ qvfs ~name:"deltas" in
+  consume_runs spec ~run q2 wh2;
+  let expected =
+    model_rows
+      { txns = 0; txn_size = 0; seed = spec.rseed; checkpoint_every = 0; group = 1 }
+      (List.init spec.batches (fun i ->
+           Insert { first_id = 1 + (i * spec.batch_size); size = spec.batch_size }))
+  in
+  let act = actual_rows wh2 in
+  let wm = Db.with_txn wh2 (fun txn -> watermark wh2 txn) in
+  let result =
+    if not (rows_equal act expected) then
+      Error
+        (Printf.sprintf "batched refresh not exactly-once: %d rows vs %d expected"
+           (List.length act) (List.length expected))
+    else if wm <> spec.batches then
+      Error (Printf.sprintf "watermark %d after %d batches" wm spec.batches)
+    else Ok ()
+  in
+  accumulate totals qvfs;
+  result
+
+let explore_refresh_batched ?(spec = default_refresh_spec) ?(run = 3) ?(stride = 1) () =
+  let total_events = count_batched_refresh_events spec ~run in
+  let totals = Metrics.create () in
+  let failures = ref [] in
+  let points = indices ~total:total_events ~stride in
+  List.iter
+    (fun k ->
+      match run_batched_refresh_crash_point spec ~run ~totals k with
       | Ok () -> ()
       | Error msg -> failures := (k, msg) :: !failures)
     points;
@@ -542,16 +812,31 @@ let run_bench ~scale =
   let db_spec = { default_db_spec with txns = default_db_spec.txns * scale } in
   let q_spec = { default_queue_spec with messages = default_queue_spec.messages * scale } in
   let r_spec = { default_refresh_spec with batches = default_refresh_spec.batches * scale } in
+  let g_spec = { db_spec with group = grouped_db_spec.group } in
+  let bq_spec =
+    { default_batched_queue_spec with b_messages = default_batched_queue_spec.b_messages * scale }
+  in
   let db_report, db_t = Bench_support.time (fun () -> explore ~spec:db_spec ~stride ()) in
+  let g_report, g_t = Bench_support.time (fun () -> explore ~spec:g_spec ~stride ()) in
   let q_report, q_t = Bench_support.time (fun () -> explore_queue ~spec:q_spec ~stride ()) in
+  let bq_report, bq_t =
+    Bench_support.time (fun () -> explore_batched_queue ~spec:bq_spec ~stride ())
+  in
   let r_report, r_t =
     Bench_support.time (fun () -> explore_refresh ~spec:r_spec ~stride ())
   in
+  let br_report, br_t =
+    Bench_support.time (fun () -> explore_refresh_batched ~spec:r_spec ~stride ())
+  in
   print_report "db" db_report;
+  print_report "db-group" g_report;
   print_report "queue" q_report;
+  print_report "queue-bat" bq_report;
   print_report "refresh" r_report;
-  Printf.printf "sweep times: db %s, queue %s, refresh %s\n" (Bench_support.dur db_t)
-    (Bench_support.dur q_t) (Bench_support.dur r_t);
+  print_report "refresh-b" br_report;
+  Printf.printf "sweep times: db %s (+group %s), queue %s (+batched %s), refresh %s (+batched %s)\n"
+    (Bench_support.dur db_t) (Bench_support.dur g_t) (Bench_support.dur q_t)
+    (Bench_support.dur bq_t) (Bench_support.dur r_t) (Bench_support.dur br_t);
   (match ship_under_faults ~seed:(77 + scale) () with
    | Error e -> Printf.printf "ship under 25%% transient faults: FAILED (%s)\n" e
    | Ok (stats, identical) ->
@@ -568,7 +853,7 @@ let run_bench ~scale =
            (let totals = Metrics.create () in
             List.iter
               (fun r -> List.iter (fun (n, v) -> Metrics.add totals n v) r.fault_metrics)
-              [ db_report; q_report; r_report ];
+              [ db_report; g_report; q_report; bq_report; r_report; br_report ];
             Metrics.snapshot totals))
   in
   Bench_support.print_table ~title:"injected faults and recovery work (totals)"

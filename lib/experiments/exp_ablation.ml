@@ -65,7 +65,13 @@ let run_a2 ~scale =
   let dir = Filename.temp_file "dwdelta" "" in
   Sys.remove dir;
   let run mode =
-    let sub = Filename.concat dir (match mode with `Every_commit -> "every" | `Group n -> "g" ^ string_of_int n) in
+    let sub =
+      Filename.concat dir
+        (match mode with
+         | `Every_commit -> "every"
+         | `Group n -> "g" ^ string_of_int n
+         | `Group_policy p -> Printf.sprintf "gp%d" p.Dw_txn.Group_commit.max_group)
+    in
     let vfs = Vfs.on_disk sub in
     let db = Db.create ~pool_pages:512 ~vfs ~name:"src" () in
     let _ = Workload.create_parts_table db in

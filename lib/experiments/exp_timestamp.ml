@@ -97,7 +97,10 @@ let run_t3 ~scale =
                          ~output:(Timestamp_extract.To_file "ts.asc")));
                 Metrics.with_span dwm "t3.transport" (fun () ->
                     match
-                      File_ship.ship ~src:(Db.vfs db) ~src_name:"ts.asc" ~dst:dw_vfs
+                      (* chunk size follows --quick scaling so the
+                         transfer stays multi-chunk (Bench_support) *)
+                      File_ship.ship ~chunk_size:(Bench_support.ship_chunk ())
+                        ~src:(Db.vfs db) ~src_name:"ts.asc" ~dst:dw_vfs
                         ~dst_name:"ts.asc" ()
                     with
                     | Ok _ -> ()
@@ -120,7 +123,8 @@ let run_t3 ~scale =
                               { delta_table = "ts_delta"; export_file = "ts.exp" })));
                 Metrics.with_span dwm "t3.transport" (fun () ->
                     match
-                      File_ship.ship ~src:(Db.vfs db) ~src_name:"ts.exp" ~dst:dw_vfs
+                      File_ship.ship ~chunk_size:(Bench_support.ship_chunk ())
+                        ~src:(Db.vfs db) ~src_name:"ts.exp" ~dst:dw_vfs
                         ~dst_name:"ts.exp" ()
                     with
                     | Ok _ -> ()

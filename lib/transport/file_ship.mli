@@ -20,6 +20,31 @@ type stats = {
   retries : int;  (** transient faults absorbed by retry *)
 }
 
+val ship_messages :
+  ?block_size:int ->   (* default 64 KiB *)
+  ?max_retries:int ->  (* per-operation retry budget, default 8 *)
+  ?backoff_s:float ->  (* base backoff (doubles per retry), default 0 = no sleep *)
+  dst:Vfs.t ->
+  dst_name:string ->
+  string list ->
+  (stats, string) result
+(** Coalesced message shipping: pack the messages — each framed with its
+    own {!Persistent_queue.checksum} — into blocks of at most
+    [block_size] bytes (a message never spans two blocks; an oversized
+    message gets a block to itself) and write each block as one
+    retried, fixed-offset, idempotent write, with a single fsync at the
+    end.  Small op-delta messages that would each have cost a ship
+    round-trip thus share one; the per-block fill ratio is observed as
+    [ship.block_fill] and the message count as [ship.msgs].  Read the
+    result back with {!fetch_messages}.  [stats.chunks] is the number
+    of blocks written. *)
+
+val fetch_messages : Vfs.t -> name:string -> (string list, string) result
+(** Decode a file written by {!ship_messages} back into messages,
+    verifying every per-message checksum.  [Error _] on a missing file
+    or the first torn/corrupt frame — a block ships whole or not at
+    all. *)
+
 val ship :
   ?chunk_size:int ->   (* default 64 KiB *)
   ?max_retries:int ->  (* per-operation retry budget, default 8 *)

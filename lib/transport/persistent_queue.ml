@@ -19,6 +19,8 @@ type t = {
   mutable enqueued : int;
 }
 
+let checksum = fnv1a
+
 let frame payload =
   let len = String.length payload in
   let out = Bytes.create (8 + len) in
@@ -26,6 +28,30 @@ let frame payload =
   Bytes.set_int32_le out 4 (Int32.of_int (fnv1a payload));
   Bytes.blit_string payload 0 out 8 len;
   out
+
+let encode_frames payloads =
+  let buf = Buffer.create 256 in
+  List.iter (fun p -> Buffer.add_bytes buf (frame p)) payloads;
+  Buffer.to_bytes buf
+
+let decode_frames bytes =
+  let size = Bytes.length bytes in
+  let rec go off acc =
+    if off = size then Ok (List.rev acc)
+    else if off + 8 > size then Error (Printf.sprintf "torn frame header at %d" off)
+    else begin
+      let len = Int32.to_int (Bytes.get_int32_le bytes off) in
+      let csum = Int32.to_int (Bytes.get_int32_le bytes (off + 4)) land 0xFFFFFFFF in
+      if len < 0 || off + 8 + len > size then
+        Error (Printf.sprintf "torn frame body at %d" off)
+      else
+        let payload = Bytes.sub_string bytes (off + 8) len in
+        if fnv1a payload <> csum then
+          Error (Printf.sprintf "checksum mismatch at %d" off)
+        else go (off + 8 + len) (payload :: acc)
+    end
+  in
+  go 0 []
 
 let read_frame log off =
   let size = Vfs.size log in
@@ -104,6 +130,18 @@ let enqueue t payload =
   t.pending <- t.pending + 1;
   t.enqueued <- t.enqueued + 1
 
+let enqueue_batch t payloads =
+  match payloads with
+  | [] -> ()
+  | _ ->
+    let n = List.length payloads in
+    Metrics.time t.metrics "queue.enqueue" (fun () ->
+        ignore (Vfs.append t.log (encode_frames payloads) : int);
+        Vfs.fsync t.log);
+    Metrics.observe t.metrics "queue.batch_size" (float_of_int n);
+    t.pending <- t.pending + n;
+    t.enqueued <- t.enqueued + n
+
 let peek t =
   match t.peeked with
   | Some (payload, _) -> Some payload
@@ -137,6 +175,36 @@ let ack t =
         t.read_off <- next;
         write_offset t next;
         t.pending <- t.pending - 1)
+
+let peek_run t ~max =
+  if max < 1 then invalid_arg "Persistent_queue.peek_run: max < 1";
+  let rec go off n acc =
+    if n = max then List.rev acc
+    else
+      match read_frame t.log off with
+      | None -> List.rev acc
+      | Some (payload, next) -> go next (n + 1) (payload :: acc)
+  in
+  go t.read_off 0 []
+
+let ack_run t n =
+  if n < 0 then invalid_arg "Persistent_queue.ack_run: n < 0";
+  if n > t.pending then invalid_arg "Persistent_queue.ack_run: n > pending";
+  if n > 0 then
+    Metrics.time t.metrics "queue.ack" (fun () ->
+        let rec advance off k =
+          if k = 0 then off
+          else
+            match read_frame t.log off with
+            | None -> invalid_arg "Persistent_queue.ack_run: log shorter than pending"
+            | Some (_, next) -> advance next (k - 1)
+        in
+        let next = advance t.read_off n in
+        t.peeked <- None;
+        t.read_off <- next;
+        write_offset t next;
+        t.pending <- t.pending - n;
+        Metrics.observe t.metrics "queue.ack_run" (float_of_int n))
 
 let pending t = t.pending
 let enqueued_total t = t.enqueued

@@ -1,0 +1,62 @@
+module Metrics = Dw_util.Metrics
+
+type policy = { max_group : int; max_wait_s : float }
+
+let default_policy = { max_group = 8; max_wait_s = infinity }
+
+let validate_policy p =
+  if p.max_group < 1 then invalid_arg "Group_commit: max_group < 1";
+  (* [not (>= 0.)] also catches NaN *)
+  if not (p.max_wait_s >= 0.0) then invalid_arg "Group_commit: max_wait_s < 0"
+
+type t = {
+  wal : Wal.t;
+  mutable policy : policy;
+  mutable pending : int;
+  mutable opened_at : float;  (* clock reading at the leader's registration *)
+}
+
+let create ?(policy = default_policy) wal =
+  validate_policy policy;
+  { wal; policy; pending = 0; opened_at = 0.0 }
+
+let policy t = t.policy
+let pending t = t.pending
+
+(* account the open group as flushed: one histogram sample = one fsynced
+   group, its value = how many commits that fsync covered *)
+let account t =
+  if t.pending > 0 then begin
+    Metrics.observe (Wal.metrics t.wal) "wal.group_size" (float_of_int t.pending);
+    t.pending <- 0
+  end
+
+let flush_group t =
+  Wal.flush t.wal;
+  account t
+
+let sync t = if t.pending > 0 then flush_group t
+
+let flush_now t =
+  Wal.flush t.wal;
+  account t
+
+let absorb t = account t
+
+let set_policy t p =
+  validate_policy p;
+  sync t;
+  t.policy <- p
+
+let deadline_due t =
+  t.policy.max_wait_s < infinity
+  && Metrics.now (Wal.metrics t.wal) -. t.opened_at >= t.policy.max_wait_s
+
+let note_commit t =
+  t.pending <- t.pending + 1;
+  (* the first registrant is the leader; its registration time anchors
+     the max-wait deadline *)
+  if t.pending = 1 then t.opened_at <- Metrics.now (Wal.metrics t.wal);
+  if t.pending >= t.policy.max_group || deadline_due t then flush_group t
+
+let poll t = if t.pending > 0 && deadline_due t then flush_group t

@@ -39,5 +39,10 @@ val release_all : t -> txid -> unit
 (** End of transaction: drop all locks and pending waits of [txid]. *)
 
 val holders : t -> resource -> (txid * mode) list
+(** Current grantees of [resource] with their modes ([] when free). *)
+
 val held_by : t -> txid -> resource list
+(** Resources [txid] currently holds a lock on, in no particular order. *)
+
 val waiting : t -> txid -> bool
+(** Whether [txid] has a queued (not yet granted) lock request. *)

@@ -35,3 +35,4 @@ val run :
     unknown tables (dropped since) are skipped. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+(** One-line human summary (records replayed, txns won/lost, bytes). *)

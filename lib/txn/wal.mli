@@ -20,6 +20,7 @@ val create : Dw_storage.Vfs.t -> name:string -> archive:bool -> t
     [wal.torn_bytes] in the Vfs metrics registry. *)
 
 val archive_enabled : t -> bool
+(** Whether rotated segments are retained (the [archive:true] mode). *)
 
 val metrics : t -> Dw_util.Metrics.t
 (** The underlying Vfs registry.  The WAL records [wal.append] and
@@ -27,6 +28,7 @@ val metrics : t -> Dw_util.Metrics.t
     counters. *)
 
 val next_lsn : t -> lsn
+(** The LSN the next {!append} will return. *)
 
 val append : t -> Log_record.t -> lsn
 (** Returns the LSN the record was placed at.  Does not flush. *)
@@ -46,6 +48,7 @@ val iter_from : t -> lsn -> (lsn -> Log_record.t -> unit) -> unit
     re-open. *)
 
 val iter_all : t -> (lsn -> Log_record.t -> unit) -> unit
+(** {!iter_from} from the start of the retained log. *)
 
 val archived_segments : t -> string list
 (** File names of rotated segments still on disk, oldest first (empty
@@ -56,6 +59,7 @@ val segment_bytes : t -> int
 (** Total bytes across retained segments including the current one. *)
 
 val last_checkpoint : t -> lsn option
+(** LSN of the most recent checkpoint record, [None] before the first. *)
 
 val prune_archived : t -> upto:lsn -> int
 (** Delete archived (closed) segments consisting entirely of records below

@@ -626,3 +626,73 @@ let integrate_op_delta_viewonly (t : t) od =
 
 let integrate_op_deltas t ods =
   List.fold_left (fun acc od -> add_stats acc (integrate_op_delta t od)) zero_stats ods
+
+(* ---------- micro-batched apply ---------- *)
+
+type batch_policy = {
+  max_batch : int;
+  min_batch : int;
+  lock_wait_p95_s : float;
+}
+
+let default_batch_policy = { max_batch = 16; min_batch = 1; lock_wait_p95_s = 0.010 }
+
+let validate_batch_policy p =
+  if p.min_batch < 1 then invalid_arg "Warehouse: batch_policy.min_batch < 1";
+  if p.max_batch < p.min_batch then
+    invalid_arg "Warehouse: batch_policy.max_batch < min_batch";
+  if not (p.lock_wait_p95_s >= 0.0) then
+    invalid_arg "Warehouse: batch_policy.lock_wait_p95_s < 0"
+
+(* apply a run of consecutive source transactions as ONE warehouse
+   transaction, re-executing every statement in source commit order *)
+let integrate_op_delta_run (t : t) ods =
+  Metrics.with_span (Db.metrics t.db) "warehouse.refresh" @@ fun () ->
+  let start = Unix.gettimeofday () in
+  let row_ops0 = t.row_ops in
+  let statements = ref 0 in
+  Db.with_txn t.db (fun txn ->
+      List.iter
+        (fun od ->
+          List.iter
+            (fun (op : Op_delta.op) ->
+              incr statements;
+              match Db.exec_sql t.db txn (Dw_sql.Printer.to_string op.Op_delta.stmt) with
+              | Ok _ -> ()
+              | Error e -> invalid_arg ("Warehouse.integrate_op_delta_run: " ^ e))
+            od.Op_delta.ops)
+        ods);
+  {
+    txns = 1;
+    statements = !statements;
+    row_ops = t.row_ops - row_ops0;
+    duration = Unix.gettimeofday () -. start;
+  }
+
+let take n xs =
+  let rec go n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] xs
+
+let integrate_op_deltas_batched ?(policy = default_batch_policy) t ods =
+  validate_batch_policy policy;
+  let metrics = Db.metrics t.db in
+  (* the valve: open at max, shrink multiplicatively when reader
+     lock-waits climb, recover additively when they subside *)
+  let target = ref policy.max_batch in
+  let rec go acc = function
+    | [] -> acc
+    | rest ->
+      let run, rest = take !target rest in
+      Metrics.observe metrics "warehouse.batch_size" (float_of_int (List.length run));
+      let acc = add_stats acc (integrate_op_delta_run t run) in
+      let p95 = Metrics.percentile metrics "lock.wait" 0.95 in
+      if p95 > policy.lock_wait_p95_s then target := max policy.min_batch (!target / 2)
+      else target := min policy.max_batch (!target + 1);
+      Metrics.set_gauge metrics "warehouse.batch_size_target" (float_of_int !target);
+      go acc rest
+  in
+  go zero_stats ods

@@ -26,7 +26,11 @@ module Spj_view = Dw_core.Spj_view
 type t
 
 val create : ?pool_pages:int -> vfs:Dw_storage.Vfs.t -> name:string -> unit -> t
+(** An empty warehouse over its own engine instance; [`Index_preferred]
+    plan mode, no replicas or views yet. *)
+
 val db : t -> Db.t
+(** The warehouse-side engine (for metrics, scheduling and OLAP). *)
 
 val add_replica : t -> table:string -> schema:Schema.t -> unit
 (** Create the warehouse copy of a source table and attach the view-
@@ -52,12 +56,17 @@ val recompute_view : t -> string -> (Tuple.t * int) list
     from the replica detail rows. *)
 
 val define_agg_view : t -> Dw_core.Agg_view.t -> unit
+(** Validates, creates the backing table and materializes the aggregate
+    view from current replica contents. *)
+
 val agg_view_rows : t -> string -> (Tuple.t * int) list
 (** Materialized (output row, group cardinality), sorted by group. *)
 
 val recompute_agg_view : t -> string -> (Tuple.t * int) list
+(** Recompute from replica detail rows (ground truth for tests). *)
 
 val replica_rows : t -> string -> Tuple.t list
+(** Current replica contents, in heap scan order. *)
 
 type stats = {
   txns : int;        (** warehouse transactions used *)
@@ -65,6 +74,12 @@ type stats = {
   row_ops : int;     (** row-level modifications (replica + views) *)
   duration : float;  (** wall-clock seconds *)
 }
+
+val zero_stats : stats
+(** All-zero identity for {!add_stats}. *)
+
+val add_stats : stats -> stats -> stats
+(** Component-wise sum (durations add). *)
 
 val integrate_value_delta : t -> Delta.t -> stats
 (** One batch transaction.  [Upsert] entries integrate as keyed
@@ -76,7 +91,54 @@ val integrate_op_delta : t -> Op_delta.t -> stats
     {!Dw_core.Transform} rule first if schemas differ). *)
 
 val integrate_op_deltas : t -> Op_delta.t list -> stats
-(** Fold over {!integrate_op_delta}, summing stats. *)
+(** Fold over {!integrate_op_delta}, summing stats — the one-warehouse-
+    transaction-per-source-transaction baseline. *)
+
+(** {2 Micro-batched apply} — amortize warehouse commit cost over runs of
+    consecutive source transactions.
+
+    {!integrate_op_deltas_batched} slices the op-delta stream into runs
+    and applies each run as {e one} warehouse transaction, re-executing
+    every statement in source commit order.  Whole source transactions
+    only — a run boundary is always a source-transaction boundary, so a
+    crash mid-run leaves the warehouse at a source-transaction boundary
+    and the online-refresh invariant (readers see a prefix of the source
+    history) is preserved; what is given up is only refresh granularity:
+    readers observe up to a run of source transactions at once.
+
+    The run length is governed by a {b backpressure valve}: it opens at
+    [max_batch], shrinks multiplicatively (halves, floored at
+    [min_batch]) whenever the warehouse registry's [lock.wait] p95
+    exceeds [lock_wait_p95_s] — long maintenance transactions are what
+    make concurrent readers queue — and recovers additively (+1) while
+    lock-waits stay low.  Each applied run's size is observed into the
+    [warehouse.batch_size] histogram and the current target into the
+    [warehouse.batch_size_target] gauge. *)
+
+type batch_policy = {
+  max_batch : int;  (** run-length ceiling (>= min_batch) *)
+  min_batch : int;  (** run-length floor under backpressure (>= 1) *)
+  lock_wait_p95_s : float;
+      (** shrink when [lock.wait] p95 exceeds this (seconds, >= 0) *)
+}
+
+val default_batch_policy : batch_policy
+(** [{ max_batch = 16; min_batch = 1; lock_wait_p95_s = 0.010 }]. *)
+
+val validate_batch_policy : batch_policy -> unit
+(** Raises [Invalid_argument] on a non-positive floor, ceiling below
+    floor, or negative/NaN threshold. *)
+
+val integrate_op_delta_run : t -> Op_delta.t list -> stats
+(** Apply a run of consecutive source transactions as one warehouse
+    transaction ([stats.txns = 1]).  Building block of the batched
+    integrator; callers must pass whole, consecutive source
+    transactions. *)
+
+val integrate_op_deltas_batched : ?policy:batch_policy -> t -> Op_delta.t list -> stats
+(** Apply the stream in valve-governed runs (see above).  Equivalent to
+    {!integrate_op_deltas} in final warehouse state for any policy —
+    only transaction boundaries differ. *)
 
 (** {2 Replica-less (view-only) maintenance} — the paper's hybrid case:
     "for some cases, a hybrid between a partial value delta (the before
@@ -103,3 +165,4 @@ val integrate_op_delta_viewonly : t -> Op_delta.t -> stats
     {!Dw_core.Opdelta_capture.create}. *)
 
 val viewonly_view_rows : t -> string -> (Tuple.t * int) list
+(** Materialized rows of a view-only view, with multiplicities. *)

@@ -23,8 +23,15 @@ let check name report =
 let () =
   check "db (exhaustive)" (Cs.explore ~spec:Cs.small_db_spec ~stride:1 ());
   check "db (standard)" (Cs.explore ~spec:Cs.default_db_spec ~stride:8 ());
+  check "db group-commit (exhaustive)"
+    (Cs.explore ~spec:{ Cs.small_db_spec with Cs.group = 3 } ~stride:1 ());
+  check "db group-commit (standard)" (Cs.explore ~spec:Cs.grouped_db_spec ~stride:8 ());
   check "queue (exhaustive)" (Cs.explore_queue ~spec:Cs.default_queue_spec ~stride:1 ());
+  check "queue batched (exhaustive)"
+    (Cs.explore_batched_queue ~spec:Cs.default_batched_queue_spec ~stride:1 ());
   check "refresh (stride 2)" (Cs.explore_refresh ~spec:Cs.default_refresh_spec ~stride:2 ());
+  check "refresh batched (stride 2)"
+    (Cs.explore_refresh_batched ~spec:Cs.default_refresh_spec ~run:3 ~stride:2 ());
   (match Cs.ship_under_faults ~bytes:(256 * 1024) ~fault_p:0.25 ~seed:123 () with
    | Ok (stats, true) when stats.Dw_transport.File_ship.retries > 0 ->
      Printf.printf "ship under faults: %d bytes, %d retries, byte-identical\n%!"

@@ -20,8 +20,24 @@ let db_exhaustive_small () = no_failures "db small" (Cs.explore ~spec:Cs.small_d
 let db_strided_standard () =
   no_failures "db standard" (Cs.explore ~spec:Cs.default_db_spec ~stride:8 ())
 
+let db_grouped_exhaustive () =
+  (* group commit holds commits pending between append and the group's
+     one fsync; every event in between (including fail-stop AT the
+     leader's fsync) must still recover to a transaction boundary *)
+  no_failures "db group-commit"
+    (Cs.explore ~spec:{ Cs.small_db_spec with Cs.group = 3 } ())
+
 let queue_strided () = no_failures "queue" (Cs.explore_queue ~stride:4 ())
+
+let queue_batched_exhaustive () =
+  (* coalesced transport: crash mid-batch-append may keep only a
+     frame-boundary prefix; crash mid-ack_run consumes all-or-nothing *)
+  no_failures "queue batched" (Cs.explore_batched_queue ())
+
 let refresh_strided () = no_failures "refresh" (Cs.explore_refresh ~stride:4 ())
+
+let refresh_batched_strided () =
+  no_failures "refresh batched" (Cs.explore_refresh_batched ~run:3 ~stride:2 ())
 
 let fault_counters_exported () =
   let r = Cs.explore ~spec:Cs.small_db_spec ~stride:4 () in
@@ -63,14 +79,42 @@ let prop_db_random_crash_exact_rows =
       | Ok () -> true
       | Error msg -> QCheck2.Test.fail_reportf "seed %d, event %d: %s" seed index msg)
 
+let prop_grouped_db_random_crash =
+  QCheck2.Test.make
+    ~name:"group-commit recovery holds at random crash points and group sizes" ~count:25
+    QCheck2.Gen.(triple (int_range 0 10_000) (int_range 0 60) (int_range 2 6))
+    (fun (seed, index, group) ->
+      let spec = { Cs.small_db_spec with Cs.seed; Cs.group = group } in
+      let ops = Cs.ops_of_spec spec in
+      match Cs.run_db_crash_point spec ops ~totals:(Metrics.create ()) index with
+      | Ok () -> true
+      | Error msg ->
+        QCheck2.Test.fail_reportf "seed %d, event %d, group %d: %s" seed index group msg)
+
+let prop_batched_queue_random_crash =
+  QCheck2.Test.make
+    ~name:"batched queue keeps at-least-once and prefix-only tears at random crash points"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 0 60))
+    (fun (bseed, index) ->
+      let spec = { Cs.default_batched_queue_spec with Cs.bseed } in
+      match Cs.run_batched_queue_crash_point spec ~totals:(Metrics.create ()) index with
+      | Ok () -> true
+      | Error msg -> QCheck2.Test.fail_reportf "seed %d, event %d: %s" bseed index msg)
+
 let suite =
   [
     test "db crash points (small, exhaustive)" db_exhaustive_small;
     test "db crash points (standard, stride 8)" db_strided_standard;
+    test "db crash points under group commit (exhaustive)" db_grouped_exhaustive;
     test "queue crash points (stride 4)" queue_strided;
+    test "batched queue crash points (exhaustive)" queue_batched_exhaustive;
     test "warehouse refresh idempotent on redelivery (stride 4)" refresh_strided;
+    test "micro-batched refresh idempotent on redelivery (stride 2)" refresh_batched_strided;
     test "fault counters exported" fault_counters_exported;
     test "ship under 25% transient faults" ship_under_heavy_transient_faults;
     QCheck_alcotest.to_alcotest prop_queue_random_crash_never_loses;
     QCheck_alcotest.to_alcotest prop_db_random_crash_exact_rows;
+    QCheck_alcotest.to_alcotest prop_grouped_db_random_crash;
+    QCheck_alcotest.to_alcotest prop_batched_queue_random_crash;
   ]

@@ -15,6 +15,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("etl", Test_etl.suite);
       ("failure", Test_failure.suite);
+      ("batching", Test_batching.suite);
       ("crash", Test_crash.suite);
       ("properties", Test_properties.suite);
       ("scheduler", Test_scheduler.suite);

@@ -1,0 +1,106 @@
+(* Documentation lint for the public interfaces, run by `dune build @doc`
+   (odoc is not part of the toolchain this repo builds with, so the doc
+   alias carries this checker instead).
+
+   For every .mli under the directories given on the command line:
+
+   - the file must open with a module-level ocamldoc comment;
+   - every [val] item must have a doc comment attached — either the
+     special comment immediately after its signature (the style used
+     throughout this repo) or immediately before the [val].
+
+   Exits 1 listing every undocumented item. *)
+
+let errors = ref []
+let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      Array.of_list (List.rev acc)
+  in
+  go []
+
+let is_blank s = String.trim s = ""
+let starts_with prefix s = String.length s >= String.length prefix
+                           && String.sub s 0 (String.length prefix) = prefix
+let trimmed_starts prefix s = starts_with prefix (String.trim s)
+
+(* an "item start" ends the forward search for a val's trailing doc *)
+let item_start s =
+  let t = String.trim s in
+  List.exists (fun p -> starts_with p t) [ "val "; "type "; "module "; "exception "; "end" ]
+
+let has_doc_comment_forward lines i =
+  (* scan past the signature: the val is documented if a doc-comment
+     opener appears before the next item starts *)
+  let n = Array.length lines in
+  let rec go j first =
+    if j >= n then false
+    else
+      let t = String.trim lines.(j) in
+      if (not first) && item_start lines.(j) then false
+      else if
+        (* a doc comment on the tail of the signature line itself, or on
+           its own line after it *)
+        (let rec find_sub k =
+           k + 3 <= String.length t
+           && (String.sub t k 3 = "(**" || find_sub (k + 1))
+         in
+         find_sub 0)
+      then true
+      else go (j + 1) false
+  in
+  go i true
+
+let has_doc_comment_backward lines i =
+  (* the line immediately above ends a comment (a doc directly attached
+     before the val; a blank line in between detaches it) *)
+  i > 0
+  &&
+  let t = String.trim lines.(i - 1) in
+  let len = String.length t in
+  len >= 2 && String.sub t (len - 2) 2 = "*)"
+
+let lint_file path =
+  let lines = read_lines path in
+  let n = Array.length lines in
+  (* module-level doc: first non-blank line opens an ocamldoc comment *)
+  let rec first_non_blank i = if i >= n then None else if is_blank lines.(i) then first_non_blank (i + 1) else Some i in
+  (match first_non_blank 0 with
+   | Some i when trimmed_starts "(**" lines.(i) -> ()
+   | Some _ | None -> err "%s: missing module-level doc-comment header" path);
+  for i = 0 to n - 1 do
+    if trimmed_starts "val " lines.(i) then
+      if not (has_doc_comment_forward lines i || has_doc_comment_backward lines i) then
+        let name =
+          let t = String.trim lines.(i) in
+          match String.index_opt t ':' with
+          | Some j -> String.trim (String.sub t 4 (j - 4))
+          | None -> t
+        in
+        err "%s:%d: val %s has no doc comment" path (i + 1) name
+  done
+
+let rec walk path =
+  if Sys.is_directory path then
+    Array.iter (fun entry -> walk (Filename.concat path entry)) (Sys.readdir path)
+  else if Filename.check_suffix path ".mli" then lint_file path
+
+let () =
+  let dirs = List.tl (Array.to_list Sys.argv) in
+  if dirs = [] then begin
+    prerr_endline "usage: doc_lint DIR ...";
+    exit 2
+  end;
+  List.iter walk dirs;
+  match List.rev !errors with
+  | [] -> Printf.printf "doc-lint: ok (%s)\n" (String.concat " " dirs)
+  | es ->
+    List.iter prerr_endline es;
+    Printf.eprintf "doc-lint: %d undocumented item(s)\n" (List.length es);
+    exit 1

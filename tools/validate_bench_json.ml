@@ -26,9 +26,21 @@ let check_histogram ~exp_id name h =
   if count < 1.0 then fail "%s: empty (count = %g)" ctx count;
   List.iter (fun k -> ignore (require_number ctx k h : float)) [ "sum"; "min"; "max"; "p50"; "p95"; "p99" ]
 
-let required_histograms = [ "wal.fsync"; "pool.miss"; "warehouse.refresh" ]
+let required_histograms =
+  [ "wal.fsync"; "pool.miss"; "warehouse.refresh"; "wal.group_size"; "warehouse.batch_size" ]
 
-let check_experiment seen j =
+(* t5's deterministic batching results: counter ratios, not wall-clock,
+   so they are stable enough to gate on *)
+let required_gauges =
+  [
+    "t5.fsync_per_txn_g1"; "t5.fsync_per_txn_g4"; "t5.fsync_per_txn_g16";
+    "t5.queue_fsync_per_msg_single"; "t5.queue_fsync_per_msg_batched";
+    "t5.ship_blocks"; "t5.ship_msgs";
+    "t5.window_sequential_s"; "t5.window_batched_s";
+    "t5.txns_sequential"; "t5.txns_batched";
+  ]
+
+let check_experiment seen gauges j =
   let id =
     match Json.to_str (require_member "id" j) with
     | Some s -> s
@@ -38,6 +50,16 @@ let check_experiment seen j =
   (match Json.member "counters" j with
    | Some (Json.Obj _) -> ()
    | Some _ | None -> fail "experiment %S: \"counters\" is not an object" id);
+  (match Json.member "gauges" j with
+   | Some (Json.Obj fields) ->
+     List.iter
+       (fun (name, v) ->
+         match Json.to_number v with
+         | Some x -> Hashtbl.replace gauges name x
+         | None -> fail "experiment %S: gauge %S is not a number" id name)
+       fields
+   | Some _ -> fail "experiment %S: \"gauges\" is not an object" id
+   | None -> ());
   match Json.member "histograms" j with
   | Some (Json.Obj fields) ->
     List.iter
@@ -76,11 +98,28 @@ let () =
     | None -> fail "\"experiments\" is not a list"
   in
   let seen = Hashtbl.create 32 in
-  List.iter (check_experiment seen) experiments;
+  let gauges = Hashtbl.create 32 in
+  List.iter (check_experiment seen gauges) experiments;
   List.iter
     (fun name ->
       if not (Hashtbl.mem seen name) then
         fail "required histogram %S missing from every experiment" name)
     required_histograms;
-  Printf.printf "bench-json: %s ok (%d experiments, %d histograms)\n" file
-    (List.length experiments) (Hashtbl.length seen)
+  let gauge name =
+    match Hashtbl.find_opt gauges name with
+    | Some v -> v
+    | None -> fail "required gauge %S missing from every experiment" name
+  in
+  List.iter (fun name -> ignore (gauge name : float)) required_gauges;
+  (* the acceptance numbers: group >= 4 cuts fsyncs per txn at least 3x,
+     and micro-batched refresh uses strictly fewer warehouse txns *)
+  let g1 = gauge "t5.fsync_per_txn_g1" and g4 = gauge "t5.fsync_per_txn_g4" in
+  if g4 <= 0.0 || g1 /. g4 < 3.0 then
+    fail "group commit: fsync/txn reduction %g/%g = %gx, expected >= 3x" g1 g4
+      (if g4 > 0.0 then g1 /. g4 else infinity);
+  if gauge "t5.queue_fsync_per_msg_batched" >= gauge "t5.queue_fsync_per_msg_single" then
+    fail "transport: batched queue path does not reduce fsyncs per message";
+  if gauge "t5.txns_batched" >= gauge "t5.txns_sequential" then
+    fail "refresh: batched integrator does not reduce warehouse txns";
+  Printf.printf "bench-json: %s ok (%d experiments, %d histograms, %d gauges)\n" file
+    (List.length experiments) (Hashtbl.length seen) (Hashtbl.length gauges)
