@@ -10,7 +10,8 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--scale N] [t1|t2|t3|t5|f2|f2r|f3|t4|w1|w2|w2r|w3|s1|r1|v1|ablate|micro|all ...]";
+    "usage: main.exe [--scale N] \
+     [t1|t2|t3|t5|f2|f2r|f3|t4|w1|w2|w2r|w1agg|w3|s1|r1|v1|ablate|micro|all ...]";
   exit 1
 
 let () =
@@ -48,7 +49,8 @@ let () =
   if want "w1" then Dw_experiments.Exp_warehouse.run_w1 ~scale;
   if want "w2" then Dw_experiments.Exp_warehouse.run_w2 ~scale;
   if want "w2r" then Dw_experiments.Exp_warehouse.run_w2_real ~scale;
-  if want "w3" then Dw_experiments.Exp_warehouse.run_w3 ~scale;
+  if want "w1agg" then Dw_experiments.Exp_warehouse.run_w1_agg ~scale;
+  if want "w3" then Dw_experiments.Exp_mvcc.run_w3 ~scale;
   if want "s1" then Dw_experiments.Exp_snapshot.run ~scale;
   if want "r1" then Dw_experiments.Exp_reconcile.run ~scale;
   if want "ablate" then Dw_experiments.Exp_ablation.run_all ~scale;

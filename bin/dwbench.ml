@@ -38,8 +38,10 @@ let experiments =
      fun ~scale -> E.Exp_warehouse.run_w2 ~scale);
     ("w2r", "availability with real 2PL (effect-handler scheduler)",
      fun ~scale -> E.Exp_warehouse.run_w2_real ~scale);
-    ("w3", "extension: maintenance window with an aggregate view",
-     fun ~scale -> E.Exp_warehouse.run_w3 ~scale);
+    ("w1agg", "extension: maintenance window with an aggregate view",
+     fun ~scale -> E.Exp_warehouse.run_w1_agg ~scale);
+    ("w3", "snapshot-isolation reads: OLAP latency and refresh window vs locking reads",
+     fun ~scale -> E.Exp_mvcc.run_w3 ~scale);
     ("t5", "batching ablation: group commit, transport coalescing, micro-batched refresh",
      fun ~scale -> E.Exp_batching.run_t5 ~scale);
     ("s1", "Section 3.1.2: snapshot differential vs other methods",

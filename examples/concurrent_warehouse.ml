@@ -89,4 +89,4 @@ let () =
   print_endline
     "reading guide: in batch mode every analyst that arrives during the integration is blocked \
      until its single transaction commits; in online mode analysts slot in between the short \
-     maintenance transactions and never wait." 
+     maintenance transactions and never wait."

@@ -101,12 +101,12 @@ let () =
       | Error e -> failwith e);
   (* 3. the canned analyst mix *)
   (match Dw_warehouse.Olap.run_all wh (Dw_warehouse.Olap.standard_queries ~table:"parts") with
-   | Ok results ->
+   | results, err ->
      List.iter
        (fun r ->
          Printf.printf "olap %-28s %4d rows in %s\n" r.Dw_warehouse.Olap.query
            r.Dw_warehouse.Olap.rows
            (Dw_util.Fmt_util.human_duration r.Dw_warehouse.Olap.duration))
-       results
-   | Error e -> failwith e);
+       results;
+     Option.iter failwith err);
   print_endline "nightly ETL example complete."

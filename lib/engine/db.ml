@@ -10,6 +10,7 @@ module Wal = Dw_txn.Wal
 module Group_commit = Dw_txn.Group_commit
 module Log_record = Dw_txn.Log_record
 module Lock_manager = Dw_txn.Lock_manager
+module Version_store = Dw_txn.Version_store
 module Recovery = Dw_txn.Recovery
 module Ast = Dw_sql.Ast
 
@@ -18,11 +19,13 @@ exception Deadlock_abort of { tx : int; blockers : int list }
 
 type undo =
   | U_insert of string * Heap_file.rid * Tuple.t
-  | U_delete of string * Tuple.t
+  | U_delete of string * Heap_file.rid * Tuple.t
   | U_update of string * Heap_file.rid * Tuple.t * Tuple.t  (* before, after *)
 
 type txn = {
   id : int;
+  mode : [ `Read_write | `Snapshot ];
+  snapshot_csn : int;  (* last committed CSN at begin; reads resolve against it *)
   mutable undo_log : undo list;
   mutable in_trigger : bool;
   mutable finished : bool;
@@ -36,6 +39,8 @@ and t = {
   pool : Buffer_pool.t;
   wal : Wal.t;
   locks : Lock_manager.t;
+  vstore : Dw_txn.Version_store.t;
+  mutable last_csn : int;  (* CSN of the newest commit record in the WAL *)
   tables : (string, Table.t) Hashtbl.t;
   triggers : (string, trigger_ctx Trigger.t list ref) Hashtbl.t;
   mutable next_txid : int;
@@ -56,6 +61,8 @@ let create ?(pool_pages = 256) ?(archive_log = false) ~vfs ~name () =
     pool = Buffer_pool.create ~vfs ~capacity:pool_pages;
     wal;
     locks = Lock_manager.create ~metrics:(Vfs.metrics vfs) ();
+    vstore = Version_store.create ();
+    last_csn = 0;
     tables = Hashtbl.create 16;
     triggers = Hashtbl.create 16;
     next_txid = 1;
@@ -140,6 +147,7 @@ let drop_table t name =
   | Some table ->
     Hashtbl.remove t.tables name;
     Hashtbl.remove t.triggers name;
+    Version_store.drop_table t.vstore ~table:name;
     let file = Heap_file.file (Table.heap table) in
     Buffer_pool.invalidate_file t.pool file;
     Vfs.close file;
@@ -147,18 +155,43 @@ let drop_table t name =
 
 (* transactions *)
 
-let begin_txn t =
+let last_csn t = t.last_csn
+let version_store t = t.vstore
+
+(* the oldest snapshot any active reader holds; with no readers the
+   newest committed CSN — entries superseded at or below it are dead *)
+let gc_horizon t =
+  Hashtbl.fold
+    (fun _ txn acc -> if txn.mode = `Snapshot then min txn.snapshot_csn acc else acc)
+    t.active t.last_csn
+
+let vstore_gc t =
+  if Version_store.entries t.vstore > 0 then
+    ignore (Version_store.gc t.vstore ~horizon:(gc_horizon t) : int)
+
+let begin_txn ?(mode = `Read_write) t =
   let id = t.next_txid in
   t.next_txid <- id + 1;
-  let txn = { id; undo_log = []; in_trigger = false; finished = false } in
+  let txn =
+    { id; mode; snapshot_csn = t.last_csn; undo_log = []; in_trigger = false; finished = false }
+  in
   Hashtbl.add t.active id txn;
-  ignore (Wal.append t.wal { Log_record.tx = id; body = Log_record.Begin } : Wal.lsn);
+  (* snapshot transactions log nothing: they cannot write, so neither
+     recovery nor the group-commit barrier ever needs to see them *)
+  if mode = `Read_write then
+    ignore (Wal.append t.wal { Log_record.tx = id; body = Log_record.Begin } : Wal.lsn);
   txn
 
 let txid txn = txn.id
+let txn_mode txn = txn.mode
+let snapshot_csn txn = txn.snapshot_csn
 
 let check_live txn =
   if txn.finished then invalid_arg "Db: transaction already finished"
+
+let check_writable txn =
+  check_live txn;
+  if txn.mode = `Snapshot then invalid_arg "Db: snapshot transaction is read-only"
 
 let finish t txn =
   txn.finished <- true;
@@ -167,14 +200,26 @@ let finish t txn =
 
 let commit t txn =
   check_live txn;
-  ignore (Wal.append t.wal { Log_record.tx = txn.id; body = Log_record.Commit } : Wal.lsn);
-  (match t.sync_mode with
-   | `Every_commit -> Wal.flush t.wal
-   | `Group _ | `Group_policy _ -> Group_commit.note_commit t.group);
-  finish t txn
+  match txn.mode with
+  | `Snapshot ->
+    (* read-only: nothing to log or flush; its exit may unpin versions *)
+    finish t txn;
+    vstore_gc t
+  | `Read_write ->
+    ignore (Wal.append t.wal { Log_record.tx = txn.id; body = Log_record.Commit } : Wal.lsn);
+    (* the CSN is assigned in WAL commit-record order; under group commit
+       the fsync is deferred but in-process visibility is immediate, so
+       publication happens here either way *)
+    let csn = t.last_csn + 1 in
+    t.last_csn <- csn;
+    Version_store.publish t.vstore ~tx:txn.id ~csn;
+    (match t.sync_mode with
+     | `Every_commit -> Wal.flush t.wal
+     | `Group _ | `Group_policy _ -> Group_commit.note_commit t.group);
+    finish t txn;
+    vstore_gc t
 
-let abort t txn =
-  check_live txn;
+let abort_rw t txn =
   (* reverse-apply undo entries; raw ops keep indexes consistent *)
   List.iter
     (fun entry ->
@@ -183,9 +228,11 @@ let abort t txn =
         (match table_opt t tname with
          | Some table -> Table.raw_delete table rid ~old_tuple:tuple
          | None -> ())
-      | U_delete (tname, tuple) ->
+      | U_delete (tname, rid, tuple) ->
+        (* restore at the exact original rid: version chains are keyed by
+           rid, so the row must not migrate slots while snapshots are live *)
         (match table_opt t tname with
-         | Some table -> ignore (Table.raw_insert table tuple : Heap_file.rid)
+         | Some table -> Table.raw_insert_at table rid tuple
          | None -> ())
       | U_update (tname, rid, before, after) ->
         (match table_opt t tname with
@@ -197,7 +244,18 @@ let abort t txn =
   (* the abort record must always reach the device; the same fsync covers
      any commits still pending in an open group *)
   Group_commit.flush_now t.group;
+  (* the undo pass restored the heap, so the noted before-images now
+     describe nothing: drop them before readers could resolve through them *)
+  Version_store.discard t.vstore ~tx:txn.id;
   finish t txn
+
+let abort t txn =
+  check_live txn;
+  if txn.mode = `Snapshot then begin
+    finish t txn;
+    vstore_gc t
+  end
+  else abort_rw t txn
 
 let with_txn t f =
   let txn = begin_txn t in
@@ -277,12 +335,13 @@ let stamp t table tuple =
 let log_dml t body = ignore (Wal.append t.wal body : Wal.lsn)
 
 let insert t txn tname tuple =
-  check_live txn;
+  check_writable txn;
   statement_boundary t;
   let table = table t tname in
   acquire t txn (Lock_manager.Table tname) Lock_manager.X;
   let tuple = stamp t table tuple in
   let rid = Table.raw_insert table tuple in
+  Version_store.note t.vstore ~tx:txn.id ~table:tname ~rid ~image:None;
   log_dml t
     {
       Log_record.tx = txn.id;
@@ -375,7 +434,7 @@ let matching ?(mode = `Scan_only) table where =
   List.sort (fun (a, _) (b, _) -> Heap_file.rid_compare a b) (List.rev !acc)
 
 let update_where t txn tname ~set ~where =
-  check_live txn;
+  check_writable txn;
   statement_boundary t;
   let table = table t tname in
   acquire t txn (Lock_manager.Table tname) Lock_manager.X;
@@ -394,6 +453,7 @@ let update_where t txn tname ~set ~where =
           before set
       in
       let after = stamp t table after0 in
+      Version_store.note t.vstore ~tx:txn.id ~table:tname ~rid ~image:(Some before);
       Table.raw_update table rid ~old_tuple:before after;
       log_dml t
         {
@@ -413,7 +473,7 @@ let update_where t txn tname ~set ~where =
   List.length victims
 
 let delete_where t txn tname ~where =
-  check_live txn;
+  check_writable txn;
   statement_boundary t;
   let table = table t tname in
   acquire t txn (Lock_manager.Table tname) Lock_manager.X;
@@ -421,6 +481,7 @@ let delete_where t txn tname ~where =
   let victims = matching ~mode:t.plan_mode table where in
   List.iter
     (fun (rid, before) ->
+      Version_store.note t.vstore ~tx:txn.id ~table:tname ~rid ~image:(Some before);
       Table.raw_delete table rid ~old_tuple:before;
       log_dml t
         {
@@ -428,29 +489,100 @@ let delete_where t txn tname ~where =
           body =
             Log_record.Delete { table = tname; rid; before = Codec.encode_binary schema before };
         };
-      txn.undo_log <- U_delete (tname, before) :: txn.undo_log;
+      txn.undo_log <- U_delete (tname, rid, before) :: txn.undo_log;
       fire t txn tname (Trigger.Deleted (rid, before)))
     victims;
   List.length victims
+
+(* snapshot read path: resolve each candidate rid through the version
+   store; readers take no locks and are never blocked *)
+
+let snapshot_visible t tname ~csn rid current =
+  match Version_store.resolve t.vstore ~table:tname ~rid ~csn with
+  | `Current -> current
+  | `Image tuple -> Some tuple
+  | `Absent -> None
+
+let snapshot_matching t txn table tname where =
+  let schema = Table.schema table in
+  (match where with Some e -> check_columns schema e | None -> ());
+  let csn = txn.snapshot_csn in
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let keep tuple = match where with None -> true | Some e -> Expr.eval_pred schema tuple e in
+  let consider rid current =
+    if not (Hashtbl.mem seen rid) then begin
+      Hashtbl.add seen rid ();
+      match snapshot_visible t tname ~csn rid current with
+      | Some tuple when keep tuple -> acc := (rid, tuple) :: !acc
+      | Some _ | None -> ()
+    end
+  in
+  (match t.plan_mode, where with
+   | `Index_preferred, Some e -> (
+       match key_bounds schema e with
+       | (None, None) -> Table.scan table (fun rid tuple -> consider rid (Some tuple))
+       | (lo, hi) -> Table.key_range table ~lo ~hi (fun rid tuple -> consider rid (Some tuple)))
+   | (`Scan_only | `Index_preferred), _ ->
+     Table.scan table (fun rid tuple -> consider rid (Some tuple)));
+  (* rows the heap/index pass cannot surface — deleted since the snapshot,
+     or re-keyed out of the index bounds — still have version chains *)
+  let heap = Table.heap table in
+  Version_store.iter_table t.vstore ~table:tname (fun rid ->
+      if not (Hashtbl.mem seen rid) then
+        consider rid
+          (if Heap_file.exists_at heap rid then Some (Heap_file.get heap rid) else None));
+  List.sort (fun (a, _) (b, _) -> Heap_file.rid_compare a b) !acc
+
+let snapshot_find_by_key t txn tname key =
+  let table = table t tname in
+  let schema = Table.schema table in
+  let csn = txn.snapshot_csn in
+  let key_of tuple = Tuple.key schema tuple in
+  let hit = ref None in
+  (match Table.find_key table key with
+   | Some (rid, tuple) -> (
+       match snapshot_visible t tname ~csn rid (Some tuple) with
+       | Some img when Tuple.compare (key_of img) key = 0 -> hit := Some (rid, img)
+       | Some _ | None -> ())
+   | None -> ());
+  (* the key's snapshot-time row may have been deleted or re-keyed since;
+     its version chain still holds the image *)
+  if !hit = None then begin
+    let heap = Table.heap table in
+    Version_store.iter_table t.vstore ~table:tname (fun rid ->
+        if !hit = None then
+          let current =
+            if Heap_file.exists_at heap rid then Some (Heap_file.get heap rid) else None
+          in
+          match snapshot_visible t tname ~csn rid current with
+          | Some img when Tuple.compare (key_of img) key = 0 -> hit := Some (rid, img)
+          | Some _ | None -> ())
+  end;
+  !hit
 
 (* row-level DML *)
 
 let find_by_key t txn tname key =
   check_live txn;
-  let table = table t tname in
-  match Table.find_key table key with
-  | None -> None
-  | Some (rid, tuple) as hit ->
-    acquire t txn (Lock_manager.Row (tname, rid)) Lock_manager.S;
-    ignore tuple;
-    hit
+  match txn.mode with
+  | `Snapshot -> snapshot_find_by_key t txn tname key
+  | `Read_write -> (
+      let table = table t tname in
+      match Table.find_key table key with
+      | None -> None
+      | Some (rid, tuple) as hit ->
+        acquire t txn (Lock_manager.Row (tname, rid)) Lock_manager.S;
+        ignore tuple;
+        hit)
 
 let insert_row t txn tname tuple =
-  check_live txn;
+  check_writable txn;
   let table = table t tname in
   let tuple = stamp t table tuple in
   let rid = Table.raw_insert table tuple in
   acquire t txn (Lock_manager.Row (tname, rid)) Lock_manager.X;
+  Version_store.note t.vstore ~tx:txn.id ~table:tname ~rid ~image:None;
   log_dml t
     {
       Log_record.tx = txn.id;
@@ -463,12 +595,13 @@ let insert_row t txn tname tuple =
   rid
 
 let update_rid t txn tname rid tuple =
-  check_live txn;
+  check_writable txn;
   let table = table t tname in
   acquire t txn (Lock_manager.Row (tname, rid)) Lock_manager.X;
   let schema = Table.schema table in
   let before = Heap_file.get (Table.heap table) rid in
   let after = stamp t table tuple in
+  Version_store.note t.vstore ~tx:txn.id ~table:tname ~rid ~image:(Some before);
   Table.raw_update table rid ~old_tuple:before after;
   log_dml t
     {
@@ -486,26 +619,32 @@ let update_rid t txn tname rid tuple =
   fire t txn tname (Trigger.Updated (rid, before, after))
 
 let delete_rid t txn tname rid =
-  check_live txn;
+  check_writable txn;
   let table = table t tname in
   acquire t txn (Lock_manager.Row (tname, rid)) Lock_manager.X;
   let schema = Table.schema table in
   let before = Heap_file.get (Table.heap table) rid in
+  Version_store.note t.vstore ~tx:txn.id ~table:tname ~rid ~image:(Some before);
   Table.raw_delete table rid ~old_tuple:before;
   log_dml t
     {
       Log_record.tx = txn.id;
       body = Log_record.Delete { table = tname; rid; before = Codec.encode_binary schema before };
     };
-  txn.undo_log <- U_delete (tname, before) :: txn.undo_log;
+  txn.undo_log <- U_delete (tname, rid, before) :: txn.undo_log;
   fire t txn tname (Trigger.Deleted (rid, before))
 
 let select t txn tname ?where () =
   check_live txn;
   statement_boundary t;
   let table = table t tname in
-  acquire t txn (Lock_manager.Table tname) Lock_manager.S;
-  List.map snd (matching ~mode:t.plan_mode table where)
+  match txn.mode with
+  | `Snapshot ->
+    (* lock-free: visibility comes from the snapshot CSN, not from S locks *)
+    List.map snd (snapshot_matching t txn table tname where)
+  | `Read_write ->
+    acquire t txn (Lock_manager.Table tname) Lock_manager.S;
+    List.map snd (matching ~mode:t.plan_mode table where)
 
 (* SQL execution *)
 
@@ -637,6 +776,7 @@ let exec_aggregate _t schema ~items ~group_by ~order_by tuples =
 let exec t txn stmt =
   match stmt with
   | Ast.Create_table { table = tname; columns } ->
+    check_writable txn;
     let schema = schema_of_defs columns in
     ignore (create_table t ~name:tname schema : Table.t);
     Created
@@ -722,6 +862,9 @@ let recover t =
   let resolve tname = Option.map Table.heap (table_opt t tname) in
   let stats = Recovery.run ~wal:t.wal ~resolve in
   Hashtbl.iter (fun _ table -> Table.rebuild_indexes table) t.tables;
+  (* recovery rebuilds committed state in the heaps; an empty store makes
+     every rid resolve to `Current, which is exactly right *)
+  Version_store.clear t.vstore;
   stats
 
 let reopen ?(pool_pages = 256) ?(archive_log = false) ~vfs ~name ~tables:table_specs () =

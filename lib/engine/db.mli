@@ -99,12 +99,39 @@ val table_opt : t -> string -> Table.t option
 val tables : t -> Table.t list
 val drop_table : t -> string -> unit
 
-(** {2 Transactions} *)
+(** {2 Transactions}
 
-val begin_txn : t -> txn
+    Two modes.  [`Read_write] (default) is classic 2PL: locks, WAL
+    logging, undo on abort.  [`Snapshot] is a read-only transaction that
+    takes {e no} locks at all — its reads resolve against the version
+    store ({!Dw_txn.Version_store}) at the commit sequence number (CSN)
+    current when it began, so it sees a transaction-consistent frozen
+    state and is never blocked by (and never blocks) writers.  Snapshot
+    transactions log nothing; DML through one raises
+    [Invalid_argument]. *)
+
+val begin_txn : ?mode:[ `Read_write | `Snapshot ] -> t -> txn
 val txid : txn -> int
+val txn_mode : txn -> [ `Read_write | `Snapshot ]
+
+val snapshot_csn : txn -> int
+(** The CSN this transaction reads at (for [`Read_write] transactions,
+    merely the CSN current at begin). *)
+
+val last_csn : t -> int
+(** CSN of the newest committed transaction (0 before any commit).
+    Assigned in WAL commit-record order; group commit defers only the
+    fsync, not CSN assignment or in-process visibility. *)
+
+val version_store : t -> Dw_txn.Version_store.t
+(** The before-image version store backing snapshot reads.  Exposed for
+    observability (entry counts, GC behaviour in tests). *)
+
 val commit : t -> txn -> unit
-(** Writes the commit record and flushes the log (durability point). *)
+(** Writes the commit record and flushes the log (durability point),
+    assigns the CSN and publishes the transaction's before-images
+    atomically.  For [`Snapshot] transactions: just ends the
+    transaction (possibly unpinning versions for GC). *)
 
 val abort : t -> txn -> unit
 (** Rolls back all of the transaction's changes. *)
@@ -128,7 +155,8 @@ val update_where : t -> txn -> string -> set:(string * Expr.t) list -> where:Exp
 val delete_where : t -> txn -> string -> where:Expr.t option -> int
 
 val select : t -> txn -> string -> ?where:Expr.t -> unit -> Tuple.t list
-(** Full tuples of matching rows (shared table lock). *)
+(** Full tuples of matching rows.  [`Read_write]: shared table lock.
+    [`Snapshot]: no lock; rows as of the transaction's snapshot CSN. *)
 
 (** {2 Row-level DML} — key/rid addressed, row-granularity locks.  Used by
     the warehouse integrators so that short maintenance transactions can
@@ -136,7 +164,8 @@ val select : t -> txn -> string -> ?where:Expr.t -> unit -> Tuple.t list
     the statement-level DML. *)
 
 val find_by_key : t -> txn -> string -> Tuple.t -> (Heap_file.rid * Tuple.t) option
-(** Primary-key lookup (shared row lock on hit). *)
+(** Primary-key lookup (shared row lock on hit; lock-free snapshot
+    resolution in [`Snapshot] mode). *)
 
 val insert_row : t -> txn -> string -> Tuple.t -> Heap_file.rid
 (** Like {!insert} but takes only a row lock on the new rid, not a table

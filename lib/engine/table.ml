@@ -79,6 +79,15 @@ let raw_insert t tuple =
 
 let raw_insert_blind t record = Heap_file.insert_raw t.heap record
 
+let raw_insert_at t rid tuple =
+  Tuple.validate_exn t.schema tuple;
+  let key = Tuple.key t.schema tuple in
+  if Btree.mem t.pk key then
+    invalid_arg
+      (Printf.sprintf "Table %s: duplicate primary key %s" t.name (Tuple.to_string key));
+  Heap_file.force_at t.heap rid (Some (Dw_relation.Codec.encode_binary t.schema tuple));
+  index_insert t rid tuple
+
 let raw_update t rid ~old_tuple tuple =
   Tuple.validate_exn t.schema tuple;
   let old_key = Tuple.key t.schema old_tuple in

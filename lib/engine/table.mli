@@ -49,6 +49,12 @@ val raw_insert_blind : t -> bytes -> Heap_file.rid
     index maintenance; call {!rebuild_indexes} afterwards.  This is what
     makes the Loader structurally cheaper than Import in Table 1. *)
 
+val raw_insert_at : t -> Heap_file.rid -> Tuple.t -> unit
+(** Re-insert a tuple at an exact rid (the slot must be free — undo of a
+    delete).  Keeping the rid stable matters to the snapshot read path:
+    version chains are keyed by rid, so a row must never migrate to a
+    different slot while old snapshots are live. *)
+
 val raw_update : t -> Heap_file.rid -> old_tuple:Tuple.t -> Tuple.t -> unit
 val raw_delete : t -> Heap_file.rid -> old_tuple:Tuple.t -> unit
 

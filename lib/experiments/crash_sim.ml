@@ -147,13 +147,23 @@ let rows_equal a b =
 
 type db_progress = { mutable committed : op list (* newest first *); mutable in_flight : op option }
 
+let snapshot_rows db txn =
+  List.sort Tuple.compare (Db.select db txn Workload.parts_table ())
+
 (* explicit begin/commit (not with_txn): after a crash the process is
-   dead, so no abort should be attempted on the way out *)
+   dead, so no abort should be attempted on the way out.
+
+   A long-lived snapshot reader is opened after the first commit and
+   re-checked after every later commit: the crash sweep thus lands fault
+   points inside every version-store code path (note/publish on the
+   write side, chain resolution and reader-pinned GC on the read side)
+   and proves a stale reader never perturbs what recovery rebuilds. *)
 let run_db_workload spec vfs ops progress =
   let db = Db.create ~pool_pages:64 ~vfs ~name:"src" () in
   Db.set_day db 0;
   if spec.group > 1 then Db.set_sync_mode db (`Group spec.group);
   let (_ : Table.t) = Workload.create_parts_table db in
+  let snap = ref None in
   List.iteri
     (fun i op ->
       progress.in_flight <- Some op;
@@ -162,9 +172,16 @@ let run_db_workload spec vfs ops progress =
       Db.commit db txn;
       progress.committed <- op :: progress.committed;
       progress.in_flight <- None;
+      (match !snap with
+       | Some (s, frozen) ->
+         if snapshot_rows db s <> frozen then failwith "crash-sim: snapshot reader drifted"
+       | None ->
+         let s = Db.begin_txn ~mode:`Snapshot db in
+         snap := Some (s, snapshot_rows db s));
       if spec.checkpoint_every > 0 && (i + 1) mod spec.checkpoint_every = 0 then
         Db.checkpoint db)
     ops;
+  (match !snap with Some (s, _) -> Db.commit db s | None -> ());
   db
 
 let parts_catalog = [ (Workload.parts_table, Workload.parts_schema, Some "last_modified") ]
@@ -215,13 +232,26 @@ let run_db_crash_point spec ops ~totals index =
            "recovered state matches neither committed (%d txns) nor committed+in-flight: %d rows"
            (List.length committed) (List.length act))
     | Some visible_ops ->
-      let probe = Insert { first_id = 1_000_000 + index; size = 1 } in
-      let txn = Db.begin_txn db in
-      List.iter (fun s -> ignore (Db.exec db txn s : Db.exec_result)) (stmts_of spec probe);
-      Db.commit db txn;
-      let db2 = reopen_src vfs in
-      if rows_equal (actual_rows db2) (model_rows spec (visible_ops @ [ probe ])) then Ok ()
-      else Error "post-recovery commit did not survive a second restart"
+      if Dw_txn.Version_store.entries (Db.version_store db) <> 0 then
+        Error "recovery left entries in the version store"
+      else begin
+        (* snapshot isolation must hold on the recovered instance: a
+           reader opened before the probe commit never sees it *)
+        let snap = Db.begin_txn ~mode:`Snapshot db in
+        let frozen = snapshot_rows db snap in
+        let probe = Insert { first_id = 1_000_000 + index; size = 1 } in
+        let txn = Db.begin_txn db in
+        List.iter (fun s -> ignore (Db.exec db txn s : Db.exec_result)) (stmts_of spec probe);
+        Db.commit db txn;
+        let snap_ok = snapshot_rows db snap = frozen in
+        Db.commit db snap;
+        if not snap_ok then Error "post-recovery snapshot saw the probe commit"
+        else begin
+          let db2 = reopen_src vfs in
+          if rows_equal (actual_rows db2) (model_rows spec (visible_ops @ [ probe ])) then Ok ()
+          else Error "post-recovery commit did not survive a second restart"
+        end
+      end
   in
   accumulate totals vfs;
   result

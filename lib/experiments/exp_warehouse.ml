@@ -121,7 +121,7 @@ let run_w1 ~scale =
      Op-Delta\n(paper: insert parity; delete 31.8%% shorter; update 69.7%% shorter)\n"
     (avg Insert) (avg Delete) (avg Update)
 
-(* W3: the same maintenance-window comparison with an AGGREGATE view
+(* W1agg: the same maintenance-window comparison with an AGGREGATE view
    (the [19] "shrinking the warehouse update window" setting) *)
 let agg_view =
   {
@@ -143,8 +143,8 @@ let mk_agg_warehouse ~replica_rows =
   Warehouse.define_agg_view wh agg_view;
   wh
 
-let run_w3 ~scale =
-  section "W3: maintenance window with an aggregate (GROUP BY) view";
+let run_w1_agg ~scale =
+  section "W1agg: maintenance window with an aggregate (GROUP BY) view";
   let table_rows = scaled 10_000 ~scale in
   let header = [ "Op"; "Txn size"; "value delta"; "Op-Delta"; "Op-Delta shorter by" ] in
   let rows = ref [] in

@@ -1,0 +1,85 @@
+(** In-memory multi-version store: before-image chains keyed by heap rid,
+    giving snapshot-isolation reads without any locks.
+
+    The heap always holds the {e newest} version of a row (possibly an
+    uncommitted one — the engine updates in place under 2PL).  Whenever a
+    writer modifies a row, it {!note}s the row's {e before image} here;
+    at WAL commit the writer's entries are {!publish}ed under the
+    transaction's commit sequence number (CSN).  A published entry with
+    [superseded_at = c] records "this image was the committed state of
+    the row until the transaction that committed at CSN [c] replaced
+    it"; an entry whose image is [None] records that the row did not
+    exist before [c] (an insert).
+
+    A snapshot reader at CSN [s] resolves a rid by taking the {e oldest}
+    chain entry with [superseded_at > s] (pending entries count as
+    [+inf]): its image is the row's state as of [s].  If no such entry
+    exists, the heap's current tuple is already the right version
+    ([`Current]).
+
+    Chains are bounded by {!gc}: an entry superseded at or below the
+    oldest active reader's snapshot CSN can never be resolved again
+    (future readers start at the current CSN) and is dropped.  The store
+    is process-local and deliberately {e not} persisted: crash recovery
+    rebuilds committed state in the heaps and restarts the store empty
+    ({!clear}), which is always safe because an empty store makes every
+    rid resolve to [`Current]. *)
+
+module Tuple = Dw_relation.Tuple
+module Heap_file = Dw_storage.Heap_file
+
+type t
+
+val create : unit -> t
+(** An empty store. *)
+
+val note :
+  t -> tx:int -> table:string -> rid:Heap_file.rid -> image:Tuple.t option -> unit
+(** Record the pre-statement image of [(table, rid)] on behalf of writer
+    [tx] ([None] = the row did not exist).  Only the {e first} write of a
+    transaction to a given rid matters — if [tx] already holds the
+    pending head entry of the chain, the call is a no-op, so the chain
+    keeps the image from before the transaction. *)
+
+val publish : t -> tx:int -> csn:int -> unit
+(** Stamp every pending entry of [tx] with commit sequence number [csn],
+    making the images visible to readers with snapshots below [csn].
+    Called at WAL commit, so publication is atomic per transaction:
+    readers either see all of a transaction's before-images superseded
+    or none. *)
+
+val discard : t -> tx:int -> unit
+(** Drop every pending entry of [tx] (abort path: the undo log restores
+    the heap, so the noted before-images describe nothing). *)
+
+val resolve :
+  t -> table:string -> rid:Heap_file.rid -> csn:int ->
+  [ `Current | `Image of Tuple.t | `Absent ]
+(** The version of [(table, rid)] visible to a snapshot at [csn]:
+    [`Current] — the heap's present content (including "row absent") is
+    the right answer; [`Image tuple] — the row existed with this content;
+    [`Absent] — the row did not exist at [csn]. *)
+
+val iter_table : t -> table:string -> (Heap_file.rid -> unit) -> unit
+(** Every rid of [table] that currently has a chain.  Snapshot scans
+    union these with the heap's rids so rows deleted (or moved out of an
+    index range) after the snapshot are still found. *)
+
+val entries : t -> int
+(** Live entries across all chains (pending + published), O(1). *)
+
+val pending_txns : t -> int
+(** Writers with at least one unpublished entry. *)
+
+val drop_table : t -> table:string -> unit
+(** Remove every chain of [table] (the table itself is being dropped; a
+    later table of the same name must not inherit stale versions). *)
+
+val gc : t -> horizon:int -> int
+(** Drop published entries with [superseded_at <= horizon] — [horizon]
+    is the oldest active snapshot CSN (or the newest committed CSN when
+    no reader is active).  Pending entries are never dropped.  Returns
+    the number of entries removed. *)
+
+val clear : t -> unit
+(** Empty the store (crash recovery / re-attach). *)

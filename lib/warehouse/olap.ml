@@ -31,10 +31,10 @@ let standard_queries ~table =
 
 type query_result = { query : string; rows : int; duration : float }
 
-let run wh q =
+let run ?(mode = `Snapshot) wh q =
   let db = Warehouse.db wh in
   let start = Unix.gettimeofday () in
-  let txn = Db.begin_txn db in
+  let txn = Db.begin_txn ~mode db in
   let outcome = Db.exec_sql db txn q.sql in
   (* read-only: anything but a row set is rolled back *)
   (match outcome with Ok (Db.Rows _) -> Db.commit db txn | Ok _ | Error _ -> Db.abort db txn);
@@ -44,12 +44,12 @@ let run wh q =
   | Ok (Db.Affected _ | Db.Created) -> Error (q.name ^ ": not a query")
   | Error e -> Error (q.name ^ ": " ^ e)
 
-let run_all wh queries =
+let run_all ?mode wh queries =
   let rec go acc = function
-    | [] -> Ok (List.rev acc)
+    | [] -> (List.rev acc, None)
     | q :: rest -> (
-        match run wh q with
+        match run ?mode wh q with
         | Ok r -> go (r :: acc) rest
-        | Error e -> Error e)
+        | Error e -> (List.rev acc, Some e))
   in
   go [] queries

@@ -21,8 +21,19 @@ type query_result = {
   duration : float;    (** wall-clock seconds *)
 }
 
-val run : Warehouse.t -> query -> (query_result, string) result
-(** Each query runs in its own read-only transaction. *)
+val run :
+  ?mode:[ `Read_write | `Snapshot ] -> Warehouse.t -> query -> (query_result, string) result
+(** Each query runs in its own transaction.  The default [`Snapshot]
+    mode takes no locks: the query sees a transaction-consistent state
+    as of its begin and never waits on (or delays) the integrators.
+    [`Read_write] restores the old locking read behaviour — the
+    availability experiments use it as the contrast arm. *)
 
-val run_all : Warehouse.t -> query list -> (query_result list, string) result
-(** Stops at the first failing query. *)
+val run_all :
+  ?mode:[ `Read_write | `Snapshot ] ->
+  Warehouse.t ->
+  query list ->
+  query_result list * string option
+(** Runs queries in order, stopping at the first failure; the results of
+    the queries completed before it are always returned, with [Some
+    error] describing the one that failed ([None] = all succeeded). *)

@@ -92,7 +92,11 @@ val integrate_op_delta : t -> Op_delta.t -> stats
 
 val integrate_op_deltas : t -> Op_delta.t list -> stats
 (** Fold over {!integrate_op_delta}, summing stats — the one-warehouse-
-    transaction-per-source-transaction baseline. *)
+    transaction-per-source-transaction baseline.  Because each source
+    transaction is one warehouse transaction, its before-images publish
+    atomically at commit: a concurrent snapshot reader sees each source
+    transaction's effects (replicas {e and} derived views) in full or
+    not at all — never a half-applied refresh. *)
 
 (** {2 Micro-batched apply} — amortize warehouse commit cost over runs of
     consecutive source transactions.

@@ -17,6 +17,7 @@ let () =
       ("failure", Test_failure.suite);
       ("batching", Test_batching.suite);
       ("crash", Test_crash.suite);
+      ("mvcc", Test_mvcc.suite);
       ("properties", Test_properties.suite);
       ("scheduler", Test_scheduler.suite);
     ]

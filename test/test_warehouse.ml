@@ -472,8 +472,8 @@ module Olap = Dw_warehouse.Olap
 let olap_standard_mix () =
   let wh = mk_wh ~parts:150 () in
   match Olap.run_all wh (Olap.standard_queries ~table:"parts") with
-  | Error e -> Alcotest.fail e
-  | Ok results ->
+  | _, Some e -> Alcotest.fail e
+  | results, None ->
     check Alcotest.int "five queries" 5 (List.length results);
     (match results with
      | count :: _ -> check Alcotest.int "COUNT(*) is one row" 1 count.Olap.rows

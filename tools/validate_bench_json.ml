@@ -27,7 +27,10 @@ let check_histogram ~exp_id name h =
   List.iter (fun k -> ignore (require_number ctx k h : float)) [ "sum"; "min"; "max"; "p50"; "p95"; "p99" ]
 
 let required_histograms =
-  [ "wal.fsync"; "pool.miss"; "warehouse.refresh"; "wal.group_size"; "warehouse.batch_size" ]
+  [
+    "wal.fsync"; "pool.miss"; "warehouse.refresh"; "wal.group_size"; "warehouse.batch_size";
+    "w3.olap_latency_snapshot"; "w3.olap_latency_locking";
+  ]
 
 (* t5's deterministic batching results: counter ratios, not wall-clock,
    so they are stable enough to gate on *)
@@ -38,6 +41,11 @@ let required_gauges =
     "t5.ship_blocks"; "t5.ship_msgs";
     "t5.window_sequential_s"; "t5.window_batched_s";
     "t5.txns_sequential"; "t5.txns_batched";
+    "w3.olap_p95_snapshot_s"; "w3.olap_p95_locking_s";
+    "w3.lock_wait_count_snapshot"; "w3.lock_wait_count_locking";
+    "w3.reader_blocked_slices_snapshot"; "w3.reader_blocked_slices_locking";
+    "w3.refresh_window_snapshot_s"; "w3.refresh_window_locking_s";
+    "w3.batch_outage_s";
   ]
 
 let check_experiment seen gauges j =
@@ -121,5 +129,19 @@ let () =
     fail "transport: batched queue path does not reduce fsyncs per message";
   if gauge "t5.txns_batched" >= gauge "t5.txns_sequential" then
     fail "refresh: batched integrator does not reduce warehouse txns";
+  (* w3's deterministic acceptance: snapshot readers are fully lock-free
+     (no waits at all, scheduler-verified), locking readers are not, and
+     the lock-free path shows up as lower measured OLAP tail latency *)
+  if gauge "w3.lock_wait_count_snapshot" <> 0.0 then
+    fail "w3: snapshot arm recorded %g lock waits, expected 0"
+      (gauge "w3.lock_wait_count_snapshot");
+  if gauge "w3.reader_blocked_slices_snapshot" <> 0.0 then
+    fail "w3: snapshot readers spent %g slices blocked, expected 0"
+      (gauge "w3.reader_blocked_slices_snapshot");
+  if gauge "w3.reader_blocked_slices_locking" < 1.0 then
+    fail "w3: locking readers never blocked - the contrast arm is not exercising 2PL";
+  if gauge "w3.olap_p95_snapshot_s" >= gauge "w3.olap_p95_locking_s" then
+    fail "w3: snapshot OLAP p95 (%gs) does not beat locking p95 (%gs)"
+      (gauge "w3.olap_p95_snapshot_s") (gauge "w3.olap_p95_locking_s");
   Printf.printf "bench-json: %s ok (%d experiments, %d histograms, %d gauges)\n" file
     (List.length experiments) (Hashtbl.length seen) (Hashtbl.length gauges)
