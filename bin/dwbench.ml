@@ -44,6 +44,8 @@ let experiments =
      fun ~scale -> E.Exp_mvcc.run_w3 ~scale);
     ("t5", "batching ablation: group commit, transport coalescing, micro-batched refresh",
      fun ~scale -> E.Exp_batching.run_t5 ~scale);
+    ("w4", "resumable bootstrap: crash sweep with resume, restart cost, lease exclusion",
+     fun ~scale -> E.Exp_bootstrap.run_bench ~scale);
     ("s1", "Section 3.1.2: snapshot differential vs other methods",
      fun ~scale -> E.Exp_snapshot.run ~scale);
     ("r1", "Sections 2.2/4.1: replicated sources and reconciliation",
@@ -120,7 +122,21 @@ let write_json ~file ~scale ~quick results =
   output_char oc '\n';
   close_out oc;
   Printf.printf "\nwrote %s (%d experiment%s)\n" file (List.length results)
-    (if List.length results = 1 then "" else "s")
+    (if List.length results = 1 then "" else "s");
+  (* self-validate what was just written: structural checks always, the
+     full acceptance gates when the run covered the gated subset.  A
+     rejected document still lands on disk for inspection, but dwbench
+     exits non-zero so CI cannot ship it. *)
+  let strict =
+    List.for_all
+      (fun id -> List.exists (fun (i, _, _) -> i = id) results)
+      E.Bench_check.gated_ids
+  in
+  match E.Bench_check.validate ~strict doc with
+  | Ok summary -> Printf.printf "bench-json: ok (%s)\n" summary
+  | Error msg ->
+    Printf.eprintf "bench-json: %s REJECTED: %s\n" file msg;
+    exit 1
 
 let print_stats (id, wall, sink) =
   Printf.printf "\n==== metrics: %s (wall %s) ====\n" id (Fmt_util.human_duration wall);

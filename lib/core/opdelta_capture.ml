@@ -28,12 +28,13 @@ type t = {
   sink : sink;
   views : Spj_view.t list;
   replicas : bool;
+  capture_images : bool;  (* force hybrid before-image capture *)
   mutable seq : int;
   mutable captured : Op_delta.t list;  (* newest first *)
   mutable captured_bytes : int;
 }
 
-let create ?(views = []) ?(replicas = true) db ~sink =
+let create ?(views = []) ?(replicas = true) ?(capture_images = false) db ~sink =
   (match sink with
    | To_db_table name -> (
        match Db.table_opt db name with
@@ -42,7 +43,9 @@ let create ?(views = []) ?(replicas = true) db ~sink =
    | To_file name ->
      if not (Vfs.exists (Db.vfs db) name) then
        Vfs.close (Vfs.create (Db.vfs db) name));
-  { db; sink; views; replicas; seq = 0; captured = []; captured_bytes = 0 }
+  { db; sink; views; replicas; capture_images; seq = 0; captured = []; captured_bytes = 0 }
+
+let captures_images t = t.capture_images
 
 let schema_for_images t table =
   Option.map Table.schema (Db.table_opt t.db table)
@@ -137,9 +140,11 @@ let exec_txn t stmts =
       (fun stmt ->
         let stmt = reify_timestamp t stmt in
         let images =
-          match Self_maintain.requirement ~views:t.views ~replicas:t.replicas stmt with
-          | `Op_with_before_images -> before_images_of t txn stmt
-          | `Op_only | `Not_self_maintainable _ -> []
+          if t.capture_images then before_images_of t txn stmt
+          else
+            match Self_maintain.requirement ~views:t.views ~replicas:t.replicas stmt with
+            | `Op_with_before_images -> before_images_of t txn stmt
+            | `Op_only | `Not_self_maintainable _ -> []
         in
         let result = Db.exec t.db txn stmt in
         ops_rev := (stmt, images) :: !ops_rev;

@@ -29,11 +29,20 @@ type t
 
 val create :
   ?views:Spj_view.t list ->
-  ?replicas:bool ->  (* does the warehouse keep source replicas? default true *)
+  ?replicas:bool ->        (* does the warehouse keep source replicas? default true *)
+  ?capture_images:bool ->  (* force hybrid capture for every statement, default false *)
   Db.t ->
   sink:sink ->
   t
-(** With [To_db_table] the capture table is created if missing. *)
+(** With [To_db_table] the capture table is created if missing.
+    [capture_images:true] records before images for {e every} UPDATE and
+    DELETE regardless of what {!Self_maintain.requirement} asks for — a
+    chunked bootstrap ({!Dw_etl.Bootstrap}) needs full row images to turn
+    statement deltas into last-write-wins upserts inside its watermark
+    windows. *)
+
+val captures_images : t -> bool
+(** Whether this wrapper was created with [capture_images:true]. *)
 
 exception Not_self_maintainable of string
 (** Raised by {!exec_txn} when the view set cannot be maintained from

@@ -1,49 +1,119 @@
 module Vfs = Dw_storage.Vfs
+module Checksum = Dw_util.Checksum
 
 type mark = { day : int; lsn : Dw_txn.Wal.lsn }
+type cursor = { next_key : int; chunks_done : int }
 
 type t = {
   vfs : Vfs.t;
   name : string;
   marks : (string, mark) Hashtbl.t;
+  cursors : (string, cursor) Hashtbl.t;
 }
 
-let parse_line line =
-  match String.split_on_char '|' line with
-  | [ table; day; lsn ] -> (
-      match int_of_string_opt day, int_of_string_opt lsn with
-      | Some day, Some lsn -> Some (table, { day; lsn })
+(* Journal records, one per line, body guarded by an FNV-1a suffix:
+     m|table|day|lsn|crc        mark advanced
+     c|table|next_key|done|crc  bootstrap chunk cursor updated
+     x|table|crc                chunk cursor cleared
+   plus the legacy unchecksummed [table|day|lsn] lines from the rewrite
+   format this journal replaced.  A record whose checksum does not match
+   its body is treated as the torn tail: it and everything after it are
+   ignored, so a crash mid-append falls back to the last durable state
+   instead of poisoning [load]. *)
+
+type record =
+  | Mark of string * mark
+  | Cursor of string * cursor
+  | Clear of string
+
+let record_body = function
+  | Mark (table, m) -> Printf.sprintf "m|%s|%d|%d" table m.day m.lsn
+  | Cursor (table, c) -> Printf.sprintf "c|%s|%d|%d" table c.next_key c.chunks_done
+  | Clear table -> Printf.sprintf "x|%s" table
+
+let encode_record r =
+  let body = record_body r in
+  Printf.sprintf "%s|%s\n" body (Checksum.hex body)
+
+(* split off the trailing [|crc] field and verify it against the rest *)
+let split_checksum line =
+  match String.rindex_opt line '|' with
+  | None -> None
+  | Some i ->
+    let body = String.sub line 0 i in
+    let crc = String.sub line (i + 1) (String.length line - i - 1) in
+    if String.length crc = 8 && String.equal (Checksum.hex body) crc then Some body else None
+
+let parse_record line =
+  match split_checksum line with
+  | Some body -> (
+    match String.split_on_char '|' body with
+    | [ "m"; table; day; lsn ] -> (
+      match (int_of_string_opt day, int_of_string_opt lsn) with
+      | Some day, Some lsn -> Some (Mark (table, { day; lsn }))
       | _ -> None)
-  | _ -> None
+    | [ "c"; table; next_key; chunks_done ] -> (
+      match (int_of_string_opt next_key, int_of_string_opt chunks_done) with
+      | Some next_key, Some chunks_done -> Some (Cursor (table, { next_key; chunks_done }))
+      | _ -> None)
+    | [ "x"; table ] -> Some (Clear table)
+    | _ -> None)
+  | None -> (
+    (* legacy full-rewrite format: [table|day|lsn], no checksum *)
+    match String.split_on_char '|' line with
+    | [ table; day; lsn ] -> (
+      match (int_of_string_opt day, int_of_string_opt lsn) with
+      | Some day, Some lsn -> Some (Mark (table, { day; lsn }))
+      | _ -> None)
+    | _ -> None)
+
+let apply_record t = function
+  | Mark (table, m) -> Hashtbl.replace t.marks table m
+  | Cursor (table, c) -> Hashtbl.replace t.cursors table c
+  | Clear table -> Hashtbl.remove t.cursors table
 
 let load vfs ~name =
-  let marks = Hashtbl.create 8 in
+  let t = { vfs; name; marks = Hashtbl.create 8; cursors = Hashtbl.create 8 } in
   if Vfs.exists vfs name then begin
     let file = Vfs.open_existing vfs name in
     let len = Vfs.size file in
     let data = if len = 0 then "" else Bytes.to_string (Vfs.read_at file ~off:0 ~len) in
     Vfs.close file;
-    String.split_on_char '\n' data
-    |> List.iter (fun line ->
-           match parse_line line with
-           | Some (table, mark) -> Hashtbl.replace marks table mark
-           | None -> ())
+    let lines = String.split_on_char '\n' data in
+    (* stop at the first corrupt record — it is the torn tail — and track
+       the byte length of the valid prefix, so the tail can be truncated
+       away; left in place, later appends would land beyond the garbage
+       and be invisible to every subsequent load *)
+    let rec replay valid = function
+      | [] | [ "" ] -> valid
+      | "" :: rest -> replay (valid + 1) rest
+      | line :: rest -> (
+        match parse_record line with
+        | Some r ->
+          apply_record t r;
+          replay (valid + String.length line + 1) rest
+        | None -> valid)
+    in
+    let valid = replay 0 lines in
+    if valid < len then begin
+      let file = Vfs.open_existing vfs name in
+      Vfs.truncate file valid;
+      Vfs.fsync file;
+      Vfs.close file
+    end
   end;
-  { vfs; name; marks }
+  t
 
 let get t ~table =
   match Hashtbl.find_opt t.marks table with
   | Some mark -> mark
   | None -> { day = -1; lsn = 0 }
 
-let persist t =
-  let buf = Buffer.create 256 in
-  Hashtbl.fold (fun table mark acc -> (table, mark) :: acc) t.marks []
-  |> List.sort compare
-  |> List.iter (fun (table, mark) ->
-         Buffer.add_string buf (Printf.sprintf "%s|%d|%d\n" table mark.day mark.lsn));
-  let file = Vfs.create t.vfs t.name in
-  ignore (Vfs.append file (Buffer.to_bytes buf) : int);
+let cursor t ~table = Hashtbl.find_opt t.cursors table
+
+let append_record t r =
+  let file = Vfs.open_or_create t.vfs t.name in
+  ignore (Vfs.append file (Bytes.of_string (encode_record r)) : int);
   Vfs.fsync file;
   Vfs.close file
 
@@ -53,8 +123,24 @@ let advance t ~table mark =
     invalid_arg
       (Printf.sprintf "Watermark.advance: regression for %s (day %d->%d, lsn %d->%d)" table
          current.day mark.day current.lsn mark.lsn);
-  Hashtbl.replace t.marks table mark;
-  persist t
+  append_record t (Mark (table, mark));
+  Hashtbl.replace t.marks table mark
+
+let set_cursor t ~table c =
+  (match Hashtbl.find_opt t.cursors table with
+  | Some old when c.chunks_done < old.chunks_done ->
+    invalid_arg
+      (Printf.sprintf "Watermark.set_cursor: regression for %s (chunks %d->%d)" table
+         old.chunks_done c.chunks_done)
+  | _ -> ());
+  append_record t (Cursor (table, c));
+  Hashtbl.replace t.cursors table c
+
+let clear_cursor t ~table =
+  if Hashtbl.mem t.cursors table then begin
+    append_record t (Clear table);
+    Hashtbl.remove t.cursors table
+  end
 
 let tables t =
   Hashtbl.fold (fun table _ acc -> table :: acc) t.marks [] |> List.sort String.compare

@@ -49,7 +49,8 @@ let method_name t =
   | Snapshot _ -> "snapshot"
   | Op_delta_wrapper -> "op-delta"
 
-let create ?transform ?(compact = false) ~source ~warehouse ~table ~method_ ~transport () =
+let create ?transform ?(compact = false) ?(capture_images = false) ~source ~warehouse ~table
+    ~method_ ~transport () =
   let dst_table =
     match transform with Some rule -> rule.Transform.dst_table | None -> table
   in
@@ -73,7 +74,7 @@ let create ?transform ?(compact = false) ~source ~warehouse ~table ~method_ ~tra
     match method_ with
     | Op_delta_wrapper ->
       Some
-        (Opdelta_capture.create source
+        (Opdelta_capture.create ~capture_images source
            ~sink:(Opdelta_capture.To_file (Printf.sprintf "pipeline.%s.oplog" table)))
     | _ -> None
   in
@@ -250,3 +251,34 @@ let run_round t =
           | Ok (bytes, stats) -> finish (Delta.row_count delta) bytes stats))
 
 let rounds t = t.rounds_run
+
+(* Online initial load through the pipeline's own capture, queue and
+   watermark store: once [bootstrap] returns [complete = true], the
+   pipeline watermark sits past everything the bootstrap applied and
+   ordinary [run_round]s continue incremental maintenance seamlessly. *)
+let bootstrap ?config ?hook t ~owner =
+  let failed msg = Bootstrap.Failed ("Pipeline.bootstrap: " ^ msg) in
+  match (t.method_, t.cap, t.queue, t.transform) with
+  | Op_delta_wrapper, Some capture, Some queue, None ->
+    if not (Opdelta_capture.captures_images capture) then
+      Error (failed "pipeline was created without ~capture_images:true")
+    else (
+      match
+        Bootstrap.start ?config ?hook ~owner ~source:t.source ~capture ~table:t.table ~queue
+          ~warehouse:t.warehouse ~watermark:t.wm ()
+      with
+      | Error e -> Error e
+      | Ok b -> (
+        match Bootstrap.run b with
+        | Ok p ->
+          (* the steady-state consumer must not re-apply transactions the
+             bootstrap already integrated *)
+          t.op_consumed <- List.length (Opdelta_capture.captured capture);
+          Ok p
+        | Error e -> Error e))
+  | Op_delta_wrapper, _, None, _ -> Error (failed "bootstrap requires queued transport")
+  | Op_delta_wrapper, None, Some _, _ -> Error (failed "pipeline has no capture wrapper")
+  | Op_delta_wrapper, _, _, Some _ ->
+    Error (failed "bootstrap does not support transformed pipelines")
+  | (Timestamp | Trigger | Log | Snapshot _), _, _, _ ->
+    Error (failed "bootstrap requires the op-delta wrapper method")

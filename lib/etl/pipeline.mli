@@ -35,6 +35,9 @@ val create :
   ?compact:bool ->
   (* net-change compaction of value deltas before shipping (default
      false); no effect on the Op-Delta method *)
+  ?capture_images:bool ->
+  (* force hybrid before-image capture in the Op-Delta wrapper (default
+     false); required if the pipeline will {!bootstrap} *)
   source:Db.t ->
   warehouse:Warehouse.t ->
   table:string ->
@@ -65,4 +68,19 @@ val run_round : t -> (round_stats, string) result
     advance the watermark. *)
 
 val rounds : t -> int
+(** Rounds run so far. *)
+
 val method_name : t -> string
+(** Short method label for reports. *)
+
+val bootstrap :
+  ?config:Bootstrap.config ->
+  ?hook:(Bootstrap.phase -> unit) ->
+  t ->
+  owner:string ->
+  (Bootstrap.progress, Bootstrap.error) result
+(** Online initial load ({!Bootstrap}) through this pipeline's capture,
+    queue and watermark store, for untransformed [Op_delta_wrapper] +
+    [Queued] pipelines created with [~capture_images:true].  On success
+    the pipeline watermark sits past everything the bootstrap applied
+    and subsequent {!run_round}s continue incrementally. *)

@@ -1,0 +1,131 @@
+module Db = Dw_engine.Db
+module Schema = Dw_relation.Schema
+module Value = Dw_relation.Value
+module Vfs = Dw_storage.Vfs
+module Checksum = Dw_util.Checksum
+
+type state = Bootstrapping | Complete
+
+type row = {
+  table : string;
+  run_id : string;
+  state : state;
+  next_key : int;
+  chunks_done : int;
+  rows_loaded : int;
+  last_txn : int;
+  lease_owner : string;
+  lease_expiry : float;
+}
+
+let table_name = "__bootstrap_state"
+
+let schema =
+  Schema.make
+    [
+      { Schema.name = "table_name"; ty = Value.Tstring 40; nullable = false };
+      { Schema.name = "run_id"; ty = Value.Tstring 16; nullable = false };
+      { Schema.name = "state"; ty = Value.Tint; nullable = false };
+      { Schema.name = "next_key"; ty = Value.Tint; nullable = false };
+      { Schema.name = "chunks_done"; ty = Value.Tint; nullable = false };
+      { Schema.name = "rows_loaded"; ty = Value.Tint; nullable = false };
+      { Schema.name = "last_txn"; ty = Value.Tint; nullable = false };
+      { Schema.name = "lease_owner"; ty = Value.Tstring 16; nullable = false };
+      { Schema.name = "lease_expiry"; ty = Value.Tfloat; nullable = false };
+    ]
+
+let ensure_table db =
+  match Db.table_opt db table_name with
+  | Some _ -> ()
+  | None -> ignore (Db.create_table db ~name:table_name schema : Dw_engine.Table.t)
+
+let int_of_state = function Bootstrapping -> 0 | Complete -> 1
+
+let state_of_int = function
+  | 0 -> Bootstrapping
+  | 1 -> Complete
+  | n -> invalid_arg (Printf.sprintf "Run_state: unknown state %d" n)
+
+let tuple_of_row r =
+  [|
+    Value.Str r.table;
+    Value.Str r.run_id;
+    Value.Int (int_of_state r.state);
+    Value.Int r.next_key;
+    Value.Int r.chunks_done;
+    Value.Int r.rows_loaded;
+    Value.Int r.last_txn;
+    Value.Str r.lease_owner;
+    Value.Float r.lease_expiry;
+  |]
+
+let row_of_tuple t =
+  match t with
+  | [|
+      Value.Str table;
+      Value.Str run_id;
+      Value.Int state;
+      Value.Int next_key;
+      Value.Int chunks_done;
+      Value.Int rows_loaded;
+      Value.Int last_txn;
+      Value.Str lease_owner;
+      Value.Float lease_expiry;
+    |] ->
+    {
+      table;
+      run_id;
+      state = state_of_int state;
+      next_key;
+      chunks_done;
+      rows_loaded;
+      last_txn;
+      lease_owner;
+      lease_expiry;
+    }
+  | _ -> invalid_arg "Run_state: malformed state row"
+
+let get db txn ~table =
+  match Db.find_by_key db txn table_name [| Value.Str table |] with
+  | Some (_, tuple) -> Some (row_of_tuple tuple)
+  | None -> None
+
+let put db txn r =
+  let tuple = tuple_of_row r in
+  match Db.find_by_key db txn table_name [| Value.Str r.table |] with
+  | Some (rid, _) -> Db.update_rid db txn table_name rid tuple
+  | None -> ignore (Db.insert_row db txn table_name tuple : Dw_storage.Heap_file.rid)
+
+(* ---------- advisory run/step journal ---------- *)
+
+let journal_name table = Printf.sprintf "bootstrap.%s.journal" table
+
+let journal_append vfs ~table record =
+  if String.contains record '\n' then invalid_arg "Run_state.journal_append: newline in record";
+  let file = Vfs.open_or_create vfs (journal_name table) in
+  let line = Printf.sprintf "%s|%s\n" record (Checksum.hex record) in
+  ignore (Vfs.append file (Bytes.of_string line) : int);
+  Vfs.fsync file;
+  Vfs.close file
+
+let journal_read vfs ~table =
+  let name = journal_name table in
+  if not (Vfs.exists vfs name) then []
+  else begin
+    let file = Vfs.open_existing vfs name in
+    let len = Vfs.size file in
+    let data = if len = 0 then "" else Bytes.to_string (Vfs.read_at file ~off:0 ~len) in
+    Vfs.close file;
+    let rec go acc = function
+      | [] -> List.rev acc
+      | "" :: rest -> go acc rest
+      | line :: rest -> (
+        match String.rindex_opt line '|' with
+        | None -> List.rev acc
+        | Some i ->
+          let body = String.sub line 0 i in
+          let crc = String.sub line (i + 1) (String.length line - i - 1) in
+          if String.equal (Checksum.hex body) crc then go (body :: acc) rest else List.rev acc)
+    in
+    go [] (String.split_on_char '\n' data)
+  end

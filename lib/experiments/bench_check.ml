@@ -1,0 +1,171 @@
+(* Schema + acceptance-gate checks for dwbench's --json output, shared
+   by the @bench-json validator (tools/validate_bench_json) and by
+   dwbench itself, which refuses to exit 0 after emitting a document
+   this module rejects.
+
+   Two layers:
+   - structure: the document parses into the stable shape — top-level
+     keys, per-experiment counters/gauges/histograms objects, histograms
+     non-empty with numeric percentiles;
+   - gates (strict mode): the histograms and gauges the acceptance
+     criteria name must be present, and the deterministic relational
+     gates must hold (group-commit fsync reduction, lock-free snapshot
+     reads, bootstrap resume cost / lease exclusion / convergence).
+
+   Strict mode assumes the document covers {!gated_ids}; dwbench only
+   turns it on when the run did. *)
+
+module Json = Dw_util.Json
+
+exception Reject of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Reject msg)) fmt
+
+(* the quick-mode subset whose metrics the strict gates reference *)
+let gated_ids = [ "t3"; "w1"; "t5"; "w3"; "w4" ]
+
+let require_member name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> fail "missing key %S" name
+
+let require_number ctx name j =
+  match Json.to_number (require_member name j) with
+  | Some v -> v
+  | None -> fail "%s: %S is not a number" ctx name
+
+let check_histogram ~exp_id name h =
+  let ctx = Printf.sprintf "experiment %S histogram %S" exp_id name in
+  let count = require_number ctx "count" h in
+  if count < 1.0 then fail "%s: empty (count = %g)" ctx count;
+  List.iter
+    (fun k -> ignore (require_number ctx k h : float))
+    [ "sum"; "min"; "max"; "p50"; "p95"; "p99" ]
+
+let required_histograms =
+  [
+    "wal.fsync"; "pool.miss"; "warehouse.refresh"; "wal.group_size"; "warehouse.batch_size";
+    "w3.olap_latency_snapshot"; "w3.olap_latency_locking"; "bootstrap.chunk_rows";
+  ]
+
+(* deterministic results only: counter ratios and invariant flags, not
+   wall-clock, so they are stable enough to gate on *)
+let required_gauges =
+  [
+    "t5.fsync_per_txn_g1"; "t5.fsync_per_txn_g4"; "t5.fsync_per_txn_g16";
+    "t5.queue_fsync_per_msg_single"; "t5.queue_fsync_per_msg_batched";
+    "t5.ship_blocks"; "t5.ship_msgs";
+    "t5.window_sequential_s"; "t5.window_batched_s";
+    "t5.txns_sequential"; "t5.txns_batched";
+    "w3.olap_p95_snapshot_s"; "w3.olap_p95_locking_s";
+    "w3.lock_wait_count_snapshot"; "w3.lock_wait_count_locking";
+    "w3.reader_blocked_slices_snapshot"; "w3.reader_blocked_slices_locking";
+    "w3.refresh_window_snapshot_s"; "w3.refresh_window_locking_s";
+    "w3.batch_outage_s";
+    "w4.restart_chunks"; "w4.resume_extra_chunks"; "w4.lease_refused";
+    "w4.converged"; "w4.crash_points";
+  ]
+
+let check_experiment seen gauges j =
+  let id =
+    match Json.to_str (require_member "id" j) with
+    | Some s -> s
+    | None -> fail "experiment \"id\" is not a string"
+  in
+  ignore (require_number id "wall_s" j : float);
+  (match Json.member "counters" j with
+   | Some (Json.Obj _) -> ()
+   | Some _ | None -> fail "experiment %S: \"counters\" is not an object" id);
+  (match Json.member "gauges" j with
+   | Some (Json.Obj fields) ->
+     List.iter
+       (fun (name, v) ->
+         match Json.to_number v with
+         | Some x -> Hashtbl.replace gauges name x
+         | None -> fail "experiment %S: gauge %S is not a number" id name)
+       fields
+   | Some _ -> fail "experiment %S: \"gauges\" is not an object" id
+   | None -> ());
+  match Json.member "histograms" j with
+  | Some (Json.Obj fields) ->
+    List.iter
+      (fun (name, h) ->
+        check_histogram ~exp_id:id name h;
+        Hashtbl.replace seen name ())
+      fields
+  | Some _ | None -> fail "experiment %S: \"histograms\" is not an object" id
+
+let check_gates seen gauges =
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem seen name) then
+        fail "required histogram %S missing from every experiment" name)
+    required_histograms;
+  let gauge name =
+    match Hashtbl.find_opt gauges name with
+    | Some v -> v
+    | None -> fail "required gauge %S missing from every experiment" name
+  in
+  List.iter (fun name -> ignore (gauge name : float)) required_gauges;
+  (* the acceptance numbers: group >= 4 cuts fsyncs per txn at least 3x,
+     and micro-batched refresh uses strictly fewer warehouse txns *)
+  let g1 = gauge "t5.fsync_per_txn_g1" and g4 = gauge "t5.fsync_per_txn_g4" in
+  if g4 <= 0.0 || g1 /. g4 < 3.0 then
+    fail "group commit: fsync/txn reduction %g/%g = %gx, expected >= 3x" g1 g4
+      (if g4 > 0.0 then g1 /. g4 else infinity);
+  if gauge "t5.queue_fsync_per_msg_batched" >= gauge "t5.queue_fsync_per_msg_single" then
+    fail "transport: batched queue path does not reduce fsyncs per message";
+  if gauge "t5.txns_batched" >= gauge "t5.txns_sequential" then
+    fail "refresh: batched integrator does not reduce warehouse txns";
+  (* w3's deterministic acceptance: snapshot readers are fully lock-free
+     (no waits at all, scheduler-verified), locking readers are not, and
+     the lock-free path shows up as lower measured OLAP tail latency *)
+  if gauge "w3.lock_wait_count_snapshot" <> 0.0 then
+    fail "w3: snapshot arm recorded %g lock waits, expected 0"
+      (gauge "w3.lock_wait_count_snapshot");
+  if gauge "w3.reader_blocked_slices_snapshot" <> 0.0 then
+    fail "w3: snapshot readers spent %g slices blocked, expected 0"
+      (gauge "w3.reader_blocked_slices_snapshot");
+  if gauge "w3.reader_blocked_slices_locking" < 1.0 then
+    fail "w3: locking readers never blocked - the contrast arm is not exercising 2PL";
+  if gauge "w3.olap_p95_snapshot_s" >= gauge "w3.olap_p95_locking_s" then
+    fail "w3: snapshot OLAP p95 (%gs) does not beat locking p95 (%gs)"
+      (gauge "w3.olap_p95_snapshot_s") (gauge "w3.olap_p95_locking_s");
+  (* w4's deterministic acceptance: the crash sweep converged at every
+     explored point, a resumed run re-does at most one chunk (a from-
+     scratch restart re-does all of them), and a second start under a
+     live lease was refused *)
+  if gauge "w4.crash_points" < 1.0 then fail "w4: crash sweep explored no crash points";
+  if gauge "w4.converged" <> 1.0 then fail "w4: crash sweep did not converge everywhere";
+  if gauge "w4.lease_refused" <> 1.0 then
+    fail "w4: second start under a live lease was not refused";
+  if gauge "w4.resume_extra_chunks" > 1.0 then
+    fail "w4: resume re-did %g chunks, expected <= 1" (gauge "w4.resume_extra_chunks");
+  if gauge "w4.restart_chunks" <= gauge "w4.resume_extra_chunks" then
+    fail "w4: restart cost (%g chunks) does not exceed resume cost (%g chunks)"
+      (gauge "w4.restart_chunks") (gauge "w4.resume_extra_chunks")
+
+let validate ?(strict = true) doc =
+  try
+    (match Json.to_number (require_member "schema_version" doc) with
+     | Some 1.0 -> ()
+     | Some v -> fail "schema_version %g, expected 1" v
+     | None -> fail "schema_version is not a number");
+    (match Json.to_str (require_member "suite" doc) with
+     | Some "dwbench" -> ()
+     | _ -> fail "suite is not \"dwbench\"");
+    let experiments =
+      match Json.to_list (require_member "experiments" doc) with
+      | Some [] -> fail "\"experiments\" is empty"
+      | Some l -> l
+      | None -> fail "\"experiments\" is not a list"
+    in
+    let seen = Hashtbl.create 32 in
+    let gauges = Hashtbl.create 32 in
+    List.iter (check_experiment seen gauges) experiments;
+    if strict then check_gates seen gauges;
+    Ok
+      (Printf.sprintf "%d experiments, %d histograms, %d gauges%s"
+         (List.length experiments) (Hashtbl.length seen) (Hashtbl.length gauges)
+         (if strict then "" else "; structural only"))
+  with Reject msg -> Error msg

@@ -1,0 +1,18 @@
+(** Schema and acceptance-gate validation for dwbench's [--json] output,
+    shared by [tools/validate_bench_json] (the @bench-json alias) and by
+    dwbench itself, which exits non-zero if the document it just emitted
+    fails validation. *)
+
+val gated_ids : string list
+(** The experiment ids whose metrics the strict gates reference
+    ([t3 w1 t5 w3 w4]); strict validation only makes sense on documents
+    covering all of them. *)
+
+val validate : ?strict:bool -> Dw_util.Json.t -> (string, string) result
+(** [validate doc] checks the stable document shape (top-level keys,
+    per-experiment metric objects, non-empty histograms with numeric
+    percentiles) and — when [strict] (the default) — the required
+    histogram/gauge inventory plus the deterministic relational gates
+    (group-commit fsync reduction, lock-free snapshot reads, bootstrap
+    resume cost, lease exclusion, crash-sweep convergence).  [Ok] carries
+    a one-line summary; [Error] the first violation. *)

@@ -1,20 +1,25 @@
 module Vfs = Dw_storage.Vfs
 module Metrics = Dw_util.Metrics
+module Prng = Dw_util.Prng
 
 type stats = { bytes : int; chunks : int; retries : int }
 
-(* Retry a faultable operation with bounded exponential backoff.  Chunk
-   writes go through [Vfs.write_at] at a fixed offset, so re-running after
-   a transient or torn write simply overwrites the partial data — the
+(* Retry a faultable operation with bounded, jittered exponential
+   backoff ("equal jitter": half the doubled base is fixed, half is
+   uniform random, so concurrent retriers decorrelate without ever
+   retrying sooner than half the nominal pause).  Chunk writes go
+   through [Vfs.write_at] at a fixed offset, so re-running after a
+   transient or torn write simply overwrites the partial data — the
    retry is idempotent. *)
-let with_retry ~metrics ~max_retries ~backoff_s ~retries f =
+let with_retry ~metrics ~max_retries ~backoff_s ~rng ~retries f =
   let rec attempt n =
     try f ()
     with Vfs.Fault.Transient _ when n < max_retries ->
       incr retries;
       Metrics.incr metrics "retry.ship";
       if backoff_s > 0.0 then begin
-        let pause = backoff_s *. (2.0 ** float_of_int n) in
+        let base = backoff_s *. (2.0 ** float_of_int n) in
+        let pause = (base /. 2.0) +. Prng.float rng (base /. 2.0) in
         (* backoff time is where a flaky link actually hurts the
            maintenance window: record the distribution, not just a count *)
         Metrics.observe metrics "ship.backoff" pause;
@@ -24,8 +29,8 @@ let with_retry ~metrics ~max_retries ~backoff_s ~retries f =
   in
   attempt 0
 
-let ship ?(chunk_size = 64 * 1024) ?(max_retries = 8) ?(backoff_s = 0.0) ~src ~src_name ~dst
-    ~dst_name () =
+let ship ?(chunk_size = 64 * 1024) ?(max_retries = 8) ?(backoff_s = 0.0) ?(jitter_seed = 0) ~src
+    ~src_name ~dst ~dst_name () =
   if chunk_size <= 0 then invalid_arg "File_ship.ship: chunk_size <= 0";
   if max_retries < 0 then invalid_arg "File_ship.ship: max_retries < 0";
   match Vfs.open_existing src src_name with
@@ -34,7 +39,10 @@ let ship ?(chunk_size = 64 * 1024) ?(max_retries = 8) ?(backoff_s = 0.0) ~src ~s
     let out = Vfs.create dst dst_name in
     let total = Vfs.size src_file in
     let retries = ref 0 in
-    let retrying f = with_retry ~metrics:(Vfs.metrics dst) ~max_retries ~backoff_s ~retries f in
+    let rng = Prng.create ~seed:jitter_seed in
+    let retrying f =
+      with_retry ~metrics:(Vfs.metrics dst) ~max_retries ~backoff_s ~rng ~retries f
+    in
     let result =
       try
         Metrics.time (Vfs.metrics dst) "ship.total" (fun () ->
@@ -81,14 +89,15 @@ let pack_blocks ~block_size msgs =
   in
   go [] [] 0 framed
 
-let ship_messages ?(block_size = 64 * 1024) ?(max_retries = 8) ?(backoff_s = 0.0) ~dst ~dst_name
-    msgs =
+let ship_messages ?(block_size = 64 * 1024) ?(max_retries = 8) ?(backoff_s = 0.0)
+    ?(jitter_seed = 0) ~dst ~dst_name msgs =
   if block_size <= 0 then invalid_arg "File_ship.ship_messages: block_size <= 0";
   if max_retries < 0 then invalid_arg "File_ship.ship_messages: max_retries < 0";
   let out = Vfs.create dst dst_name in
   let metrics = Vfs.metrics dst in
   let retries = ref 0 in
-  let retrying f = with_retry ~metrics ~max_retries ~backoff_s ~retries f in
+  let rng = Prng.create ~seed:jitter_seed in
+  let retrying f = with_retry ~metrics ~max_retries ~backoff_s ~rng ~retries f in
   let blocks = pack_blocks ~block_size msgs in
   let result =
     try

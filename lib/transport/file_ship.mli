@@ -7,10 +7,14 @@
 
     Transient destination faults ({!Dw_storage.Vfs.Fault.Transient} from
     an attached fault plan, standing in for a flaky network or device) are
-    retried with bounded exponential backoff; chunk writes are idempotent
-    (fixed offsets), so a retried transfer still produces byte-identical
-    output.  Retries are counted in the destination registry as
-    [retry.ship] and reported in {!stats}. *)
+    retried with bounded exponential backoff under equal jitter: each
+    pause is half the doubled base plus a uniform random half, drawn from
+    a {!Dw_util.Prng.t} seeded by [jitter_seed], so retriers decorrelate
+    deterministically.  Chunk writes are idempotent (fixed offsets), so a
+    retried transfer still produces byte-identical output.  Retries are
+    counted in the destination registry as [retry.ship], each pause is
+    observed in the [ship.backoff] histogram, and the total is reported
+    in {!stats}. *)
 
 module Vfs = Dw_storage.Vfs
 
@@ -23,7 +27,8 @@ type stats = {
 val ship_messages :
   ?block_size:int ->   (* default 64 KiB *)
   ?max_retries:int ->  (* per-operation retry budget, default 8 *)
-  ?backoff_s:float ->  (* base backoff (doubles per retry), default 0 = no sleep *)
+  ?backoff_s:float ->  (* base backoff (doubles per retry, jittered), default 0 = no sleep *)
+  ?jitter_seed:int ->  (* backoff jitter PRNG seed, default 0 *)
   dst:Vfs.t ->
   dst_name:string ->
   string list ->
@@ -48,7 +53,8 @@ val fetch_messages : Vfs.t -> name:string -> (string list, string) result
 val ship :
   ?chunk_size:int ->   (* default 64 KiB *)
   ?max_retries:int ->  (* per-operation retry budget, default 8 *)
-  ?backoff_s:float ->  (* base backoff (doubles per retry), default 0 = no sleep *)
+  ?backoff_s:float ->  (* base backoff (doubles per retry, jittered), default 0 = no sleep *)
+  ?jitter_seed:int ->  (* backoff jitter PRNG seed, default 0 *)
   src:Vfs.t ->
   src_name:string ->
   dst:Vfs.t ->

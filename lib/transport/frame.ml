@@ -1,0 +1,29 @@
+type t =
+  | Data of string
+  | Wm_low of { run : string; chunk : int; nonce : int }
+  | Wm_high of { run : string; chunk : int; nonce : int }
+
+(* "d:" + raw payload keeps Data round-trips byte-exact whatever the
+   delta encoding contains; watermark brackets are '|'-separated (run
+   ids are Prng alpha strings, so '|' cannot appear in them) *)
+let encode = function
+  | Data payload -> "d:" ^ payload
+  | Wm_low { run; chunk; nonce } -> Printf.sprintf "wl|%s|%d|%d" run chunk nonce
+  | Wm_high { run; chunk; nonce } -> Printf.sprintf "wh|%s|%d|%d" run chunk nonce
+
+let decode_bracket tag line =
+  match String.split_on_char '|' line with
+  | [ _; run; chunk; nonce ] when not (String.equal run "") -> (
+    match (int_of_string_opt chunk, int_of_string_opt nonce) with
+    | Some chunk, Some nonce ->
+      if String.equal tag "wl" then Ok (Wm_low { run; chunk; nonce })
+      else Ok (Wm_high { run; chunk; nonce })
+    | _ -> Error (Printf.sprintf "Frame.decode: bad %s fields in %S" tag line))
+  | _ -> Error (Printf.sprintf "Frame.decode: bad %s frame %S" tag line)
+
+let decode line =
+  let n = String.length line in
+  if n >= 2 && String.sub line 0 2 = "d:" then Ok (Data (String.sub line 2 (n - 2)))
+  else if n >= 3 && String.sub line 0 3 = "wl|" then decode_bracket "wl" line
+  else if n >= 3 && String.sub line 0 3 = "wh|" then decode_bracket "wh" line
+  else Error (Printf.sprintf "Frame.decode: unknown tag in %S" line)

@@ -1,0 +1,28 @@
+(** Typed frames for the extraction stream: data payloads interleaved
+    with the low/high watermark brackets a chunked bootstrap
+    ({!Dw_etl.Bootstrap}) injects around each chunk select, DBLog-style.
+    Frames ride as opaque payloads inside {!Persistent_queue} messages,
+    so the queue's checksums and redelivery semantics are unchanged; a
+    consumer that predates this module sees watermark frames as
+    unparseable deltas and must be upgraded before bootstrapping.
+
+    Watermark frames carry the run id, the chunk index, and a [nonce]
+    drawn from {!Persistent_queue.enqueued_total} at enqueue time: after
+    a crash, a resumed bootstrap opens a fresh window with a new nonce
+    and ignores brackets from the dead attempt, so an orphaned low
+    watermark can never trap the consumer in a half-open window. *)
+
+type t =
+  | Data of string
+      (** an encoded op-delta line, opaque to the transport *)
+  | Wm_low of { run : string; chunk : int; nonce : int }
+      (** window opens: chunk select is about to start *)
+  | Wm_high of { run : string; chunk : int; nonce : int }
+      (** window closes: chunk select finished; dedup and apply *)
+
+val encode : t -> string
+(** Self-delimiting single-line encoding (data payloads pass through
+    verbatim behind a tag, so any delta encoding is safe to wrap). *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode}; [Error] names the malformed field. *)

@@ -1,0 +1,13 @@
+(** FNV-1a content checksums for small persistent records.
+
+    Every durable text/frame format in the repo (queue frames, watermark
+    journal records) guards its payload with the same 32-bit FNV-1a hash:
+    cheap, dependency-free, and good enough to reject torn or bit-flipped
+    tails on recovery — these are crash-consistency checks, not
+    cryptographic integrity. *)
+
+val fnv1a : string -> int
+(** 32-bit FNV-1a hash of the whole string, in [0, 0xffffffff]. *)
+
+val hex : string -> string
+(** [fnv1a] rendered as 8 lowercase hex digits, for text formats. *)

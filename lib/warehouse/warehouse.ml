@@ -696,3 +696,130 @@ let integrate_op_deltas_batched ?(policy = default_batch_policy) t ods =
       go acc rest
   in
   go zero_stats ods
+
+(* ---------- bootstrap (chunked online load) support ---------- *)
+
+let attach ~db () =
+  Db.set_plan_mode db `Index_preferred;
+  {
+    db;
+    replicas = Hashtbl.create 8;
+    views = Hashtbl.create 8;
+    agg_views = Hashtbl.create 8;
+    viewonly = Hashtbl.create 8;
+    by_source = Hashtbl.create 8;
+    agg_by_source = Hashtbl.create 8;
+    row_ops = 0;
+  }
+
+let attach_replica t ~table =
+  if Hashtbl.mem t.replicas table then
+    invalid_arg (Printf.sprintf "Warehouse.attach_replica: %s already attached" table);
+  match Db.table_opt t.db table with
+  | None -> invalid_arg (Printf.sprintf "Warehouse.attach_replica: no table %s" table)
+  | Some tbl ->
+    Hashtbl.add t.replicas table (Table.schema tbl);
+    Db.add_trigger t.db ~table
+      {
+        Trigger.name = "maintain_views__" ^ table;
+        on = [ Trigger.On_insert; Trigger.On_delete; Trigger.On_update ];
+        action = (fun ctx event -> maintain_views t table ctx event);
+      }
+
+let int_key schema tuple =
+  if Schema.key_arity schema <> 1 then
+    invalid_arg "Warehouse: bootstrap apply needs a single-column primary key";
+  match tuple.(0) with
+  | Value.Int k -> k
+  | _ -> invalid_arg "Warehouse: bootstrap apply needs an INT primary key"
+
+let exec_checked t txn ctx stmt =
+  match Db.exec t.db txn stmt with
+  | result -> result
+  | exception Invalid_argument e -> invalid_arg (ctx ^ ": " ^ e)
+
+let upsert_row t txn ctx schema ~table tuple =
+  match exec_checked t txn ctx (update_stmt table schema tuple) with
+  | Db.Affected 0 -> ignore (exec_checked t txn ctx (insert_stmt table tuple) : Db.exec_result)
+  | Db.Affected _ | Db.Rows _ | Db.Created -> ()
+
+let integrate_op_delta_marked (t : t) ~mark od =
+  Metrics.with_span (Db.metrics t.db) "warehouse.refresh" @@ fun () ->
+  let start = Unix.gettimeofday () in
+  let row_ops0 = t.row_ops in
+  let statements = ref 0 in
+  Db.with_txn t.db (fun txn ->
+      List.iter
+        (fun (op : Op_delta.op) ->
+          incr statements;
+          ignore
+            (exec_checked t txn "Warehouse.integrate_op_delta_marked" op.Op_delta.stmt
+              : Db.exec_result))
+        od.Op_delta.ops;
+      mark txn);
+  {
+    txns = 1;
+    statements = !statements;
+    row_ops = t.row_ops - row_ops0;
+    duration = Unix.gettimeofday () -. start;
+  }
+
+let integrate_op_delta_images (t : t) ~table ~mark od =
+  Metrics.with_span (Db.metrics t.db) "warehouse.refresh" @@ fun () ->
+  let ctx = "Warehouse.integrate_op_delta_images" in
+  let module Ast = Dw_sql.Ast in
+  let schema =
+    match Hashtbl.find_opt t.replicas table with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "%s: %s is not a replica" ctx table)
+  in
+  let touched = ref [] in
+  let touch tuple = touched := int_key schema tuple :: !touched in
+  Db.with_txn t.db (fun txn ->
+      List.iter
+        (fun (op : Op_delta.op) ->
+          if String.equal (Ast.table_of op.Op_delta.stmt) table then
+            match op.Op_delta.stmt with
+            | Ast.Insert { columns; rows; _ } ->
+              List.iter
+                (fun tuple ->
+                  touch tuple;
+                  upsert_row t txn ctx schema ~table tuple)
+                (tuples_of_insert schema columns rows)
+            | Ast.Update { sets; _ } ->
+              List.iter
+                (fun before ->
+                  let after = viewonly_after_image schema sets before in
+                  touch after;
+                  upsert_row t txn ctx schema ~table after)
+                op.Op_delta.before_images
+            | Ast.Delete _ ->
+              List.iter
+                (fun before ->
+                  touch before;
+                  ignore (exec_checked t txn ctx (delete_stmt table schema before) : Db.exec_result))
+                op.Op_delta.before_images
+            | Ast.Select _ | Ast.Create_table _ -> ())
+        od.Op_delta.ops;
+      mark txn);
+  List.rev !touched
+
+let load_chunk (t : t) ~table ~skip ~mark rows =
+  Metrics.with_span (Db.metrics t.db) "warehouse.refresh" @@ fun () ->
+  let ctx = "Warehouse.load_chunk" in
+  let schema =
+    match Hashtbl.find_opt t.replicas table with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "%s: %s is not a replica" ctx table)
+  in
+  let loaded = ref 0 in
+  Db.with_txn t.db (fun txn ->
+      List.iter
+        (fun tuple ->
+          if not (skip (int_key schema tuple)) then begin
+            incr loaded;
+            upsert_row t txn ctx schema ~table tuple
+          end)
+        rows;
+      mark txn);
+  !loaded

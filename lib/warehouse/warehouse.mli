@@ -170,3 +170,46 @@ val integrate_op_delta_viewonly : t -> Op_delta.t -> stats
 
 val viewonly_view_rows : t -> string -> (Tuple.t * int) list
 (** Materialized rows of a view-only view, with multiplicities. *)
+
+(** {2 Bootstrap (chunked online load) support} — the warehouse side of
+    {!Dw_etl.Bootstrap}: re-adopting a crashed warehouse, applying delta
+    transactions with a progress mark committed atomically alongside the
+    data, and the DBLog window primitives (image-based apply reporting
+    touched keys, chunk upsert with a dedup filter). *)
+
+val attach : db:Db.t -> unit -> t
+(** Wrap an existing (typically {!Db.reopen}ed) database as a warehouse
+    without creating any tables — the resume path after a crash.  No
+    replicas or views are registered; re-add them with
+    {!attach_replica} / view definitions. *)
+
+val attach_replica : t -> table:string -> unit
+(** Register an already-existing table of [t]'s database as a source
+    replica and re-install its view-maintenance trigger (the persistent
+    half of {!add_replica}, which also creates the table).  Raises
+    [Invalid_argument] if the table is missing or already attached. *)
+
+val integrate_op_delta_marked : t -> mark:(Db.txn -> unit) -> Op_delta.t -> stats
+(** {!integrate_op_delta}, plus a [mark] callback invoked inside the same
+    warehouse transaction — the bootstrap stores its applied-through
+    transaction id there, so the delta and the progress record commit or
+    roll back together (exactly-once under queue redelivery). *)
+
+val integrate_op_delta_images :
+  t -> table:string -> mark:(Db.txn -> unit) -> Op_delta.t -> int list
+(** Apply one hybrid Op-Delta to replica [table] as last-write-wins row
+    images instead of statement re-execution: INSERT rows upsert, UPDATE
+    before-images upsert their computed after-images, DELETE
+    before-images delete by key.  Statements on other tables are ignored.
+    Returns the primary keys touched, for the DBLog window dedup; [mark]
+    runs inside the same transaction.  Requires hybrid capture
+    ({!Dw_core.Opdelta_capture.create}[ ~capture_images:true]) and a
+    single-column INT primary key. *)
+
+val load_chunk :
+  t -> table:string -> skip:(int -> bool) -> mark:(Db.txn -> unit) -> Tuple.t list -> int
+(** Upsert one bootstrap chunk of source rows into replica [table] as a
+    single warehouse transaction, dropping rows whose key satisfies
+    [skip] (keys touched by deltas inside the chunk's watermark window —
+    those delta versions are newer than the chunk select's).  Returns the
+    number of rows applied; [mark] runs inside the same transaction. *)

@@ -32,6 +32,12 @@ let () =
   check "refresh (stride 2)" (Cs.explore_refresh ~spec:Cs.default_refresh_spec ~stride:2 ());
   check "refresh batched (stride 2)"
     (Cs.explore_refresh_batched ~spec:Cs.default_refresh_spec ~run:3 ~stride:2 ());
+  check "bootstrap (exhaustive)"
+    (Dw_experiments.Exp_bootstrap.explore_bootstrap
+       ~spec:{ Dw_experiments.Exp_bootstrap.rows = 48; commits = 6; chunk = 8; seed = 5 }
+       ~stride:1 ());
+  check "bootstrap (standard)"
+    (Dw_experiments.Exp_bootstrap.explore_bootstrap ~stride:4 ());
   (match Cs.ship_under_faults ~bytes:(256 * 1024) ~fault_p:0.25 ~seed:123 () with
    | Ok (stats, true) when stats.Dw_transport.File_ship.retries > 0 ->
      Printf.printf "ship under faults: %d bytes, %d retries, byte-identical\n%!"

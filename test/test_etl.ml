@@ -234,6 +234,71 @@ let compacted_pipeline () =
    | Error e -> Alcotest.fail e);
   check Alcotest.bool "still converges" true (converged src wh)
 
+(* a round over a table with zero committed changes is a clean no-op:
+   nothing extracted, nothing shipped twice, still converged *)
+let round_with_zero_changes () =
+  let src = mk_source () in
+  let wh = mk_warehouse ~view:false () in
+  let pipe =
+    Pipeline.create ~source:src ~warehouse:wh ~table:"parts" ~method_:Pipeline.Trigger
+      ~transport:(Pipeline.Queued "zq") ()
+  in
+  Db.with_txn src (fun txn ->
+      List.iter
+        (fun s -> ignore (Db.exec src txn s : Db.exec_result))
+        (Workload.insert_parts_txn ~first_id:1 ~size:20 ~day:0 ()));
+  (match Pipeline.run_round pipe with Ok _ -> () | Error e -> Alcotest.fail e);
+  check Alcotest.bool "converged" true (converged src wh);
+  (* two idle rounds in a row *)
+  for _ = 1 to 2 do
+    match Pipeline.run_round pipe with
+    | Ok stats -> check Alcotest.int "idle round extracts nothing" 0 stats.Pipeline.extracted_changes
+    | Error e -> Alcotest.fail e
+  done;
+  check Alcotest.bool "still converged" true (converged src wh);
+  check Alcotest.int "3 rounds counted" 3 (Pipeline.rounds pipe)
+
+(* the source faulting mid-extract must not advance the watermark: the
+   failed round is a no-op and the next round re-extracts everything *)
+let crash_mid_extract_resumes () =
+  let src = mk_source () in
+  Workload.load_parts src ~rows:30 ();
+  let wh = mk_warehouse ~view:false () in
+  let pipe =
+    Pipeline.create ~source:src ~warehouse:wh ~table:"parts" ~method_:Pipeline.Timestamp
+      ~transport:Pipeline.Direct ()
+  in
+  (match Pipeline.run_round pipe with Ok _ -> () | Error e -> Alcotest.fail e);
+  check Alcotest.bool "initial load" true (converged src wh);
+  (* timestamp method misses deletes: insert/update activity only *)
+  Db.advance_day src;
+  Db.with_txn src (fun txn ->
+      ignore (Db.exec src txn (Workload.update_parts_stmt ~first_id:3 ~size:6) : Db.exec_result));
+  let wm_day () =
+    (Dw_core.Watermark.get
+       (Dw_core.Watermark.load (Db.vfs src) ~name:"pipeline.parts.wm")
+       ~table:"parts")
+      .Dw_core.Watermark.day
+  in
+  let day_before = wm_day () in
+  (* every source write now faults: the extract dies writing its delta
+     file, before anything ships *)
+  Vfs.set_fault (Db.vfs src) (Some (Vfs.Fault.make ~write_fail_p:1.0 ~fsync_fail_p:1.0 ~seed:4 ()));
+  (try
+     match Pipeline.run_round pipe with
+     | Ok _ -> Alcotest.fail "round succeeded under a total-failure fault"
+     | Error _ -> ()
+   with Vfs.Fault.Transient _ -> ());
+  Vfs.set_fault (Db.vfs src) None;
+  check Alcotest.int "watermark never regressed or advanced" day_before (wm_day ());
+  check Alcotest.int "failed round not counted" 1 (Pipeline.rounds pipe);
+  (* the next round picks the changes up as if the fault never happened *)
+  (match Pipeline.run_round pipe with
+   | Ok stats -> check Alcotest.int "re-extracted after fault" 6 stats.Pipeline.extracted_changes
+   | Error e -> Alcotest.fail e);
+  check Alcotest.bool "converged after resume" true (converged src wh);
+  check Alcotest.bool "watermark advanced after success" true (wm_day () > day_before)
+
 let create_validates () =
   let src = mk_source () in
   let wh = Warehouse.create ~vfs:(Vfs.in_memory ()) ~name:"dw" () in
@@ -256,5 +321,7 @@ let suite =
     test "op-delta pipeline" opdelta_pipeline;
     test "transformed pipeline" transformed_pipeline;
     test "compacted pipeline" compacted_pipeline;
+    test "round with zero changes is a no-op" round_with_zero_changes;
+    test "crash mid-extract leaves watermark, resumes" crash_mid_extract_resumes;
     test "create validates" create_validates;
   ]

@@ -139,6 +139,96 @@ let watermark_drives_incremental_rounds () =
   let d3, _ = Log_extract.extract ~since_lsn:mark.Watermark.lsn db ~table:"parts" () in
   check Alcotest.int "log round matches" 3 (Delta.row_count d3)
 
+(* ---------- watermark torn-tail / fault hardening ---------- *)
+
+let append_raw vfs name s =
+  let f = Vfs.open_or_create vfs name in
+  ignore (Vfs.append f (Bytes.of_string s) : int);
+  Vfs.fsync f;
+  Vfs.close f
+
+(* a crash mid-append leaves a partial record: load falls back to the
+   last durable state and truncates the tail, so post-recovery advances
+   stay visible to every later load *)
+let watermark_torn_tail () =
+  let vfs = Vfs.in_memory () in
+  let wm = Watermark.load vfs ~name:"marks" in
+  Watermark.advance wm ~table:"parts" { Watermark.day = 3; lsn = 30 };
+  Watermark.advance wm ~table:"orders" { Watermark.day = 1; lsn = 10 };
+  append_raw vfs "marks" "m|parts|9|9";
+  let wm2 = Watermark.load vfs ~name:"marks" in
+  check Alcotest.int "parts fell back" 3 (Watermark.get wm2 ~table:"parts").Watermark.day;
+  check Alcotest.int "orders unaffected" 1 (Watermark.get wm2 ~table:"orders").Watermark.day;
+  Watermark.advance wm2 ~table:"parts" { Watermark.day = 4; lsn = 40 };
+  let wm3 = Watermark.load vfs ~name:"marks" in
+  check Alcotest.int "recovery advance visible" 4 (Watermark.get wm3 ~table:"parts").Watermark.day;
+  check Alcotest.int "lsn too" 40 (Watermark.get wm3 ~table:"parts").Watermark.lsn
+
+let watermark_corrupt_checksum () =
+  let vfs = Vfs.in_memory () in
+  let wm = Watermark.load vfs ~name:"marks" in
+  Watermark.advance wm ~table:"parts" { Watermark.day = 1; lsn = 10 };
+  Watermark.advance wm ~table:"parts" { Watermark.day = 2; lsn = 20 };
+  (* flip bytes inside the last record's checksum field *)
+  let f = Vfs.open_existing vfs "marks" in
+  let len = Vfs.size f in
+  Vfs.write_at f ~off:(len - 3) (Bytes.of_string "zz");
+  Vfs.fsync f;
+  Vfs.close f;
+  let wm2 = Watermark.load vfs ~name:"marks" in
+  check Alcotest.int "fell back to last valid record" 1
+    (Watermark.get wm2 ~table:"parts").Watermark.day
+
+(* fault-injection regression: kill the store at every write/fsync event
+   of one advance; whatever survives must be one of the two adjacent
+   durable states, and the store must stay fully usable *)
+let watermark_crash_during_advance () =
+  let mk () =
+    let vfs = Vfs.in_memory () in
+    let wm = Watermark.load vfs ~name:"marks" in
+    Watermark.advance wm ~table:"parts" { Watermark.day = 1; lsn = 10 };
+    (vfs, wm)
+  in
+  let vfs0, wm0 = mk () in
+  Vfs.set_fault vfs0 (Some (Vfs.Fault.make ~seed:1 ()));
+  Watermark.advance wm0 ~table:"parts" { Watermark.day = 2; lsn = 20 };
+  let total = match Vfs.fault vfs0 with Some f -> Vfs.Fault.events f | None -> 0 in
+  check Alcotest.bool "events counted" true (total > 0);
+  for k = 0 to total - 1 do
+    let vfs, wm = mk () in
+    Vfs.set_fault vfs (Some (Vfs.Fault.make ~fail_stop_after:k ~seed:(10 + k) ()));
+    (try Watermark.advance wm ~table:"parts" { Watermark.day = 2; lsn = 20 }
+     with Vfs.Fault.Crash _ -> ());
+    Vfs.crash_reset vfs;
+    let wm2 = Watermark.load vfs ~name:"marks" in
+    let day = (Watermark.get wm2 ~table:"parts").Watermark.day in
+    check Alcotest.bool "durable state only" true (day = 1 || day = 2);
+    Watermark.advance wm2 ~table:"parts" { Watermark.day = 3; lsn = 30 };
+    check Alcotest.int "usable after crash" 3
+      (Watermark.get (Watermark.load vfs ~name:"marks") ~table:"parts").Watermark.day
+  done
+
+let watermark_cursor_roundtrip () =
+  let vfs = Vfs.in_memory () in
+  let wm = Watermark.load vfs ~name:"marks" in
+  check Alcotest.bool "no cursor" true (Watermark.cursor wm ~table:"parts" = None);
+  Watermark.set_cursor wm ~table:"parts" { Watermark.next_key = 100; chunks_done = 2 };
+  (match Watermark.cursor (Watermark.load vfs ~name:"marks") ~table:"parts" with
+   | Some c ->
+     check Alcotest.int "next_key" 100 c.Watermark.next_key;
+     check Alcotest.int "chunks_done" 2 c.Watermark.chunks_done
+   | None -> Alcotest.fail "cursor lost");
+  (* chunks_done may only move forward *)
+  (try
+     Watermark.set_cursor wm ~table:"parts" { Watermark.next_key = 0; chunks_done = 1 };
+     Alcotest.fail "expected cursor regression failure"
+   with Invalid_argument _ -> ());
+  Watermark.clear_cursor wm ~table:"parts";
+  check Alcotest.bool "cleared persists" true
+    (Watermark.cursor (Watermark.load vfs ~name:"marks") ~table:"parts" = None);
+  (* clearing again is a no-op *)
+  Watermark.clear_cursor wm ~table:"parts"
+
 (* ---------- group commit ---------- *)
 
 let group_commit_fewer_fsyncs () =
@@ -177,6 +267,10 @@ let suite =
     test "watermark roundtrip" watermark_roundtrip;
     test "watermark no regression" watermark_no_regression;
     test "watermark drives incremental rounds" watermark_drives_incremental_rounds;
+    test "watermark torn tail truncated" watermark_torn_tail;
+    test "watermark corrupt checksum ignored" watermark_corrupt_checksum;
+    test "watermark crash sweep during advance" watermark_crash_during_advance;
+    test "watermark bootstrap cursor" watermark_cursor_roundtrip;
     test "group commit fewer fsyncs" group_commit_fewer_fsyncs;
     test "group commit validates" group_commit_validates;
   ]

@@ -14,6 +14,7 @@ let () =
       ("cots", Test_cots.suite);
       ("extensions", Test_extensions.suite);
       ("etl", Test_etl.suite);
+      ("bootstrap", Test_bootstrap.suite);
       ("failure", Test_failure.suite);
       ("batching", Test_batching.suite);
       ("crash", Test_crash.suite);

@@ -222,6 +222,81 @@ let queue_ships_op_deltas () =
     ods received;
   Persistent_queue.close q
 
+(* ---------- jittered backoff ---------- *)
+
+let ship_backoff_jitter_bounded () =
+  let metrics = Dw_util.Metrics.create () in
+  let src = Vfs.in_memory () and dst = Vfs.in_memory ~metrics () in
+  let payload = String.concat "" (List.init 500 (fun i -> Printf.sprintf "row-%04d\n" i)) in
+  write_file src "delta.asc" payload;
+  Vfs.set_fault dst (Some (Vfs.Fault.make ~write_fail_p:0.4 ~fsync_fail_p:0.2 ~seed:7 ()));
+  let backoff_s = 1e-6 and max_retries = 16 in
+  let retries =
+    match
+      File_ship.ship ~chunk_size:128 ~max_retries ~backoff_s ~jitter_seed:5 ~src
+        ~src_name:"delta.asc" ~dst ~dst_name:"staged.asc" ()
+    with
+    | Ok stats -> stats.File_ship.retries
+    | Error e -> Alcotest.fail e
+  in
+  check Alcotest.bool "faults absorbed" true (retries > 0);
+  check Alcotest.string "identical despite retries" payload (read_file dst "staged.asc");
+  (* every pause was observed, inside the equal-jitter envelope:
+     [base/2, base] with base = backoff_s * 2^attempt *)
+  match Dw_util.Metrics.summary metrics "ship.backoff" with
+  | None -> Alcotest.fail "no ship.backoff histogram"
+  | Some s ->
+    check Alcotest.int "one observation per retry" retries s.Dw_util.Metrics.count;
+    check Alcotest.bool "pause >= base/2" true (s.Dw_util.Metrics.vmin >= backoff_s /. 2.0);
+    check Alcotest.bool "pause bounded by the doubled base" true
+      (s.Dw_util.Metrics.vmax <= backoff_s *. (2.0 ** float_of_int max_retries))
+
+let ship_backoff_deterministic_under_seed () =
+  let run seed =
+    let metrics = Dw_util.Metrics.create () in
+    let src = Vfs.in_memory () and dst = Vfs.in_memory ~metrics () in
+    write_file src "d" (String.make 4096 'x');
+    Vfs.set_fault dst (Some (Vfs.Fault.make ~write_fail_p:0.4 ~seed:3 ()));
+    match
+      File_ship.ship ~chunk_size:256 ~max_retries:32 ~backoff_s:1e-6 ~jitter_seed:seed ~src
+        ~src_name:"d" ~dst ~dst_name:"d2" ()
+    with
+    | Ok stats ->
+      (stats.File_ship.retries,
+       Option.map
+         (fun (s : Dw_util.Metrics.histogram_summary) -> s.Dw_util.Metrics.vmax)
+         (Dw_util.Metrics.summary metrics "ship.backoff"))
+    | Error e -> Alcotest.fail e
+  in
+  check Alcotest.bool "same seed, same pauses" true (run 11 = run 11);
+  check Alcotest.bool "same fault plan either way" true (fst (run 11) = fst (run 12))
+
+(* ---------- watermark frames ---------- *)
+
+let frame_roundtrip () =
+  let module Frame = Dw_transport.Frame in
+  let cases =
+    [
+      Frame.Data "plain delta line";
+      Frame.Data "tricky|payload:with\tseparators";
+      Frame.Data "";
+      Frame.Wm_low { run = "r1abc"; chunk = 0; nonce = 42 };
+      Frame.Wm_high { run = "r1abc"; chunk = 17; nonce = 1041 };
+    ]
+  in
+  List.iter
+    (fun f ->
+      match Frame.decode (Frame.encode f) with
+      | Ok f' -> check Alcotest.bool "roundtrip" true (f = f')
+      | Error e -> Alcotest.fail e)
+    cases
+
+let frame_rejects_malformed () =
+  let module Frame = Dw_transport.Frame in
+  List.iter
+    (fun s -> check Alcotest.bool s true (Result.is_error (Frame.decode s)))
+    [ ""; "garbage"; "wl|run|notanint|7"; "wh|run|3"; "w|x|1|2"; "dl:half-tagged" ]
+
 let suite =
   [
     test "ship roundtrip" ship_roundtrip;
@@ -238,4 +313,8 @@ let suite =
     test "queue corrupt sidecar redelivers" queue_corrupt_sidecar_redelivers;
     test "queue torn sidecar redelivers" queue_torn_sidecar_redelivers;
     test "queue ships op-deltas" queue_ships_op_deltas;
+    test "ship backoff jitter bounded" ship_backoff_jitter_bounded;
+    test "ship backoff deterministic under seed" ship_backoff_deterministic_under_seed;
+    test "frame roundtrip" frame_roundtrip;
+    test "frame rejects malformed" frame_rejects_malformed;
   ]

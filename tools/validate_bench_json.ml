@@ -1,87 +1,20 @@
 (* Schema check for dwbench's --json output, run by the @bench-json
-   alias: a quick-mode experiment subset must produce a document that
-   parses, carries the stable top-level keys, and reports latency
-   percentiles for the histograms the acceptance criteria name
-   (wal.fsync, pool.miss, warehouse.refresh).  Exits 1 with a message on
-   the first violation, so a schema regression fails `dune runtest`
-   rather than surfacing downstream in whatever consumes the JSON. *)
+   alias.  The actual checks live in Dw_experiments.Bench_check (shared
+   with dwbench's own exit-status self-validation); this wrapper reads
+   the file and turns a rejection into exit 1, so a schema or gate
+   regression fails `dune runtest` rather than surfacing downstream in
+   whatever consumes the JSON. *)
 
 module Json = Dw_util.Json
+module Bench_check = Dw_experiments.Bench_check
 
-let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("bench-json: " ^ msg); exit 1) fmt
-
-let require_member name j =
-  match Json.member name j with
-  | Some v -> v
-  | None -> fail "missing key %S" name
-
-let require_number ctx name j =
-  match Json.to_number (require_member name j) with
-  | Some v -> v
-  | None -> fail "%s: %S is not a number" ctx name
-
-let check_histogram ~exp_id name h =
-  let ctx = Printf.sprintf "experiment %S histogram %S" exp_id name in
-  let count = require_number ctx "count" h in
-  if count < 1.0 then fail "%s: empty (count = %g)" ctx count;
-  List.iter (fun k -> ignore (require_number ctx k h : float)) [ "sum"; "min"; "max"; "p50"; "p95"; "p99" ]
-
-let required_histograms =
-  [
-    "wal.fsync"; "pool.miss"; "warehouse.refresh"; "wal.group_size"; "warehouse.batch_size";
-    "w3.olap_latency_snapshot"; "w3.olap_latency_locking";
-  ]
-
-(* t5's deterministic batching results: counter ratios, not wall-clock,
-   so they are stable enough to gate on *)
-let required_gauges =
-  [
-    "t5.fsync_per_txn_g1"; "t5.fsync_per_txn_g4"; "t5.fsync_per_txn_g16";
-    "t5.queue_fsync_per_msg_single"; "t5.queue_fsync_per_msg_batched";
-    "t5.ship_blocks"; "t5.ship_msgs";
-    "t5.window_sequential_s"; "t5.window_batched_s";
-    "t5.txns_sequential"; "t5.txns_batched";
-    "w3.olap_p95_snapshot_s"; "w3.olap_p95_locking_s";
-    "w3.lock_wait_count_snapshot"; "w3.lock_wait_count_locking";
-    "w3.reader_blocked_slices_snapshot"; "w3.reader_blocked_slices_locking";
-    "w3.refresh_window_snapshot_s"; "w3.refresh_window_locking_s";
-    "w3.batch_outage_s";
-  ]
-
-let check_experiment seen gauges j =
-  let id =
-    match Json.to_str (require_member "id" j) with
-    | Some s -> s
-    | None -> fail "experiment \"id\" is not a string"
-  in
-  ignore (require_number id "wall_s" j : float);
-  (match Json.member "counters" j with
-   | Some (Json.Obj _) -> ()
-   | Some _ | None -> fail "experiment %S: \"counters\" is not an object" id);
-  (match Json.member "gauges" j with
-   | Some (Json.Obj fields) ->
-     List.iter
-       (fun (name, v) ->
-         match Json.to_number v with
-         | Some x -> Hashtbl.replace gauges name x
-         | None -> fail "experiment %S: gauge %S is not a number" id name)
-       fields
-   | Some _ -> fail "experiment %S: \"gauges\" is not an object" id
-   | None -> ());
-  match Json.member "histograms" j with
-  | Some (Json.Obj fields) ->
-    List.iter
-      (fun (name, h) ->
-        check_histogram ~exp_id:id name h;
-        Hashtbl.replace seen name ())
-      fields
-  | Some _ | None -> fail "experiment %S: \"histograms\" is not an object" id
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("bench-json: " ^ msg); exit 1) fmt
 
 let () =
   let file =
     match Sys.argv with
     | [| _; file |] -> file
-    | _ -> fail "usage: validate_bench_json FILE"
+    | _ -> die "usage: validate_bench_json FILE"
   in
   let doc =
     let ic = open_in_bin file in
@@ -90,58 +23,8 @@ let () =
     close_in ic;
     match Json.of_string s with
     | Ok j -> j
-    | Error e -> fail "%s does not parse: %s" file e
+    | Error e -> die "%s does not parse: %s" file e
   in
-  (match Json.to_number (require_member "schema_version" doc) with
-   | Some 1.0 -> ()
-   | Some v -> fail "schema_version %g, expected 1" v
-   | None -> fail "schema_version is not a number");
-  (match Json.to_str (require_member "suite" doc) with
-   | Some "dwbench" -> ()
-   | _ -> fail "suite is not \"dwbench\"");
-  let experiments =
-    match Json.to_list (require_member "experiments" doc) with
-    | Some [] -> fail "\"experiments\" is empty"
-    | Some l -> l
-    | None -> fail "\"experiments\" is not a list"
-  in
-  let seen = Hashtbl.create 32 in
-  let gauges = Hashtbl.create 32 in
-  List.iter (check_experiment seen gauges) experiments;
-  List.iter
-    (fun name ->
-      if not (Hashtbl.mem seen name) then
-        fail "required histogram %S missing from every experiment" name)
-    required_histograms;
-  let gauge name =
-    match Hashtbl.find_opt gauges name with
-    | Some v -> v
-    | None -> fail "required gauge %S missing from every experiment" name
-  in
-  List.iter (fun name -> ignore (gauge name : float)) required_gauges;
-  (* the acceptance numbers: group >= 4 cuts fsyncs per txn at least 3x,
-     and micro-batched refresh uses strictly fewer warehouse txns *)
-  let g1 = gauge "t5.fsync_per_txn_g1" and g4 = gauge "t5.fsync_per_txn_g4" in
-  if g4 <= 0.0 || g1 /. g4 < 3.0 then
-    fail "group commit: fsync/txn reduction %g/%g = %gx, expected >= 3x" g1 g4
-      (if g4 > 0.0 then g1 /. g4 else infinity);
-  if gauge "t5.queue_fsync_per_msg_batched" >= gauge "t5.queue_fsync_per_msg_single" then
-    fail "transport: batched queue path does not reduce fsyncs per message";
-  if gauge "t5.txns_batched" >= gauge "t5.txns_sequential" then
-    fail "refresh: batched integrator does not reduce warehouse txns";
-  (* w3's deterministic acceptance: snapshot readers are fully lock-free
-     (no waits at all, scheduler-verified), locking readers are not, and
-     the lock-free path shows up as lower measured OLAP tail latency *)
-  if gauge "w3.lock_wait_count_snapshot" <> 0.0 then
-    fail "w3: snapshot arm recorded %g lock waits, expected 0"
-      (gauge "w3.lock_wait_count_snapshot");
-  if gauge "w3.reader_blocked_slices_snapshot" <> 0.0 then
-    fail "w3: snapshot readers spent %g slices blocked, expected 0"
-      (gauge "w3.reader_blocked_slices_snapshot");
-  if gauge "w3.reader_blocked_slices_locking" < 1.0 then
-    fail "w3: locking readers never blocked - the contrast arm is not exercising 2PL";
-  if gauge "w3.olap_p95_snapshot_s" >= gauge "w3.olap_p95_locking_s" then
-    fail "w3: snapshot OLAP p95 (%gs) does not beat locking p95 (%gs)"
-      (gauge "w3.olap_p95_snapshot_s") (gauge "w3.olap_p95_locking_s");
-  Printf.printf "bench-json: %s ok (%d experiments, %d histograms, %d gauges)\n" file
-    (List.length experiments) (Hashtbl.length seen) (Hashtbl.length gauges)
+  match Bench_check.validate ~strict:true doc with
+  | Ok summary -> Printf.printf "bench-json: %s ok (%s)\n" file summary
+  | Error msg -> die "%s" msg
