@@ -46,6 +46,8 @@ let experiments =
      fun ~scale -> E.Exp_batching.run_t5 ~scale);
     ("w4", "resumable bootstrap: crash sweep with resume, restart cost, lease exclusion",
      fun ~scale -> E.Exp_bootstrap.run_bench ~scale);
+    ("w5", "domain-parallel snapshot OLAP: throughput/p95 vs domain count under refresh",
+     fun ~scale -> E.Exp_parallel.run_w5 ~scale);
     ("s1", "Section 3.1.2: snapshot differential vs other methods",
      fun ~scale -> E.Exp_snapshot.run ~scale);
     ("r1", "Sections 2.2/4.1: replicated sources and reconciliation",
@@ -75,10 +77,7 @@ let run_captured ~scale ids =
       if not (want id) then None
       else begin
         let sink = Metrics.create () in
-        Metrics.set_sink (Some sink);
-        Fun.protect
-          ~finally:(fun () -> Metrics.set_sink None)
-          (fun () ->
+        Metrics.with_sink (Some sink) (fun () ->
             let t0 = Unix.gettimeofday () in
             f ~scale;
             Some (id, Unix.gettimeofday () -. t0, sink))

@@ -51,14 +51,20 @@ and t = {
   group : Group_commit.t;
   mutable yield_hook : (unit -> unit) option;
   mutable block_hook : (txid:int -> blockers:int list -> unit) option;
+  (* serialises txid allocation, the active-transaction table, and the
+     commit CSN-bump + version publish pair, so snapshot transactions
+     can begin/end on reader domains while a writer domain commits; a
+     reader must never observe the new last_csn before the writer's
+     version entries are published under it *)
+  txn_lock : Mutex.t;
 }
 
-let create ?(pool_pages = 256) ?(archive_log = false) ~vfs ~name () =
+let create ?(pool_pages = 256) ?(pool_stripes = 1) ?(archive_log = false) ~vfs ~name () =
   let wal = Wal.create vfs ~name:(name ^ ".wal") ~archive:archive_log in
   {
     db_name = name;
     vfs;
-    pool = Buffer_pool.create ~vfs ~capacity:pool_pages;
+    pool = Buffer_pool.create ~stripes:pool_stripes ~vfs ~capacity:pool_pages ();
     wal;
     locks = Lock_manager.create ~metrics:(Vfs.metrics vfs) ();
     vstore = Version_store.create ();
@@ -73,6 +79,7 @@ let create ?(pool_pages = 256) ?(archive_log = false) ~vfs ~name () =
     group = Group_commit.create wal;
     yield_hook = None;
     block_hook = None;
+    txn_lock = Mutex.create ();
   }
 
 let name t = t.db_name
@@ -160,26 +167,34 @@ let version_store t = t.vstore
 
 (* the oldest snapshot any active reader holds; with no readers the
    newest committed CSN — entries superseded at or below it are dead *)
+let locked_txn t f = Mutex.protect t.txn_lock f
+
 let gc_horizon t =
-  Hashtbl.fold
-    (fun _ txn acc -> if txn.mode = `Snapshot then min txn.snapshot_csn acc else acc)
-    t.active t.last_csn
+  locked_txn t (fun () ->
+      Hashtbl.fold
+        (fun _ txn acc -> if txn.mode = `Snapshot then min txn.snapshot_csn acc else acc)
+        t.active t.last_csn)
 
 let vstore_gc t =
   if Version_store.entries t.vstore > 0 then
     ignore (Version_store.gc t.vstore ~horizon:(gc_horizon t) : int)
 
 let begin_txn ?(mode = `Read_write) t =
-  let id = t.next_txid in
-  t.next_txid <- id + 1;
   let txn =
-    { id; mode; snapshot_csn = t.last_csn; undo_log = []; in_trigger = false; finished = false }
+    locked_txn t (fun () ->
+        let id = t.next_txid in
+        t.next_txid <- id + 1;
+        let txn =
+          { id; mode; snapshot_csn = t.last_csn; undo_log = []; in_trigger = false;
+            finished = false }
+        in
+        Hashtbl.add t.active id txn;
+        txn)
   in
-  Hashtbl.add t.active id txn;
   (* snapshot transactions log nothing: they cannot write, so neither
      recovery nor the group-commit barrier ever needs to see them *)
   if mode = `Read_write then
-    ignore (Wal.append t.wal { Log_record.tx = id; body = Log_record.Begin } : Wal.lsn);
+    ignore (Wal.append t.wal { Log_record.tx = txn.id; body = Log_record.Begin } : Wal.lsn);
   txn
 
 let txid txn = txn.id
@@ -195,7 +210,7 @@ let check_writable txn =
 
 let finish t txn =
   txn.finished <- true;
-  Hashtbl.remove t.active txn.id;
+  locked_txn t (fun () -> Hashtbl.remove t.active txn.id);
   Lock_manager.release_all t.locks txn.id
 
 let commit t txn =
@@ -210,9 +225,13 @@ let commit t txn =
     (* the CSN is assigned in WAL commit-record order; under group commit
        the fsync is deferred but in-process visibility is immediate, so
        publication happens here either way *)
-    let csn = t.last_csn + 1 in
-    t.last_csn <- csn;
-    Version_store.publish t.vstore ~tx:txn.id ~csn;
+    locked_txn t (fun () ->
+        let csn = t.last_csn + 1 in
+        t.last_csn <- csn;
+        (* publish under the same critical section as the CSN bump: a
+           snapshot beginning between the two would read the new CSN but
+           resolve through still-pending entries to the old images *)
+        Version_store.publish t.vstore ~tx:txn.id ~csn);
     (match t.sync_mode with
      | `Every_commit -> Wal.flush t.wal
      | `Group _ | `Group_policy _ -> Group_commit.note_commit t.group);
@@ -267,7 +286,9 @@ let with_txn t f =
     if not txn.finished then abort t txn;
     raise e
 
-let active_txns t = Hashtbl.fold (fun id _ acc -> id :: acc) t.active [] |> List.sort compare
+let active_txns t =
+  locked_txn t (fun () -> Hashtbl.fold (fun id _ acc -> id :: acc) t.active [])
+  |> List.sort compare
 
 (* locking *)
 
@@ -867,9 +888,10 @@ let recover t =
   Version_store.clear t.vstore;
   stats
 
-let reopen ?(pool_pages = 256) ?(archive_log = false) ~vfs ~name ~tables:table_specs () =
+let reopen ?(pool_pages = 256) ?(pool_stripes = 1) ?(archive_log = false) ~vfs ~name
+    ~tables:table_specs () =
   (* Wal.create adopts the surviving segments (truncating torn tails) *)
-  let t = create ~pool_pages ~archive_log ~vfs ~name () in
+  let t = create ~pool_pages ~pool_stripes ~archive_log ~vfs ~name () in
   List.iter
     (fun (tname, schema, ts_column) ->
       let fname = heap_file_name name tname in

@@ -29,6 +29,7 @@ exception Deadlock_abort of { tx : int; blockers : int list }
 
 val create :
   ?pool_pages:int ->  (* buffer-pool frames, default 256 *)
+  ?pool_stripes:int ->  (* buffer-pool lock stripes, default 1 *)
   ?archive_log:bool ->  (* the paper's "archiving turned on", default false *)
   vfs:Dw_storage.Vfs.t ->
   name:string ->
@@ -215,6 +216,7 @@ val recover : t -> Dw_txn.Recovery.stats
 
 val reopen :
   ?pool_pages:int ->
+  ?pool_stripes:int ->
   ?archive_log:bool ->
   vfs:Dw_storage.Vfs.t ->
   name:string ->

@@ -22,7 +22,7 @@ exception Reject of string
 let fail fmt = Printf.ksprintf (fun msg -> raise (Reject msg)) fmt
 
 (* the quick-mode subset whose metrics the strict gates reference *)
-let gated_ids = [ "t3"; "w1"; "t5"; "w3"; "w4" ]
+let gated_ids = [ "t3"; "w1"; "t5"; "w3"; "w4"; "w5" ]
 
 let require_member name j =
   match Json.member name j with
@@ -46,6 +46,7 @@ let required_histograms =
   [
     "wal.fsync"; "pool.miss"; "warehouse.refresh"; "wal.group_size"; "warehouse.batch_size";
     "w3.olap_latency_snapshot"; "w3.olap_latency_locking"; "bootstrap.chunk_rows";
+    "w5.olap_latency_d1"; "w5.olap_latency_d4";
   ]
 
 (* deterministic results only: counter ratios and invariant flags, not
@@ -64,6 +65,8 @@ let required_gauges =
     "w3.batch_outage_s";
     "w4.restart_chunks"; "w4.resume_extra_chunks"; "w4.lease_refused";
     "w4.converged"; "w4.crash_points";
+    "w5.olap_qps_d1"; "w5.olap_qps_d4"; "w5.olap_p95_d1_s"; "w5.olap_p95_d4_s";
+    "w5.speedup_d4"; "w5.identical"; "w5.partitions";
   ]
 
 let check_experiment seen gauges j =
@@ -95,7 +98,7 @@ let check_experiment seen gauges j =
       fields
   | Some _ | None -> fail "experiment %S: \"histograms\" is not an object" id
 
-let check_gates seen gauges =
+let check_gates ~quick seen gauges =
   List.iter
     (fun name ->
       if not (Hashtbl.mem seen name) then
@@ -143,7 +146,19 @@ let check_gates seen gauges =
     fail "w4: resume re-did %g chunks, expected <= 1" (gauge "w4.resume_extra_chunks");
   if gauge "w4.restart_chunks" <= gauge "w4.resume_extra_chunks" then
     fail "w4: restart cost (%g chunks) does not exceed resume cost (%g chunks)"
-      (gauge "w4.restart_chunks") (gauge "w4.resume_extra_chunks")
+      (gauge "w4.restart_chunks") (gauge "w4.resume_extra_chunks");
+  (* w5's deterministic acceptance: the parallel read path returns exactly
+     the sequential results, and at 4 domains the overlapped-I/O scan is
+     at least 2x the single-domain throughput.  The speedup gate only
+     binds on full runs: quick mode shrinks the table to where fixed
+     per-query costs blur the ratio *)
+  if gauge "w5.identical" <> 1.0 then
+    fail "w5: parallel OLAP results diverge from the sequential executor";
+  if gauge "w5.partitions" < 1.0 then fail "w5: no scan partitions recorded";
+  let speedup = gauge "w5.speedup_d4" in
+  if (not quick) && speedup < 2.0 then
+    fail "w5: OLAP throughput speedup at 4 domains is %gx, expected >= 2x" speedup;
+  if speedup <= 0.0 then fail "w5: OLAP throughput speedup is %gx" speedup
 
 let validate ?(strict = true) doc =
   try
@@ -160,10 +175,11 @@ let validate ?(strict = true) doc =
       | Some l -> l
       | None -> fail "\"experiments\" is not a list"
     in
+    let quick = match Json.member "quick" doc with Some (Json.Bool b) -> b | _ -> false in
     let seen = Hashtbl.create 32 in
     let gauges = Hashtbl.create 32 in
     List.iter (check_experiment seen gauges) experiments;
-    if strict then check_gates seen gauges;
+    if strict then check_gates ~quick seen gauges;
     Ok
       (Printf.sprintf "%d experiments, %d histograms, %d gauges%s"
          (List.length experiments) (Hashtbl.length seen) (Hashtbl.length gauges)

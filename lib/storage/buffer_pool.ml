@@ -1,10 +1,20 @@
 module Metrics = Dw_util.Metrics
 
-(* Frames live in a fixed array; replacement order is an intrusive doubly
+(* Frames live in fixed arrays; replacement order is an intrusive doubly
    linked LRU list over frame indices (head = most recent, tail = victim),
    so a miss picks its victim in O(1) instead of scanning every frame.
    Invariant: a frame is on the LRU list iff [valid], on the free list
-   otherwise. *)
+   otherwise.
+
+   Striping: the pool is split into [stripes] independently-mutexed
+   sub-pools, each owning its share of the frame budget; a page maps to
+   a stripe by (file, page) hash, so parallel scan domains faulting
+   different pages contend only when they hash together.  One stripe
+   (the default) is byte-for-byte the old single-LRU behaviour, which
+   the eviction-order regression tests rely on.  [with_page] holds the
+   stripe mutex for the whole callback: the frame bytes are owned by the
+   caller until it returns, which is also what keeps page reads and
+   write-backs of the same page from interleaving. *)
 
 type frame = {
   mutable key : string * int;  (* file name, page number *)
@@ -16,19 +26,25 @@ type frame = {
   mutable next : int;  (* towards LRU; -1 = none *)
 }
 
-type t = {
-  vfs : Vfs.t;
+type stripe = {
   frames : frame array;
   table : (string * int, int) Hashtbl.t;  (* key -> frame index *)
   mutable mru : int;   (* -1 when the list is empty *)
   mutable lru : int;
   mutable free : int list;  (* invalid frames *)
+  stripe_lock : Mutex.t;
 }
 
-let create ~vfs ~capacity =
-  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+type t = {
+  vfs : Vfs.t;
+  stripes : stripe array;
+  (* file growth must be serialised across stripes: page numbers are
+     allocated from the current file size *)
+  append_lock : Mutex.t;
+}
+
+let mk_stripe capacity =
   {
-    vfs;
     frames =
       Array.init capacity (fun _ ->
           { key = ("", -1); data = Bytes.create Page.size; dirty = false; valid = false;
@@ -37,35 +53,55 @@ let create ~vfs ~capacity =
     mru = -1;
     lru = -1;
     free = List.init capacity Fun.id;
+    stripe_lock = Mutex.create ();
+  }
+
+let create ?(stripes = 1) ~vfs ~capacity () =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  if stripes < 1 then invalid_arg "Buffer_pool.create: stripes < 1";
+  let n = min stripes capacity (* every stripe gets at least one frame *) in
+  let base = capacity / n and rem = capacity mod n in
+  {
+    vfs;
+    stripes = Array.init n (fun i -> mk_stripe (base + if i < rem then 1 else 0));
+    append_lock = Mutex.create ();
   }
 
 let vfs t = t.vfs
+
+let stripe_count t = Array.length t.stripes
+
+let capacity t = Array.fold_left (fun acc sp -> acc + Array.length sp.frames) 0 t.stripes
 
 let page_count _t file = Vfs.size file / Page.size
 
 let metrics t = Vfs.metrics t.vfs
 
-(* ---- LRU list primitives ---- *)
+let stripe_for t key = t.stripes.(Hashtbl.hash key mod Array.length t.stripes)
 
-let unlink t i =
-  let f = t.frames.(i) in
-  (match f.prev with -1 -> t.mru <- f.next | p -> t.frames.(p).next <- f.next);
-  (match f.next with -1 -> t.lru <- f.prev | n -> t.frames.(n).prev <- f.prev);
+let locked m f = Mutex.protect m f
+
+(* ---- LRU list primitives (callers hold sp.stripe_lock) ---- *)
+
+let unlink sp i =
+  let f = sp.frames.(i) in
+  (match f.prev with -1 -> sp.mru <- f.next | p -> sp.frames.(p).next <- f.next);
+  (match f.next with -1 -> sp.lru <- f.prev | n -> sp.frames.(n).prev <- f.prev);
   f.prev <- -1;
   f.next <- -1
 
-let push_mru t i =
-  let f = t.frames.(i) in
+let push_mru sp i =
+  let f = sp.frames.(i) in
   f.prev <- -1;
-  f.next <- t.mru;
-  (match t.mru with -1 -> () | m -> t.frames.(m).prev <- i);
-  t.mru <- i;
-  if t.lru = -1 then t.lru <- i
+  f.next <- sp.mru;
+  (match sp.mru with -1 -> () | m -> sp.frames.(m).prev <- i);
+  sp.mru <- i;
+  if sp.lru = -1 then sp.lru <- i
 
-let touch t i =
-  if t.mru <> i then begin
-    unlink t i;
-    push_mru t i
+let touch sp i =
+  if sp.mru <> i then begin
+    unlink sp i;
+    push_mru sp i
   end
 
 let write_back t frame =
@@ -78,30 +114,30 @@ let write_back t frame =
   | Some _ | None -> ()
 
 (* an invalid frame if one exists, otherwise the least recently used *)
-let victim t =
-  match t.free with
+let victim sp =
+  match sp.free with
   | i :: rest ->
-    t.free <- rest;
+    sp.free <- rest;
     i
-  | [] -> t.lru
+  | [] -> sp.lru
 
-let load t file pno =
+let load t sp file pno =
   let key = (Vfs.name file, pno) in
-  match Hashtbl.find_opt t.table key with
+  match Hashtbl.find_opt sp.table key with
   | Some idx ->
     Metrics.incr (metrics t) "pool.hits";
-    touch t idx;
-    t.frames.(idx)
+    touch sp idx;
+    sp.frames.(idx)
   | None ->
     Metrics.incr (metrics t) "pool.misses";
     Metrics.time (metrics t) "pool.miss" (fun () ->
-        let idx = victim t in
-        let frame = t.frames.(idx) in
+        let idx = victim sp in
+        let frame = sp.frames.(idx) in
         if frame.valid then begin
           write_back t frame;
-          Hashtbl.remove t.table frame.key;
+          Hashtbl.remove sp.table frame.key;
           Metrics.incr (metrics t) "pool.evictions";
-          unlink t idx
+          unlink sp idx
         end;
         let data = Vfs.read_at file ~off:(pno * Page.size) ~len:Page.size in
         Bytes.blit data 0 frame.data 0 Page.size;
@@ -109,8 +145,8 @@ let load t file pno =
         frame.valid <- true;
         frame.dirty <- false;
         frame.file <- Some file;
-        Hashtbl.replace t.table key idx;
-        push_mru t idx;
+        Hashtbl.replace sp.table key idx;
+        push_mru sp idx;
         frame)
 
 let with_page t file pno ~dirty f =
@@ -118,38 +154,56 @@ let with_page t file pno ~dirty f =
     invalid_arg
       (Printf.sprintf "Buffer_pool.with_page: page %d outside file %s (%d pages)" pno
          (Vfs.name file) (page_count t file));
-  let frame = load t file pno in
-  if dirty then frame.dirty <- true;
-  f frame.data
+  let sp = stripe_for t (Vfs.name file, pno) in
+  locked sp.stripe_lock (fun () ->
+      let frame = load t sp file pno in
+      if dirty then frame.dirty <- true;
+      f frame.data)
 
 let append_page t file init =
-  let pno = page_count t file in
-  (* materialise the page on disk so page_count stays consistent *)
-  Vfs.write_at file ~off:(pno * Page.size) (Bytes.make Page.size '\000');
-  let frame = load t file pno in
-  frame.dirty <- true;
-  init frame.data;
-  pno
+  locked t.append_lock (fun () ->
+      let pno = page_count t file in
+      (* materialise the page on disk so page_count stays consistent *)
+      Vfs.write_at file ~off:(pno * Page.size) (Bytes.make Page.size '\000');
+      let sp = stripe_for t (Vfs.name file, pno) in
+      locked sp.stripe_lock (fun () ->
+          let frame = load t sp file pno in
+          frame.dirty <- true;
+          init frame.data);
+      pno)
 
 let flush_file t file =
   let fname = Vfs.name file in
   Array.iter
-    (fun frame ->
-      if frame.valid && fst frame.key = fname then write_back t frame)
-    t.frames
+    (fun sp ->
+      locked sp.stripe_lock (fun () ->
+          Array.iter
+            (fun frame ->
+              if frame.valid && fst frame.key = fname then write_back t frame)
+            sp.frames))
+    t.stripes
 
-let flush_all t = Array.iter (fun frame -> if frame.valid then write_back t frame) t.frames
+let flush_all t =
+  Array.iter
+    (fun sp ->
+      locked sp.stripe_lock (fun () ->
+          Array.iter (fun frame -> if frame.valid then write_back t frame) sp.frames))
+    t.stripes
 
 let invalidate_file t file =
   let fname = Vfs.name file in
-  Array.iteri
-    (fun i frame ->
-      if frame.valid && fst frame.key = fname then begin
-        Hashtbl.remove t.table frame.key;
-        frame.valid <- false;
-        frame.dirty <- false;
-        frame.file <- None;
-        unlink t i;
-        t.free <- i :: t.free
-      end)
-    t.frames
+  Array.iter
+    (fun sp ->
+      locked sp.stripe_lock (fun () ->
+          Array.iteri
+            (fun i frame ->
+              if frame.valid && fst frame.key = fname then begin
+                Hashtbl.remove sp.table frame.key;
+                frame.valid <- false;
+                frame.dirty <- false;
+                frame.file <- None;
+                unlink sp i;
+                sp.free <- i :: sp.free
+              end)
+            sp.frames))
+    t.stripes

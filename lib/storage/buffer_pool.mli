@@ -8,12 +8,26 @@
     Metric names (in the pool's own metrics registry, which is the Vfs
     registry): counters [pool.hits], [pool.misses], [pool.evictions],
     [pool.writebacks]; latency histogram [pool.miss] (one sample per miss,
-    covering victim selection, write-back and the page read). *)
+    covering victim selection, write-back and the page read).
+
+    {b Striping}: the frame budget can be split into independently-mutexed
+    stripes keyed by (file, page) hash so parallel scan domains fault
+    pages without serialising on one latch; [stripes = 1] (the default)
+    preserves the classic single global LRU order exactly. *)
 
 type t
 
-val create : vfs:Vfs.t -> capacity:int -> t
-(** [capacity] is the number of frames (>= 1). *)
+val create : ?stripes:int -> vfs:Vfs.t -> capacity:int -> unit -> t
+(** [capacity] is the number of frames (>= 1), divided as evenly as
+    possible over [stripes] (default 1) independently-locked sub-pools,
+    each with its own LRU list; [stripes] is clamped to [capacity] so
+    every stripe owns at least one frame. *)
+
+val stripe_count : t -> int
+(** Number of stripes actually created (after clamping). *)
+
+val capacity : t -> int
+(** Total frame count across all stripes. *)
 
 val vfs : t -> Vfs.t
 

@@ -106,9 +106,8 @@ let delete t rid =
   Buffer_pool.with_page t.pool t.file rid.page ~dirty:true (fun page -> Page.delete page rid.slot);
   if not (List.mem rid.page t.free_pages) then t.free_pages <- rid.page :: t.free_pages
 
-let iter t f =
-  let pages = page_count t in
-  for pno = 0 to pages - 1 do
+let iter_pages t ~from_page ~to_page f =
+  for pno = max 0 from_page to min (to_page - 1) (page_count t - 1) do
     (* copy out the used slots, then decode outside the page callback so
        [f] may itself touch the pool *)
     let records = ref [] in
@@ -118,6 +117,8 @@ let iter t f =
       (fun (slot, record) -> f { page = pno; slot } (Codec.decode_binary t.schema record 0))
       (List.rev !records)
   done
+
+let iter t f = iter_pages t ~from_page:0 ~to_page:(page_count t) f
 
 let fold t ~init ~f =
   let acc = ref init in
@@ -161,3 +162,14 @@ let exists_at t rid =
   if rid.page < 0 || rid.page >= page_count t then false
   else Buffer_pool.with_page t.pool t.file rid.page ~dirty:false (fun page ->
       rid.slot >= 0 && rid.slot < Page.capacity page && Page.is_used page rid.slot)
+
+let get_opt t rid =
+  if rid.page < 0 || rid.page >= page_count t then None
+  else
+    let record =
+      Buffer_pool.with_page t.pool t.file rid.page ~dirty:false (fun page ->
+          if rid.slot >= 0 && rid.slot < Page.capacity page && Page.is_used page rid.slot then
+            Some (Page.read_slot page rid.slot)
+          else None)
+    in
+    Option.map (fun r -> Codec.decode_binary t.schema r 0) record

@@ -41,6 +41,12 @@ val delete : t -> rid -> unit
 val iter : t -> (rid -> Tuple.t -> unit) -> unit
 (** Full scan in page order. *)
 
+val iter_pages : t -> from_page:int -> to_page:int -> (rid -> Tuple.t -> unit) -> unit
+(** Scan pages [from_page, to_page) in page order (clamped to the file),
+    copying each page's records out under its frame latch and decoding
+    outside it — the unit of work a partitioned parallel scan hands one
+    domain. *)
+
 val fold : t -> init:'a -> f:('a -> rid -> Tuple.t -> 'a) -> 'a
 val to_list : t -> (rid * Tuple.t) list
 val count : t -> int
@@ -56,3 +62,9 @@ val force_at : t -> rid -> bytes option -> unit
 
 val exists_at : t -> rid -> bool
 (** Is the slot currently occupied?  [false] for out-of-range rids. *)
+
+val get_opt : t -> rid -> Tuple.t option
+(** [Some] of the slot's tuple if occupied, [None] otherwise — the
+    occupancy check and the read happen under one page latch, so a
+    concurrent delete cannot slip between them (unlike pairing
+    {!exists_at} with {!get}). *)

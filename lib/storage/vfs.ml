@@ -37,11 +37,17 @@ module Fault = struct
 end
 
 (* growable byte store for the in-memory backend: random-access reads and
-   writes without copying the whole file *)
+   writes without copying the whole file.  Writes (and truncates) are
+   serialised by a per-file mutex so a write-back from one domain cannot
+   be lost under a concurrent growth realloc from another; reads stay
+   lock-free — they blit from whichever array the data pointer holds,
+   and a superseded array still carries valid pre-realloc content.
+   Writers never race on the same byte range: page frames are owned by
+   buffer-pool stripe locks and log appends have a single writer. *)
 module Mem_file = struct
-  type t = { mutable data : Bytes.t; mutable len : int }
+  type t = { mutable data : Bytes.t; mutable len : int; lock : Mutex.t }
 
-  let create () = { data = Bytes.create 4096; len = 0 }
+  let create () = { data = Bytes.create 4096; len = 0; lock = Mutex.create () }
 
   let ensure t capacity =
     if Bytes.length t.data < capacity then begin
@@ -60,12 +66,13 @@ module Mem_file = struct
     out
 
   let write t ~off src =
-    let len = Bytes.length src in
-    ensure t (off + len);
-    Bytes.blit src 0 t.data off len;
-    if off + len > t.len then t.len <- off + len
+    Mutex.protect t.lock (fun () ->
+        let len = Bytes.length src in
+        ensure t (off + len);
+        Bytes.blit src 0 t.data off len;
+        if off + len > t.len then t.len <- off + len)
 
-  let truncate t size = t.len <- size
+  let truncate t size = Mutex.protect t.lock (fun () -> t.len <- size)
 end
 
 type backend =

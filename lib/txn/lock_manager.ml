@@ -10,48 +10,84 @@ type tally = { mutable s_rows : int; mutable x_rows : int }
 
 module Metrics = Dw_util.Metrics
 
-type t = {
+(* Striping: lock state is sharded by TABLE NAME hash, so a [Table t]
+   lock and every [Row (t, _)] lock land in the same stripe — the
+   coarse-over-fine conflict check (table lock vs row tallies) never has
+   to look outside one stripe, and independent tables contend on
+   independent mutexes.  The wait-for graph stays GLOBAL under its own
+   mutex: a deadlock cycle can span tables in different stripes, and a
+   per-stripe graph would miss it.  No operation holds a stripe mutex
+   and the wait mutex at the same time, so no lock-order cycle exists. *)
+
+type stripe = {
   locks : (resource, (txid, mode) Hashtbl.t) Hashtbl.t;
-  wait_for : (txid, txid list) Hashtbl.t;  (* waiter -> blockers *)
   held : (txid, (resource, unit) Hashtbl.t) Hashtbl.t;
   row_tally : (string, (txid, tally) Hashtbl.t) Hashtbl.t;
+  stripe_lock : Mutex.t;
+}
+
+type t = {
+  stripes : stripe array;
+  wait_for : (txid, txid list) Hashtbl.t;  (* waiter -> blockers *)
+  wait_lock : Mutex.t;
   metrics : Metrics.t;
 }
 
-let create ?metrics () =
+let default_stripes = 8
+
+let create ?metrics ?(stripes = default_stripes) () =
+  if stripes < 1 then invalid_arg "Lock_manager.create: stripes < 1";
   {
-    locks = Hashtbl.create 64;
+    stripes =
+      Array.init stripes (fun _ ->
+          { locks = Hashtbl.create 64; held = Hashtbl.create 16;
+            row_tally = Hashtbl.create 16; stripe_lock = Mutex.create () });
     wait_for = Hashtbl.create 16;
-    held = Hashtbl.create 16;
-    row_tally = Hashtbl.create 16;
+    wait_lock = Mutex.create ();
     metrics = (match metrics with Some m -> m | None -> Metrics.create ());
   }
 
-let holders_tbl t resource =
-  match Hashtbl.find_opt t.locks resource with
+let stripe_count t = Array.length t.stripes
+
+let table_of_resource = function Table tname | Row (tname, _) -> tname
+
+let stripe_index t tname = Hashtbl.hash tname mod Array.length t.stripes
+let stripe_of t resource = stripe_index t (table_of_resource resource)
+let stripe_for t resource = t.stripes.(stripe_of t resource)
+
+let locked m f = Mutex.protect m f
+
+(* ---------- per-stripe state (callers hold sp.stripe_lock) ---------- *)
+
+let holders_tbl sp resource =
+  match Hashtbl.find_opt sp.locks resource with
   | Some tbl -> tbl
   | None ->
     let tbl = Hashtbl.create 4 in
-    Hashtbl.add t.locks resource tbl;
+    Hashtbl.add sp.locks resource tbl;
     tbl
 
-let holders t resource =
-  match Hashtbl.find_opt t.locks resource with
+let holders_unlocked sp resource =
+  match Hashtbl.find_opt sp.locks resource with
   | None -> []
   | Some tbl -> Hashtbl.fold (fun tx mode acc -> (tx, mode) :: acc) tbl []
 
+let holders t resource =
+  let sp = stripe_for t resource in
+  locked sp.stripe_lock (fun () -> holders_unlocked sp resource)
+
 let compatible a b = a = S && b = S
 
-let tally_tbl t tname =
-  match Hashtbl.find_opt t.row_tally tname with
+let tally_tbl sp tname =
+  match Hashtbl.find_opt sp.row_tally tname with
   | Some tbl -> tbl
   | None ->
     let tbl = Hashtbl.create 8 in
-    Hashtbl.add t.row_tally tname tbl;
+    Hashtbl.add sp.row_tally tname tbl;
     tbl
 
-let tally_for t tname tx =
-  let tbl = tally_tbl t tname in
+let tally_for sp tname tx =
+  let tbl = tally_tbl sp tname in
   match Hashtbl.find_opt tbl tx with
   | Some tally -> tally
   | None ->
@@ -60,10 +96,11 @@ let tally_for t tname tx =
     tally
 
 (* conflicting holders of [resource] in [mode], from [tx]'s viewpoint,
-   including coarse-grained conflicts between table and row locks *)
-let conflicts t tx resource mode =
+   including coarse-grained conflicts between table and row locks — all
+   within [resource]'s stripe, because a table and its rows share one *)
+let conflicts sp tx resource mode =
   let direct =
-    holders t resource
+    holders_unlocked sp resource
     |> List.filter (fun (other, held_mode) -> other <> tx && not (compatible mode held_mode))
     |> List.map fst
   in
@@ -72,13 +109,13 @@ let conflicts t tx resource mode =
     | Row (tname, _) ->
       (* a row lock conflicts with another transaction's table lock unless
          both are S *)
-      holders t (Table tname)
+      holders_unlocked sp (Table tname)
       |> List.filter (fun (other, held_mode) -> other <> tx && not (compatible mode held_mode))
       |> List.map fst
     | Table tname -> (
         (* a table lock conflicts with other transactions' row locks in the
            table (unless both S) *)
-        match Hashtbl.find_opt t.row_tally tname with
+        match Hashtbl.find_opt sp.row_tally tname with
         | None -> []
         | Some tbl ->
           Hashtbl.fold
@@ -91,19 +128,19 @@ let conflicts t tx resource mode =
   in
   List.sort_uniq compare (direct @ coarse)
 
-let record_held t tx resource =
+let record_held sp tx resource =
   let set =
-    match Hashtbl.find_opt t.held tx with
+    match Hashtbl.find_opt sp.held tx with
     | Some set -> set
     | None ->
       let set = Hashtbl.create 16 in
-      Hashtbl.add t.held tx set;
+      Hashtbl.add sp.held tx set;
       set
   in
   if not (Hashtbl.mem set resource) then Hashtbl.replace set resource ()
 
 (* would granting make [waiter] wait on someone who (transitively) waits
-   on [waiter]? *)
+   on [waiter]?  Callers hold t.wait_lock. *)
 let closes_cycle t waiter blockers =
   let visited = Hashtbl.create 16 in
   let rec reachable from =
@@ -118,11 +155,11 @@ let closes_cycle t waiter blockers =
   in
   List.exists reachable blockers
 
-let bump_tally t tx resource ~old_mode ~new_mode =
+let bump_tally sp tx resource ~old_mode ~new_mode =
   match resource with
   | Table _ -> ()
   | Row (tname, _) ->
-    let tally = tally_for t tname tx in
+    let tally = tally_for sp tname tx in
     (match old_mode with
      | Some S -> tally.s_rows <- tally.s_rows - 1
      | Some X -> tally.x_rows <- tally.x_rows - 1
@@ -133,73 +170,91 @@ let bump_tally t tx resource ~old_mode ~new_mode =
 
 let acquire t tx resource mode =
   Metrics.incr t.metrics "lock.acquires";
-  let blockers = conflicts t tx resource mode in
+  let sp = stripe_for t resource in
+  let blockers =
+    locked sp.stripe_lock (fun () ->
+        let blockers = conflicts sp tx resource mode in
+        (match blockers with
+         | [] ->
+           let tbl = holders_tbl sp resource in
+           let old_mode = Hashtbl.find_opt tbl tx in
+           let new_mode =
+             match old_mode, mode with
+             | Some X, _ -> X
+             | Some S, X -> X
+             | Some S, S -> S
+             | None, m -> m
+           in
+           if old_mode <> Some new_mode then begin
+             Hashtbl.replace tbl tx new_mode;
+             bump_tally sp tx resource ~old_mode ~new_mode
+           end;
+           record_held sp tx resource
+         | _ -> ());
+        blockers)
+  in
   match blockers with
   | [] ->
-    let tbl = holders_tbl t resource in
-    let old_mode = Hashtbl.find_opt tbl tx in
-    let new_mode =
-      match old_mode, mode with
-      | Some X, _ -> X
-      | Some S, X -> X
-      | Some S, S -> S
-      | None, m -> m
-    in
-    if old_mode <> Some new_mode then begin
-      Hashtbl.replace tbl tx new_mode;
-      bump_tally t tx resource ~old_mode ~new_mode
-    end;
-    record_held t tx resource;
-    Hashtbl.remove t.wait_for tx;
+    locked t.wait_lock (fun () -> Hashtbl.remove t.wait_for tx);
     Granted
   | _ ->
-    if closes_cycle t tx blockers then begin
-      Metrics.incr t.metrics "lock.deadlocks";
-      Deadlock blockers
-    end
-    else begin
-      Metrics.incr t.metrics "lock.blocks";
-      Hashtbl.replace t.wait_for tx blockers;
-      Blocked blockers
-    end
+    locked t.wait_lock (fun () ->
+        if closes_cycle t tx blockers then begin
+          Metrics.incr t.metrics "lock.deadlocks";
+          Deadlock blockers
+        end
+        else begin
+          Metrics.incr t.metrics "lock.blocks";
+          Hashtbl.replace t.wait_for tx blockers;
+          Blocked blockers
+        end)
 
 let release_all t tx =
-  (match Hashtbl.find_opt t.held tx with
-   | None -> ()
-   | Some set ->
-     Hashtbl.iter
-       (fun resource () ->
-         (match Hashtbl.find_opt t.locks resource with
-          | Some tbl ->
-            Hashtbl.remove tbl tx;
-            if Hashtbl.length tbl = 0 then Hashtbl.remove t.locks resource
-          | None -> ());
-         match resource with
-         | Row (tname, _) -> (
-             match Hashtbl.find_opt t.row_tally tname with
-             | Some tbl -> Hashtbl.remove tbl tx
-             | None -> ())
-         | Table _ -> ())
-       set;
-     Hashtbl.remove t.held tx);
-  Hashtbl.remove t.wait_for tx;
-  (* drop this tx from other waiters' blocker lists *)
-  let updates =
-    Hashtbl.fold
-      (fun waiter blockers acc ->
-        if List.mem tx blockers then (waiter, List.filter (fun b -> b <> tx) blockers) :: acc
-        else acc)
-      t.wait_for []
-  in
-  List.iter
-    (fun (waiter, blockers) ->
-      if blockers = [] then Hashtbl.remove t.wait_for waiter
-      else Hashtbl.replace t.wait_for waiter blockers)
-    updates
+  Array.iter
+    (fun sp ->
+      locked sp.stripe_lock (fun () ->
+          match Hashtbl.find_opt sp.held tx with
+          | None -> ()
+          | Some set ->
+            Hashtbl.iter
+              (fun resource () ->
+                (match Hashtbl.find_opt sp.locks resource with
+                 | Some tbl ->
+                   Hashtbl.remove tbl tx;
+                   if Hashtbl.length tbl = 0 then Hashtbl.remove sp.locks resource
+                 | None -> ());
+                match resource with
+                | Row (tname, _) -> (
+                    match Hashtbl.find_opt sp.row_tally tname with
+                    | Some tbl -> Hashtbl.remove tbl tx
+                    | None -> ())
+                | Table _ -> ())
+              set;
+            Hashtbl.remove sp.held tx))
+    t.stripes;
+  locked t.wait_lock (fun () ->
+      Hashtbl.remove t.wait_for tx;
+      (* drop this tx from other waiters' blocker lists *)
+      let updates =
+        Hashtbl.fold
+          (fun waiter blockers acc ->
+            if List.mem tx blockers then
+              (waiter, List.filter (fun b -> b <> tx) blockers) :: acc
+            else acc)
+          t.wait_for []
+      in
+      List.iter
+        (fun (waiter, blockers) ->
+          if blockers = [] then Hashtbl.remove t.wait_for waiter
+          else Hashtbl.replace t.wait_for waiter blockers)
+        updates)
 
 let held_by t tx =
-  match Hashtbl.find_opt t.held tx with
-  | Some set -> Hashtbl.fold (fun r () acc -> r :: acc) set []
-  | None -> []
+  Array.to_list t.stripes
+  |> List.concat_map (fun sp ->
+         locked sp.stripe_lock (fun () ->
+             match Hashtbl.find_opt sp.held tx with
+             | Some set -> Hashtbl.fold (fun r () acc -> r :: acc) set []
+             | None -> []))
 
-let waiting t tx = Hashtbl.mem t.wait_for tx
+let waiting t tx = locked t.wait_lock (fun () -> Hashtbl.mem t.wait_for tx)

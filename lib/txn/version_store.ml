@@ -17,9 +17,16 @@ type t = {
   (* writer txid -> rids it noted, for O(writes) publish/discard *)
   by_tx : (int, (string * Heap_file.rid) list ref) Hashtbl.t;
   mutable live : int;
+  (* one mutex over the whole store: parallel snapshot readers resolve
+     against it while a writer domain notes/publishes, and chain/entry
+     mutation is cheap relative to the page work around it *)
+  lock : Mutex.t;
 }
 
-let create () = { tables = Hashtbl.create 8; by_tx = Hashtbl.create 8; live = 0 }
+let create () =
+  { tables = Hashtbl.create 8; by_tx = Hashtbl.create 8; live = 0; lock = Mutex.create () }
+
+let locked t f = Mutex.protect t.lock f
 
 let table_tbl t table =
   match Hashtbl.find_opt t.tables table with
@@ -30,6 +37,7 @@ let table_tbl t table =
     tbl
 
 let note t ~tx ~table ~rid ~image =
+  locked t @@ fun () ->
   let tbl = table_tbl t table in
   let chain =
     match Hashtbl.find_opt tbl rid with
@@ -59,6 +67,7 @@ let note t ~tx ~table ~rid ~image =
   end
 
 let publish t ~tx ~csn =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.by_tx tx with
   | None -> ()
   | Some cell ->
@@ -76,6 +85,7 @@ let publish t ~tx ~csn =
     Hashtbl.remove t.by_tx tx
 
 let discard t ~tx =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.by_tx tx with
   | None -> ()
   | Some cell ->
@@ -96,6 +106,7 @@ let discard t ~tx =
     Hashtbl.remove t.by_tx tx
 
 let resolve t ~table ~rid ~csn =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.tables table with
   | None -> `Current
   | Some tbl -> (
@@ -114,14 +125,21 @@ let resolve t ~table ~rid ~csn =
          | Some { image = None; _ } -> `Absent))
 
 let iter_table t ~table f =
-  match Hashtbl.find_opt t.tables table with
-  | None -> ()
-  | Some tbl -> Hashtbl.iter (fun rid _ -> f rid) tbl
+  (* snapshot the rid set under the lock, call back outside it: [f]
+     typically resolves (which re-locks) or touches buffer-pool pages *)
+  let rids =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tables table with
+        | None -> []
+        | Some tbl -> Hashtbl.fold (fun rid _ acc -> rid :: acc) tbl [])
+  in
+  List.iter f rids
 
-let entries t = t.live
-let pending_txns t = Hashtbl.length t.by_tx
+let entries t = locked t (fun () -> t.live)
+let pending_txns t = locked t (fun () -> Hashtbl.length t.by_tx)
 
 let gc t ~horizon =
+  locked t @@ fun () ->
   let dropped = ref 0 in
   Hashtbl.iter
     (fun _table tbl ->
@@ -144,6 +162,7 @@ let gc t ~horizon =
   !dropped
 
 let drop_table t ~table =
+  locked t @@ fun () ->
   (match Hashtbl.find_opt t.tables table with
    | None -> ()
    | Some tbl ->
@@ -155,6 +174,7 @@ let drop_table t ~table =
     t.by_tx
 
 let clear t =
+  locked t @@ fun () ->
   Hashtbl.reset t.tables;
   Hashtbl.reset t.by_tx;
   t.live <- 0

@@ -1,0 +1,101 @@
+(* Fixed pool of worker domains with a shared FIFO work queue and a
+   deterministic join: [run_all] returns results in task-submission
+   order regardless of which domain ran what, and re-raises the
+   lowest-index exception after every task of the batch has settled, so
+   a failing parallel query cannot leave stragglers mutating shared
+   state behind the caller's back.
+
+   Shutdown drains: workers keep taking queued tasks until the queue is
+   empty AND the pool is stopped, then exit; [shutdown] joins them all,
+   so it is safe to call mid-sweep — every already-submitted task still
+   runs to completion before the domains are reclaimed. *)
+
+type t = {
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work : Condition.t; (* signalled when tasks arrive or on shutdown *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+  size : int;
+}
+
+let size t = t.size
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    let rec next () =
+      match Queue.take_opt t.queue with
+      | Some task ->
+        Mutex.unlock t.lock;
+        task ();
+        loop ()
+      | None ->
+        if t.stopped then Mutex.unlock t.lock
+        else begin
+          Condition.wait t.work t.lock;
+          next ()
+        end
+    in
+    next ()
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains < 1";
+  let t =
+    { queue = Queue.create (); lock = Mutex.create (); work = Condition.create ();
+      stopped = false; workers = []; size = domains }
+  in
+  t.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopped <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let run_all t fs =
+  let n = List.length fs in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let remaining = ref n in
+    let batch_lock = Mutex.create () in
+    let batch_done = Condition.create () in
+    let task i f () =
+      (match f () with
+       | v -> results.(i) <- Some v
+       | exception e -> errors.(i) <- Some e);
+      Mutex.lock batch_lock;
+      decr remaining;
+      if !remaining = 0 then Condition.signal batch_done;
+      Mutex.unlock batch_lock
+    in
+    Mutex.lock t.lock;
+    if t.stopped then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Domain_pool.run_all: pool is shut down"
+    end;
+    List.iteri (fun i f -> Queue.add (task i f) t.queue) fs;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    Mutex.lock batch_lock;
+    while !remaining > 0 do
+      Condition.wait batch_done batch_lock
+    done;
+    Mutex.unlock batch_lock;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    List.init n (fun i -> Option.get results.(i))
+  end
+
+let run t f = match run_all t [ f ] with [ v ] -> v | _ -> assert false
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,41 @@
+(** Fixed pool of OCaml 5 worker domains with a deterministic join.
+
+    A pool spawns its domains once ({!create}) and feeds them from a
+    shared FIFO queue; {!run_all} submits a batch of thunks and blocks
+    until every one has settled, returning results in {e submission
+    order} — the parallel schedule never leaks into the result shape,
+    which is what lets the partitioned OLAP scanner promise
+    byte-identical output to a sequential run.
+
+    Error discipline: worker domains never die on a task exception; the
+    exception is captured and re-raised (lowest submission index first)
+    by [run_all] after the whole batch has finished, so no task of a
+    failed batch is still running when the caller sees the exception.
+
+    {!shutdown} drains: already-queued tasks run to completion, then the
+    domains exit and are joined — safe to call mid-sweep. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn [domains] worker domains (>= 1, or [Invalid_argument]). *)
+
+val size : t -> int
+(** Number of worker domains the pool was created with. *)
+
+val run_all : t -> (unit -> 'a) list -> 'a list
+(** Run the thunks on the pool, blocking until all have settled;
+    results are in submission order.  Re-raises the lowest-index task
+    exception, if any, only after the whole batch has finished.  Raises
+    [Invalid_argument] on a pool that has been shut down. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [run t f] is [run_all t [f]] unwrapped. *)
+
+val shutdown : t -> unit
+(** Stop accepting batches, let workers drain the queue, and join every
+    domain.  Idempotent; concurrent [run_all] batches already submitted
+    complete normally first. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** Scoped pool: shuts down (and joins) even when the body raises. *)

@@ -1,6 +1,13 @@
 (* Instrumentation registry: counters, gauges, log-bucketed latency
    histograms, scoped timers and trace spans, all driven by a pluggable
-   clock so deterministic tests can substitute a Sim_clock. *)
+   clock so deterministic tests can substitute a Sim_clock.
+
+   Domain-safety: every registry carries one mutex guarding its entry
+   table and span state, so concurrent domains can mutate and fold the
+   same registry without torn histograms or Hashtbl corruption.  The
+   recording sink is an Atomic and is always mirrored-into OUTSIDE the
+   source registry's lock, so the only lock order is source -> sink and
+   no cycle can form. *)
 
 (* ---------- histogram bucketing ----------
 
@@ -47,6 +54,7 @@ type span_record = {
 
 type t = {
   entries : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
   mutable clock : clock;
   mutable span_stack : open_span list;
   mutable completed_spans : span_record list; (* newest first *)
@@ -64,7 +72,14 @@ and open_span = {
 let default_clock = Unix.gettimeofday
 
 let create () =
-  { entries = Hashtbl.create 32; clock = default_clock; span_stack = []; completed_spans = [] }
+  { entries = Hashtbl.create 32; lock = Mutex.create (); clock = default_clock;
+    span_stack = []; completed_spans = [] }
+
+(* Registry locking discipline: [locked] guards every read or write of
+   [entries]/span state; nothing inside a locked region may call another
+   locked operation on the same registry, nor touch a different registry
+   (mirroring happens after release). *)
+let locked t f = Mutex.protect t.lock f
 
 let set_clock t clock = t.clock <- clock
 let use_sim_clock t clk = t.clock <- (fun () -> float_of_int (Sim_clock.now clk))
@@ -76,12 +91,18 @@ let now t = t.clock ()
    mirrored into the sink (and finished spans are appended to it), so a
    bench harness can capture the union of per-Vfs registries an
    experiment creates internally without threading a registry through
-   every constructor. *)
+   every constructor.  The cell is an Atomic so concurrent domains see a
+   consistent sink; prefer the scoped {!with_sink} over the raw setter,
+   which restores the previous sink even when the thunk raises. *)
 
-let the_sink : t option ref = ref None
+let the_sink : t option Atomic.t = Atomic.make None
 
-let set_sink s = the_sink := s
-let sink () = !the_sink
+let set_sink s = Atomic.set the_sink s
+let sink () = Atomic.get the_sink
+
+let with_sink s f =
+  let old = Atomic.exchange the_sink s in
+  Fun.protect ~finally:(fun () -> Atomic.set the_sink old) f
 
 let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
 
@@ -93,6 +114,7 @@ let find_entry t name make =
     Hashtbl.add t.entries name e;
     e
 
+(* callers hold t.lock *)
 let counter_ref t name =
   match find_entry t name (fun () -> Counter (ref 0)) with
   | Counter r -> r
@@ -113,57 +135,67 @@ let histogram_of t name =
   | Histogram h -> h
   | e -> invalid_arg (Printf.sprintf "Metrics: %s is a %s, not a histogram" name (kind_name e))
 
-let mirror t f = match !the_sink with Some s when s != t -> f s | Some _ | None -> ()
+let mirror t f = match Atomic.get the_sink with Some s when s != t -> f s | Some _ | None -> ()
 
 (* ---------- counters ---------- *)
 
 let rec add t name n =
-  let r = counter_ref t name in
-  r := !r + n;
+  locked t (fun () ->
+      let r = counter_ref t name in
+      r := !r + n);
   mirror t (fun s -> add s name n)
 
 let incr t name = add t name 1
 
 let get t name =
-  match Hashtbl.find_opt t.entries name with Some (Counter r) -> !r | Some _ | None -> 0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with Some (Counter r) -> !r | Some _ | None -> 0)
 
 (* ---------- gauges ---------- *)
 
 let rec set_gauge t name v =
-  gauge_ref t name := v;
+  locked t (fun () -> gauge_ref t name := v);
   mirror t (fun s -> set_gauge s name v)
 
 let gauge t name =
-  match Hashtbl.find_opt t.entries name with Some (Gauge r) -> !r | Some _ | None -> 0.0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with Some (Gauge r) -> !r | Some _ | None -> 0.0)
 
 let gauges t =
-  Hashtbl.fold (fun k e acc -> match e with Gauge r -> (k, !r) :: acc | _ -> acc) t.entries []
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun k e acc -> match e with Gauge r -> (k, !r) :: acc | _ -> acc)
+        t.entries [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ---------- histograms ---------- *)
 
 let rec observe t name v =
-  let h = histogram_of t name in
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v;
-  let i = bucket_of v in
-  (match Hashtbl.find_opt h.h_buckets i with
-   | Some r -> Stdlib.incr r
-   | None -> Hashtbl.add h.h_buckets i (ref 1));
+  locked t (fun () ->
+      let h = histogram_of t name in
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      let i = bucket_of v in
+      match Hashtbl.find_opt h.h_buckets i with
+      | Some r -> Stdlib.incr r
+      | None -> Hashtbl.add h.h_buckets i (ref 1));
   mirror t (fun s -> observe s name v)
 
 let observed_count t name =
-  match Hashtbl.find_opt t.entries name with
-  | Some (Histogram h) -> h.h_count
-  | Some _ | None -> 0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some (Histogram h) -> h.h_count
+      | Some _ | None -> 0)
 
 let observed_sum t name =
-  match Hashtbl.find_opt t.entries name with
-  | Some (Histogram h) -> h.h_sum
-  | Some _ | None -> 0.0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some (Histogram h) -> h.h_sum
+      | Some _ | None -> 0.0)
 
+(* callers hold the registry lock of the histogram's owner *)
 let percentile_of_histogram h q =
   if h.h_count = 0 then 0.0
   else if q <= 0.0 then h.h_min
@@ -188,9 +220,10 @@ let percentile_of_histogram h q =
   end
 
 let percentile t name q =
-  match Hashtbl.find_opt t.entries name with
-  | Some (Histogram h) -> percentile_of_histogram h q
-  | Some _ | None -> 0.0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some (Histogram h) -> percentile_of_histogram h q
+      | Some _ | None -> 0.0)
 
 type histogram_summary = {
   count : int;
@@ -217,14 +250,17 @@ let summary_of_histogram h =
     }
 
 let summary t name =
-  match Hashtbl.find_opt t.entries name with
-  | Some (Histogram h) -> Some (summary_of_histogram h)
-  | Some _ | None -> None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some (Histogram h) -> Some (summary_of_histogram h)
+      | Some _ | None -> None)
 
 let histograms t =
-  Hashtbl.fold
-    (fun k e acc -> match e with Histogram h -> (k, summary_of_histogram h) :: acc | _ -> acc)
-    t.entries []
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun k e acc ->
+          match e with Histogram h -> (k, summary_of_histogram h) :: acc | _ -> acc)
+        t.entries [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ---------- scoped timers ---------- *)
@@ -246,54 +282,71 @@ let time t name f =
 
 type span = open_span
 
-let counters_snapshot t =
+(* callers hold t.lock *)
+let counters_snapshot_unlocked t =
   Hashtbl.fold (fun k e acc -> match e with Counter r -> (k, !r) :: acc | _ -> acc) t.entries []
 
-let start_span t name =
-  let parent = match t.span_stack with [] -> None | sp :: _ -> Some sp.sp_name in
-  let sp =
-    { sp_reg = t; sp_name = name; sp_parent = parent; sp_start = now t;
-      sp_counters = counters_snapshot t; sp_finished = false }
-  in
-  t.span_stack <- sp :: t.span_stack;
-  sp
+let counters_snapshot t = locked t (fun () -> counters_snapshot_unlocked t)
 
-let counter_deltas ~before t =
-  counters_snapshot t
+let start_span t name =
+  let start = now t in
+  locked t (fun () ->
+      let parent = match t.span_stack with [] -> None | sp :: _ -> Some sp.sp_name in
+      let sp =
+        { sp_reg = t; sp_name = name; sp_parent = parent; sp_start = start;
+          sp_counters = counters_snapshot_unlocked t; sp_finished = false }
+      in
+      t.span_stack <- sp :: t.span_stack;
+      sp)
+
+let counter_deltas_unlocked ~before t =
+  counters_snapshot_unlocked t
   |> List.filter_map (fun (k, v) ->
          let v0 = match List.assoc_opt k before with Some v0 -> v0 | None -> 0 in
          if v = v0 then None else Some (k, v - v0))
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let finish_span sp =
-  if not sp.sp_finished then begin
-    sp.sp_finished <- true;
-    let t = sp.sp_reg in
-    (* tolerate missed finishes below us: drop abandoned frames *)
-    t.span_stack <- List.filter (fun other -> other != sp && not other.sp_finished) t.span_stack;
-    let record =
-      {
-        span_name = sp.sp_name;
-        span_parent = sp.sp_parent;
-        span_start = sp.sp_start;
-        span_duration = now t -. sp.sp_start;
-        span_deltas = counter_deltas ~before:sp.sp_counters t;
-      }
-    in
-    t.completed_spans <- record :: t.completed_spans;
+  let t = sp.sp_reg in
+  let stop = now t in
+  let recorded =
+    locked t (fun () ->
+        if sp.sp_finished then None
+        else begin
+          sp.sp_finished <- true;
+          (* tolerate missed finishes below us: drop abandoned frames *)
+          t.span_stack <-
+            List.filter (fun other -> other != sp && not other.sp_finished) t.span_stack;
+          let record =
+            {
+              span_name = sp.sp_name;
+              span_parent = sp.sp_parent;
+              span_start = sp.sp_start;
+              span_duration = stop -. sp.sp_start;
+              span_deltas = counter_deltas_unlocked ~before:sp.sp_counters t;
+            }
+          in
+          t.completed_spans <- record :: t.completed_spans;
+          Some record
+        end)
+  in
+  match recorded with
+  | None -> ()
+  | Some record ->
     observe t sp.sp_name record.span_duration;
-    mirror t (fun s -> s.completed_spans <- record :: s.completed_spans)
-  end
+    mirror t (fun s -> locked s (fun () -> s.completed_spans <- record :: s.completed_spans))
 
 let with_span t name f =
   let sp = start_span t name in
   Fun.protect ~finally:(fun () -> finish_span sp) f
 
-let spans t = List.rev t.completed_spans
-let span_depth t = List.length t.span_stack
+let spans t = locked t (fun () -> List.rev t.completed_spans)
+let span_depth t = locked t (fun () -> List.length t.span_stack)
+
 let clear_spans t =
-  t.span_stack <- [];
-  t.completed_spans <- []
+  locked t (fun () ->
+      t.span_stack <- [];
+      t.completed_spans <- [])
 
 (* ---------- snapshots, reset, rendering ---------- *)
 
@@ -303,8 +356,10 @@ let snapshot t =
 let reset t =
   (* clear entries outright: keeping zeroed keys pollutes later snapshots
      of a registry shared across experiments with stale counters *)
-  Hashtbl.reset t.entries;
-  clear_spans t
+  locked t (fun () ->
+      Hashtbl.reset t.entries;
+      t.span_stack <- [];
+      t.completed_spans <- [])
 
 let diff ~before ~after =
   let tbl = Hashtbl.create 16 in
@@ -331,6 +386,7 @@ let pp ppf t =
 
 (* aggregate completed spans by (name, parent) for compact reporting *)
 let span_rollup t =
+  let completed = locked t (fun () -> t.completed_spans) in
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun r ->
@@ -338,7 +394,7 @@ let span_rollup t =
       match Hashtbl.find_opt tbl key with
       | Some (n, total) -> Hashtbl.replace tbl key (n + 1, total +. r.span_duration)
       | None -> Hashtbl.add tbl key (1, r.span_duration))
-    t.completed_spans;
+    completed;
   Hashtbl.fold (fun (name, parent) (n, total) acc -> (name, parent, n, total) :: acc) tbl []
   |> List.sort (fun (a, pa, _, _) (b, pb, _, _) -> compare (a, pa) (b, pb))
 

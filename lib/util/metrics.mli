@@ -21,7 +21,13 @@
     {!Sim_clock.t} ({!use_sim_clock}) for deterministic tests.
 
     A metric name denotes one kind; using it as another raises
-    [Invalid_argument]. *)
+    [Invalid_argument].
+
+    {b Domain-safety}: every registry operation (mutation, percentile
+    fold, reset, span bookkeeping) is serialised by a per-registry
+    mutex, so concurrent domains may share one registry; the recording
+    sink is atomic and scoped ({!with_sink}).  The clock setters are the
+    exception: install clocks before going parallel. *)
 
 type t
 
@@ -157,5 +163,14 @@ val to_json : t -> Json.t
     union of the per-Vfs registries an experiment creates internally.
     Not mirrored recursively (mutating the sink itself is local). *)
 
+val with_sink : t option -> (unit -> 'a) -> 'a
+(** [with_sink s f] installs [s] as the sink, runs [f], and restores the
+    previously installed sink even when [f] raises — the scoped form
+    harnesses should use instead of the raw {!set_sink}, which leaks the
+    installation on exception. *)
+
 val set_sink : t option -> unit
+(** Replace the process-global sink unconditionally.  Prefer
+    {!with_sink}; this remains for REPL-style use. *)
+
 val sink : unit -> t option

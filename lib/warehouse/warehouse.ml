@@ -38,8 +38,8 @@ type t = {
   mutable row_ops : int;  (* counted across integrations via triggers *)
 }
 
-let create ?pool_pages ~vfs ~name () =
-  let db = Db.create ?pool_pages ~vfs ~name () in
+let create ?pool_pages ?pool_stripes ~vfs ~name () =
+  let db = Db.create ?pool_pages ?pool_stripes ~vfs ~name () in
   (* the warehouse resolves keyed predicates through the pk index, unlike
      the paper's scan-bound operational sources *)
   Db.set_plan_mode db `Index_preferred;
@@ -450,7 +450,7 @@ let integrate_value_delta (t : t) delta =
   Metrics.with_span (Db.metrics t.db) "warehouse.refresh" @@ fun () ->
   let table = delta.Delta.table in
   let schema = delta.Delta.schema in
-  let start = Unix.gettimeofday () in
+  let start = Metrics.now (Db.metrics t.db) in
   let row_ops0 = t.row_ops in
   let statements = ref 0 in
   (* the differential file is data; the integrator turns each record into
@@ -483,12 +483,12 @@ let integrate_value_delta (t : t) delta =
     txns = 1;
     statements = !statements;
     row_ops = t.row_ops - row_ops0;
-    duration = Unix.gettimeofday () -. start;
+    duration = Metrics.now (Db.metrics t.db) -. start;
   }
 
 let integrate_op_delta (t : t) od =
   Metrics.with_span (Db.metrics t.db) "warehouse.refresh" @@ fun () ->
-  let start = Unix.gettimeofday () in
+  let start = Metrics.now (Db.metrics t.db) in
   let row_ops0 = t.row_ops in
   let statements = ref 0 in
   Db.with_txn t.db (fun txn ->
@@ -505,7 +505,7 @@ let integrate_op_delta (t : t) od =
     txns = 1;
     statements = !statements;
     row_ops = t.row_ops - row_ops0;
-    duration = Unix.gettimeofday () -. start;
+    duration = Metrics.now (Db.metrics t.db) -. start;
   }
 
 (* ---------- replica-less (view-only) maintenance ---------- *)
@@ -570,7 +570,7 @@ let viewonly_after_image schema sets before =
 
 let integrate_op_delta_viewonly (t : t) od =
   Metrics.with_span (Db.metrics t.db) "warehouse.refresh" @@ fun () ->
-  let start = Unix.gettimeofday () in
+  let start = Metrics.now (Db.metrics t.db) in
   let row_ops0 = t.row_ops in
   let statements = ref 0 in
   let module Ast = Dw_sql.Ast in
@@ -621,7 +621,7 @@ let integrate_op_delta_viewonly (t : t) od =
     txns = 1;
     statements = !statements;
     row_ops = t.row_ops - row_ops0;
-    duration = Unix.gettimeofday () -. start;
+    duration = Metrics.now (Db.metrics t.db) -. start;
   }
 
 let integrate_op_deltas t ods =
@@ -648,7 +648,7 @@ let validate_batch_policy p =
    transaction, re-executing every statement in source commit order *)
 let integrate_op_delta_run (t : t) ods =
   Metrics.with_span (Db.metrics t.db) "warehouse.refresh" @@ fun () ->
-  let start = Unix.gettimeofday () in
+  let start = Metrics.now (Db.metrics t.db) in
   let row_ops0 = t.row_ops in
   let statements = ref 0 in
   Db.with_txn t.db (fun txn ->
@@ -666,7 +666,7 @@ let integrate_op_delta_run (t : t) ods =
     txns = 1;
     statements = !statements;
     row_ops = t.row_ops - row_ops0;
-    duration = Unix.gettimeofday () -. start;
+    duration = Metrics.now (Db.metrics t.db) -. start;
   }
 
 let take n xs =
@@ -745,7 +745,7 @@ let upsert_row t txn ctx schema ~table tuple =
 
 let integrate_op_delta_marked (t : t) ~mark od =
   Metrics.with_span (Db.metrics t.db) "warehouse.refresh" @@ fun () ->
-  let start = Unix.gettimeofday () in
+  let start = Metrics.now (Db.metrics t.db) in
   let row_ops0 = t.row_ops in
   let statements = ref 0 in
   Db.with_txn t.db (fun txn ->
@@ -761,7 +761,7 @@ let integrate_op_delta_marked (t : t) ~mark od =
     txns = 1;
     statements = !statements;
     row_ops = t.row_ops - row_ops0;
-    duration = Unix.gettimeofday () -. start;
+    duration = Metrics.now (Db.metrics t.db) -. start;
   }
 
 let integrate_op_delta_images (t : t) ~table ~mark od =

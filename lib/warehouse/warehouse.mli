@@ -25,9 +25,12 @@ module Spj_view = Dw_core.Spj_view
 
 type t
 
-val create : ?pool_pages:int -> vfs:Dw_storage.Vfs.t -> name:string -> unit -> t
+val create :
+  ?pool_pages:int -> ?pool_stripes:int -> vfs:Dw_storage.Vfs.t -> name:string -> unit -> t
 (** An empty warehouse over its own engine instance; [`Index_preferred]
-    plan mode, no replicas or views yet. *)
+    plan mode, no replicas or views yet.  [pool_stripes] splits the
+    buffer pool into that many independently-latched stripes (default 1)
+    so parallel OLAP domains do not serialise on one pool lock. *)
 
 val db : t -> Db.t
 (** The warehouse-side engine (for metrics, scheduling and OLAP). *)

@@ -7,6 +7,7 @@
    run. *)
 
 module Cs = Dw_experiments.Crash_sim
+module Domain_pool = Dw_util.Domain_pool
 
 let failed = ref false
 
@@ -38,6 +39,45 @@ let () =
        ~stride:1 ());
   check "bootstrap (standard)"
     (Dw_experiments.Exp_bootstrap.explore_bootstrap ~stride:4 ());
+  (* domain-pool clean shutdown with a sweep mid-flight: a batch is
+     draining (some tasks still queued, some raising) while another domain
+     issues the shutdown — the batch must complete, the error must
+     propagate deterministically, and every worker must join *)
+  (try
+     let pool = Domain_pool.create ~domains:3 in
+     let batch =
+       Domain.spawn (fun () ->
+           match
+             Domain_pool.run_all pool
+               (List.init 64 (fun i () ->
+                    Unix.sleepf 0.001;
+                    if i = 40 then failwith "injected mid-sweep fault";
+                    i))
+           with
+           | _ -> `No_error
+           | exception Failure msg when msg = "injected mid-sweep fault" -> `Fault
+           | exception Invalid_argument _ -> `Not_started (* lost the race: fine *)
+           | exception e -> raise e)
+     in
+     Unix.sleepf 0.01;
+     Domain_pool.shutdown pool;
+     (match Domain.join batch with
+      | `Fault -> Printf.printf "domain pool: mid-sweep fault propagated, clean shutdown\n%!"
+      | `Not_started ->
+        Printf.printf "domain pool: shutdown won the race, batch refused cleanly\n%!"
+      | `No_error ->
+        failed := true;
+        Printf.printf "domain pool: FAIL — injected fault was swallowed\n%!");
+     (* after the joined shutdown, the pool must refuse further work
+        rather than hang *)
+     match Domain_pool.run pool (fun () -> ()) with
+     | () ->
+       failed := true;
+       Printf.printf "domain pool: FAIL — accepted work after shutdown\n%!"
+     | exception Invalid_argument _ -> ()
+   with e ->
+     failed := true;
+     Printf.printf "domain pool: FAIL — %s\n%!" (Printexc.to_string e));
   (match Cs.ship_under_faults ~bytes:(256 * 1024) ~fault_p:0.25 ~seed:123 () with
    | Ok (stats, true) when stats.Dw_transport.File_ship.retries > 0 ->
      Printf.printf "ship under faults: %d bytes, %d retries, byte-identical\n%!"

@@ -19,6 +19,7 @@ let () =
       ("batching", Test_batching.suite);
       ("crash", Test_crash.suite);
       ("mvcc", Test_mvcc.suite);
+      ("parallel", Test_parallel.suite);
       ("properties", Test_properties.suite);
       ("scheduler", Test_scheduler.suite);
     ]

@@ -136,7 +136,7 @@ let page_update_in_place () =
 let pool_hit_miss_evict () =
   let m = Metrics.create () in
   let vfs = Vfs.in_memory ~metrics:m () in
-  let pool = Buffer_pool.create ~vfs ~capacity:2 in
+  let pool = Buffer_pool.create ~vfs ~capacity:2 () in
   let f = Vfs.create vfs "pool.dat" in
   let p0 = Buffer_pool.append_page pool f (fun page -> Bytes.set page 0 'A') in
   let p1 = Buffer_pool.append_page pool f (fun page -> Bytes.set page 0 'B') in
@@ -156,7 +156,7 @@ let pool_hit_miss_evict () =
 
 let pool_dirty_flush () =
   let vfs = Vfs.in_memory () in
-  let pool = Buffer_pool.create ~vfs ~capacity:4 in
+  let pool = Buffer_pool.create ~vfs ~capacity:4 () in
   let f = Vfs.create vfs "flush.dat" in
   let p0 = Buffer_pool.append_page pool f (fun page -> Bytes.set page 0 'x') in
   Buffer_pool.with_page pool f p0 ~dirty:true (fun page -> Bytes.set page 0 'y');
@@ -173,7 +173,7 @@ let pool_dirty_flush () =
 let pool_lru_eviction_order () =
   let m = Metrics.create () in
   let vfs = Vfs.in_memory ~metrics:m () in
-  let pool = Buffer_pool.create ~vfs ~capacity:3 in
+  let pool = Buffer_pool.create ~vfs ~capacity:3 () in
   let f = Vfs.create vfs "lru.dat" in
   let pages =
     Array.init 4 (fun i ->
@@ -202,7 +202,7 @@ let pool_lru_eviction_order () =
 let pool_miss_histogram () =
   let m = Metrics.create () in
   let vfs = Vfs.in_memory ~metrics:m () in
-  let pool = Buffer_pool.create ~vfs ~capacity:4 in
+  let pool = Buffer_pool.create ~vfs ~capacity:4 () in
   let f = Vfs.create vfs "thrash.dat" in
   let n = 32 in
   let pages =
@@ -226,7 +226,7 @@ let pool_miss_histogram () =
 let pool_invalidate_refill () =
   let m = Metrics.create () in
   let vfs = Vfs.in_memory ~metrics:m () in
-  let pool = Buffer_pool.create ~vfs ~capacity:4 in
+  let pool = Buffer_pool.create ~vfs ~capacity:4 () in
   let f = Vfs.create vfs "inv.dat" in
   let pages =
     Array.init 4 (fun i ->
@@ -248,7 +248,7 @@ let pool_invalidate_refill () =
 
 let pool_out_of_range () =
   let vfs = Vfs.in_memory () in
-  let pool = Buffer_pool.create ~vfs ~capacity:2 in
+  let pool = Buffer_pool.create ~vfs ~capacity:2 () in
   let f = Vfs.create vfs "r.dat" in
   (try
      Buffer_pool.with_page pool f 0 ~dirty:false (fun _ -> ());
@@ -267,7 +267,7 @@ let heap_schema =
 
 let mk_heap () =
   let vfs = Vfs.in_memory () in
-  let pool = Buffer_pool.create ~vfs ~capacity:16 in
+  let pool = Buffer_pool.create ~vfs ~capacity:16 () in
   let f = Vfs.create vfs "heap.dat" in
   Heap_file.create pool f heap_schema
 
@@ -312,7 +312,7 @@ let heap_slot_reuse_after_delete () =
 
 let heap_attach () =
   let vfs = Vfs.in_memory () in
-  let pool = Buffer_pool.create ~vfs ~capacity:16 in
+  let pool = Buffer_pool.create ~vfs ~capacity:16 () in
   let f = Vfs.create vfs "heap2.dat" in
   let heap = Heap_file.create pool f heap_schema in
   for i = 0 to 49 do

@@ -291,7 +291,7 @@ let row id v = [| Value.Int id; Value.Str v |]
 let recovery_redo_undo () =
   let vfs = Vfs.in_memory () in
   let wal = Wal.create vfs ~name:"r.wal" ~archive:false in
-  let pool = Buffer_pool.create ~vfs ~capacity:8 in
+  let pool = Buffer_pool.create ~vfs ~capacity:8 () in
   let heap = Heap_file.create pool (Vfs.create vfs "t.heap") rec_schema in
   (* tx 1 commits an insert; tx 2 inserts but never commits; tx 3 commits a
      delete of tx1's row... build the log by hand *)
@@ -317,7 +317,7 @@ let recovery_redo_undo () =
 let recovery_update_images () =
   let vfs = Vfs.in_memory () in
   let wal = Wal.create vfs ~name:"r2.wal" ~archive:false in
-  let pool = Buffer_pool.create ~vfs ~capacity:8 in
+  let pool = Buffer_pool.create ~vfs ~capacity:8 () in
   let heap = Heap_file.create pool (Vfs.create vfs "t.heap") rec_schema in
   let r0 = rid 0 0 in
   let log records = List.iter (fun r -> ignore (Wal.append wal r : int)) records in
@@ -340,7 +340,7 @@ let recovery_update_images () =
 let recovery_idempotent () =
   let vfs = Vfs.in_memory () in
   let wal = Wal.create vfs ~name:"r3.wal" ~archive:false in
-  let pool = Buffer_pool.create ~vfs ~capacity:8 in
+  let pool = Buffer_pool.create ~vfs ~capacity:8 () in
   let heap = Heap_file.create pool (Vfs.create vfs "t.heap") rec_schema in
   let log records = List.iter (fun r -> ignore (Wal.append wal r : int)) records in
   log

@@ -275,10 +275,7 @@ let prop_span_balance =
 
 let metrics_sink_mirrors () =
   let s = Metrics.create () in
-  Metrics.set_sink (Some s);
-  Fun.protect
-    ~finally:(fun () -> Metrics.set_sink None)
-    (fun () ->
+  Metrics.with_sink (Some s) (fun () ->
       let m = Metrics.create () in
       let clk = Sim_clock.create () in
       Metrics.use_sim_clock m clk;
