@@ -48,6 +48,8 @@ let experiments =
      fun ~scale -> E.Exp_bootstrap.run_bench ~scale);
     ("w5", "domain-parallel snapshot OLAP: throughput/p95 vs domain count under refresh",
      fun ~scale -> E.Exp_parallel.run_w5 ~scale);
+    ("t6", "partitioned warehouse: refresh window vs partition count, staged parallel apply",
+     fun ~scale -> E.Exp_partition.run_t6 ~scale);
     ("s1", "Section 3.1.2: snapshot differential vs other methods",
      fun ~scale -> E.Exp_snapshot.run ~scale);
     ("r1", "Sections 2.2/4.1: replicated sources and reconciliation",

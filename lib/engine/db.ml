@@ -283,7 +283,14 @@ let with_txn t f =
     commit t txn;
     result
   | exception e ->
-    if not txn.finished then abort t txn;
+    (* a fail-stop fault means the simulated process is dead: skip the
+       in-memory undo pass.  The crash can land between a physical apply
+       and its undo note (e.g. inside a trigger's WAL append), so the
+       undo log no longer matches the heap — and recovery rebuilds from
+       the WAL on reopen anyway *)
+    (match e with
+     | Dw_storage.Vfs.Fault.Crash _ -> ()
+     | _ -> if not txn.finished then abort t txn);
     raise e
 
 let active_txns t =

@@ -1,0 +1,200 @@
+module Partition = Dw_warehouse.Partition
+module Op_delta = Dw_core.Op_delta
+module Ast = Dw_sql.Ast
+module Expr = Dw_relation.Expr
+module Value = Dw_relation.Value
+
+type route =
+  | To of int
+  | All
+
+(* conservative key bounds from a WHERE clause: conjunctions of
+   comparisons between the partition-key column and integer literals
+   (the same shape the engine's index planner recognises); anything it
+   cannot see keeps the bounds open and the statement broadcasts *)
+let key_bounds ~key where =
+  let lo = ref None and hi = ref None in
+  let set_lo v = lo := (match !lo with None -> Some v | Some x -> Some (max x v)) in
+  let set_hi v = hi := (match !hi with None -> Some v | Some x -> Some (min x v)) in
+  let int_of = function Value.Int n | Value.Date n -> Some n | _ -> None in
+  let rec go e =
+    match e with
+    | Expr.And (a, b) ->
+      go a;
+      go b
+    | Expr.Cmp (op, Expr.Col c, Expr.Lit v) when c = key -> (
+        match int_of v with
+        | None -> ()
+        | Some n -> (
+            match op with
+            | Expr.Eq ->
+              set_lo n;
+              set_hi n
+            | Expr.Ge -> set_lo n
+            | Expr.Gt -> set_lo (n + 1)
+            | Expr.Le -> set_hi n
+            | Expr.Lt -> set_hi (n - 1)
+            | Expr.Neq -> ()))
+    | Expr.Cmp (op, Expr.Lit v, Expr.Col c) when c = key -> (
+        match int_of v with
+        | None -> ()
+        | Some n -> (
+            match op with
+            | Expr.Eq ->
+              set_lo n;
+              set_hi n
+            | Expr.Le -> set_lo n
+            | Expr.Lt -> set_lo (n + 1)
+            | Expr.Ge -> set_hi n
+            | Expr.Gt -> set_hi (n - 1)
+            | Expr.Neq -> ()))
+    | Expr.Cmp _ | Expr.Or _ | Expr.Not _ | Expr.Is_null _ | Expr.Is_not_null _
+    | Expr.Col _ | Expr.Lit _ | Expr.Binop _ ->
+      ()
+  in
+  Option.iter go where;
+  (!lo, !hi)
+
+(* a bounded key interval confines the statement to one partition when
+   both endpoints land there AND routing is monotonic over the interval:
+   always for Range (contiguous key runs map to contiguous partitions),
+   only for a point interval under Hash *)
+let route_bounds spec = function
+  | Some lo, Some hi when lo = hi -> To (Partition.route_key spec lo)
+  | Some lo, Some hi -> (
+      match Partition.method_ spec with
+      | Partition.Range _ ->
+        let pl = Partition.route_key spec lo and ph = Partition.route_key spec hi in
+        if pl = ph then To pl else All
+      | Partition.Hash _ -> All)
+  | _ -> All
+
+let key_value ~table v =
+  match v with
+  | Value.Int k | Value.Date k -> k
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Stage: non-integer partition key %s in INSERT into %s"
+         (Value.to_string v) table)
+
+(* index of the partition key inside an INSERT's value lists: explicit
+   column lists are searched; a schema-order insert relies on the fact
+   table's leading key column being the partition key, which
+   Partitioned.add_replica enforces *)
+let insert_key_index ~spec ~table columns =
+  match columns with
+  | None -> 0
+  | Some cols -> (
+      let key = Partition.key_column spec in
+      let rec find i = function
+        | [] ->
+          invalid_arg
+            (Printf.sprintf "Stage: INSERT into %s omits partition key %s" table key)
+        | c :: rest -> if String.equal c key then i else find (i + 1) rest
+      in
+      find 0 cols)
+
+let insert_row_route ~spec ~table ~key_idx row =
+  match List.nth_opt row key_idx with
+  | Some v -> Partition.route_key spec (key_value ~table v)
+  | None -> invalid_arg (Printf.sprintf "Stage: INSERT row into %s too short" table)
+
+let reject_key_update ~spec ~table sets =
+  let key = Partition.key_column spec in
+  if List.exists (fun (c, (_ : Expr.t)) -> String.equal c key) sets then
+    invalid_arg
+      (Printf.sprintf
+         "Stage: UPDATE %s assigns partition key %s (rows would migrate shards; capture \
+          such changes as DELETE + INSERT)"
+         table key)
+
+let route_stmt ~spec stmt =
+  let fact = Partition.table spec in
+  let table = Ast.table_of stmt in
+  if not (String.equal table fact) then All
+  else
+    match stmt with
+    | Ast.Insert { columns; rows; _ } -> (
+        let key_idx = insert_key_index ~spec ~table columns in
+        match rows with
+        | [] -> All
+        | row :: _ -> To (insert_row_route ~spec ~table ~key_idx row))
+    | Ast.Update { sets; where; _ } ->
+      reject_key_update ~spec ~table sets;
+      route_bounds spec (key_bounds ~key:(Partition.key_column spec) where)
+    | Ast.Delete { where; _ } ->
+      route_bounds spec (key_bounds ~key:(Partition.key_column spec) where)
+    | Ast.Select _ | Ast.Create_table _ -> All
+
+type stats = {
+  txns : int;
+  statements : int;
+  routed : int;
+  broadcast : int;
+  split_rows : int;
+}
+
+let split ~spec ods =
+  let n = Partition.partitions spec in
+  let fact = Partition.table spec in
+  let buckets = Array.make n [] in
+  let statements = ref 0 and routed = ref 0 and broadcast = ref 0 and split_rows = ref 0 in
+  List.iter
+    (fun (od : Op_delta.t) ->
+      let per_part = Array.make n [] in
+      let emit p op = per_part.(p) <- op :: per_part.(p) in
+      let emit_all op =
+        incr broadcast;
+        for p = 0 to n - 1 do
+          emit p op
+        done
+      in
+      List.iter
+        (fun (op : Op_delta.op) ->
+          incr statements;
+          let stmt = op.Op_delta.stmt in
+          match stmt with
+          | Ast.Insert { table; columns; rows } when String.equal table fact ->
+            (* decompose row-wise: each inserted row goes only to the
+               shard owning its key *)
+            let key_idx = insert_key_index ~spec ~table columns in
+            let row_buckets = Array.make n [] in
+            List.iter
+              (fun row ->
+                let p = insert_row_route ~spec ~table ~key_idx row in
+                row_buckets.(p) <- row :: row_buckets.(p))
+              rows;
+            split_rows := !split_rows + List.length rows;
+            incr routed;
+            Array.iteri
+              (fun p rws ->
+                if rws <> [] then
+                  emit p
+                    {
+                      Op_delta.stmt =
+                        Ast.Insert { table; columns; rows = List.rev rws };
+                      before_images = [];
+                    })
+              row_buckets
+          | _ -> (
+              match route_stmt ~spec stmt with
+              | To p ->
+                incr routed;
+                emit p op
+              | All -> emit_all op))
+        od.Op_delta.ops;
+      Array.iteri
+        (fun p ops ->
+          if ops <> [] then
+            buckets.(p) <-
+              { Op_delta.txn_id = od.Op_delta.txn_id; ops = List.rev ops } :: buckets.(p))
+        per_part)
+    ods;
+  ( Array.map List.rev buckets,
+    {
+      txns = List.length ods;
+      statements = !statements;
+      routed = !routed;
+      broadcast = !broadcast;
+      split_rows = !split_rows;
+    } )

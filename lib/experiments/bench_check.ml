@@ -22,7 +22,7 @@ exception Reject of string
 let fail fmt = Printf.ksprintf (fun msg -> raise (Reject msg)) fmt
 
 (* the quick-mode subset whose metrics the strict gates reference *)
-let gated_ids = [ "t3"; "w1"; "t5"; "w3"; "w4"; "w5" ]
+let gated_ids = [ "t3"; "w1"; "t5"; "w3"; "w4"; "w5"; "t6" ]
 
 let require_member name j =
   match Json.member name j with
@@ -46,7 +46,7 @@ let required_histograms =
   [
     "wal.fsync"; "pool.miss"; "warehouse.refresh"; "wal.group_size"; "warehouse.batch_size";
     "w3.olap_latency_snapshot"; "w3.olap_latency_locking"; "bootstrap.chunk_rows";
-    "w5.olap_latency_d1"; "w5.olap_latency_d4";
+    "w5.olap_latency_d1"; "w5.olap_latency_d4"; "stage.bucket_ops";
   ]
 
 (* deterministic results only: counter ratios and invariant flags, not
@@ -67,6 +67,8 @@ let required_gauges =
     "w4.converged"; "w4.crash_points";
     "w5.olap_qps_d1"; "w5.olap_qps_d4"; "w5.olap_p95_d1_s"; "w5.olap_p95_d4_s";
     "w5.speedup_d4"; "w5.identical"; "w5.partitions";
+    "t6.window_p1_s"; "t6.window_p4_s"; "t6.speedup_p4"; "t6.identical";
+    "t6.partitions";
   ]
 
 let check_experiment seen gauges j =
@@ -158,7 +160,18 @@ let check_gates ~quick seen gauges =
   let speedup = gauge "w5.speedup_d4" in
   if (not quick) && speedup < 2.0 then
     fail "w5: OLAP throughput speedup at 4 domains is %gx, expected >= 2x" speedup;
-  if speedup <= 0.0 then fail "w5: OLAP throughput speedup is %gx" speedup
+  if speedup <= 0.0 then fail "w5: OLAP throughput speedup is %gx" speedup;
+  (* t6's deterministic acceptance: the partitioned refresh is byte-
+     identical to the sequential integrator, and at 4 partitions the
+     staged parallel apply shrinks the refresh window at least 1.8x.
+     Like w5, the window-ratio gate binds on full runs only *)
+  if gauge "t6.identical" <> 1.0 then
+    fail "t6: partitioned refresh diverges from the sequential integrator";
+  if gauge "t6.partitions" < 1.0 then fail "t6: no partition arms recorded";
+  let t6_speedup = gauge "t6.speedup_p4" in
+  if (not quick) && t6_speedup < 1.8 then
+    fail "t6: refresh window shrink at 4 partitions is %gx, expected >= 1.8x" t6_speedup;
+  if t6_speedup <= 0.0 then fail "t6: refresh window ratio is %gx" t6_speedup
 
 let validate ?(strict = true) doc =
   try

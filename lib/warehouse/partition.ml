@@ -1,0 +1,148 @@
+module Value = Dw_relation.Value
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Db = Dw_engine.Db
+module Table = Dw_engine.Table
+module Expr = Dw_relation.Expr
+
+type method_ =
+  | Hash of int
+  | Range of int list
+
+type t = {
+  table : string;
+  key_column : string;
+  method_ : method_;
+}
+
+let valid_name s =
+  String.length s > 0
+  && String.for_all
+       (fun c -> not (c = ':' || c = ',' || c = ' ' || c = '\t' || c = '\n' || c = '\r'))
+       s
+
+let rec ascending = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> a < b && ascending rest
+
+let make ~table ~key_column method_ =
+  if not (valid_name table) then
+    invalid_arg (Printf.sprintf "Partition.make: bad table name %S" table);
+  if not (valid_name key_column) then
+    invalid_arg (Printf.sprintf "Partition.make: bad key column %S" key_column);
+  (match method_ with
+   | Hash n when n < 1 -> invalid_arg "Partition.make: Hash needs >= 1 partitions"
+   | Hash _ -> ()
+   | Range bounds when not (ascending bounds) ->
+     invalid_arg "Partition.make: Range bounds must be strictly ascending"
+   | Range _ -> ());
+  { table; key_column; method_ }
+
+let table t = t.table
+let key_column t = t.key_column
+let method_ t = t.method_
+
+let partitions t =
+  match t.method_ with Hash n -> n | Range bounds -> List.length bounds + 1
+
+(* a fixed multiplicative mix (splitmix64's odd constant) so hash
+   placement is stable across processes and OCaml versions — routing
+   must agree between the run that wrote a shard and the one re-adopting
+   it after a crash *)
+let mix k =
+  let h = k * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land max_int
+
+let route_key t k =
+  match t.method_ with
+  | Hash n -> mix k mod n
+  | Range bounds ->
+    let rec go i = function
+      | [] -> i
+      | b :: rest -> if k < b then i else go (i + 1) rest
+    in
+    go 0 bounds
+
+let route_value t v =
+  match v with
+  | Value.Int k | Value.Date k -> route_key t k
+  | Value.Float _ | Value.Bool _ | Value.Str _ | Value.Null ->
+    invalid_arg
+      (Printf.sprintf "Partition.route_value: %s key %s is not an integer" t.key_column
+         (Value.to_string v))
+
+let route_row t schema row = route_value t row.(Schema.index_of schema t.key_column)
+
+let to_string t =
+  match t.method_ with
+  | Hash n -> Printf.sprintf "hash:%s:%s:%d" t.table t.key_column n
+  | Range bounds ->
+    Printf.sprintf "range:%s:%s:%s" t.table t.key_column
+      (String.concat "," (List.map string_of_int bounds))
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "hash"; table; key_column; n ] -> (
+      match int_of_string_opt n with
+      | Some n -> (
+          try Ok (make ~table ~key_column (Hash n)) with Invalid_argument e -> Error e)
+      | None -> Error (Printf.sprintf "Partition.of_string: bad hash count %S" n))
+  | [ "range"; table; key_column; bounds ] -> (
+      let parts = if bounds = "" then [] else String.split_on_char ',' bounds in
+      match
+        List.fold_right
+          (fun b acc ->
+            match acc, int_of_string_opt b with
+            | Some acc, Some b -> Some (b :: acc)
+            | _, _ -> None)
+          parts (Some [])
+      with
+      | Some bounds -> (
+          try Ok (make ~table ~key_column (Range bounds)) with Invalid_argument e -> Error e)
+      | None -> Error (Printf.sprintf "Partition.of_string: bad range bounds %S" bounds))
+  | _ -> Error (Printf.sprintf "Partition.of_string: unrecognised spec %S" s)
+
+let equal a b = a.table = b.table && a.key_column = b.key_column && a.method_ = b.method_
+
+(* ---------- persistence ---------- *)
+
+let spec_table = "__partition_spec"
+let spec_len = 240
+
+let spec_schema =
+  Schema.make ~key_arity:1
+    [
+      { Schema.name = "id"; ty = Value.Tint; nullable = false };
+      { Schema.name = "shard"; ty = Value.Tint; nullable = false };
+      { Schema.name = "spec"; ty = Value.Tstring spec_len; nullable = false };
+    ]
+
+let save db ~shard t =
+  let s = to_string t in
+  if String.length s > spec_len then
+    invalid_arg (Printf.sprintf "Partition.save: spec %S too long" s);
+  if Db.table_opt db spec_table = None then
+    ignore (Db.create_table db ~name:spec_table spec_schema : Table.t);
+  Db.with_txn db (fun txn ->
+      let row = [| Value.Int 0; Value.Int shard; Value.Str s |] in
+      match Db.select db txn spec_table () with
+      | [] -> ignore (Db.insert db txn spec_table row : Dw_storage.Heap_file.rid)
+      | _ :: _ ->
+        ignore
+          (Db.update_where db txn spec_table
+             ~set:
+               [ ("shard", Expr.Lit (Value.Int shard)); ("spec", Expr.Lit (Value.Str s)) ]
+             ~where:None
+            : int))
+
+let load db =
+  match Db.table_opt db spec_table with
+  | None -> None
+  | Some _ -> (
+      match Db.with_txn db (fun txn -> Db.select db txn spec_table ()) with
+      | [] -> None
+      | [ [| _; Value.Int shard; Value.Str s |] ] -> (
+          match of_string s with
+          | Ok t -> Some (shard, t)
+          | Error e -> invalid_arg ("Partition.load: " ^ e))
+      | _ -> invalid_arg "Partition.load: corrupt __partition_spec table")

@@ -1,0 +1,287 @@
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Value = Dw_relation.Value
+module Expr = Dw_relation.Expr
+module Db = Dw_engine.Db
+module Table = Dw_engine.Table
+module Op_delta = Dw_core.Op_delta
+module Spj_view = Dw_core.Spj_view
+module Agg_view = Dw_core.Agg_view
+module Vfs = Dw_storage.Vfs
+module Domain_pool = Dw_util.Domain_pool
+module Metrics = Dw_util.Metrics
+
+type t = {
+  spec : Partition.t;
+  shards : Warehouse.t array;
+  vfss : Vfs.t array;
+}
+
+let spec t = t.spec
+let partitions t = Array.length t.shards
+let shard t i = t.shards.(i)
+let vfss t = t.vfss
+
+(* ---------- per-shard refresh watermark ---------- *)
+
+let progress_table = "__refresh_progress"
+
+let progress_schema =
+  Schema.make ~key_arity:1
+    [
+      { Schema.name = "id"; ty = Value.Tint; nullable = false };
+      { Schema.name = "applied"; ty = Value.Tint; nullable = false };
+    ]
+
+let init_progress db =
+  ignore (Db.create_table db ~name:progress_table progress_schema : Table.t);
+  Db.with_txn db (fun txn ->
+      ignore (Db.insert db txn progress_table [| Value.Int 0; Value.Int 0 |]
+               : Dw_storage.Heap_file.rid))
+
+let read_progress db txn =
+  match Db.select db txn progress_table () with
+  | [ [| _; Value.Int applied |] ] -> applied
+  | _ -> invalid_arg "Partitioned: corrupt __refresh_progress table"
+
+let set_progress db txn applied =
+  ignore
+    (Db.update_where db txn progress_table
+       ~set:[ ("applied", Expr.Lit (Value.Int applied)) ]
+       ~where:None
+      : int)
+
+let watermark_of wh =
+  let db = Warehouse.db wh in
+  Db.with_txn db (fun txn -> read_progress db txn)
+
+let watermarks t = Array.map watermark_of t.shards
+
+(* ---------- construction ---------- *)
+
+let create ?pool_pages ?pool_stripes ?(op_delay = 0.0) ~spec ~name () =
+  let n = Partition.partitions spec in
+  let vfss = Array.init n (fun _ -> Vfs.in_memory ~op_delay ()) in
+  let shards =
+    Array.init n (fun i ->
+        let wh =
+          Warehouse.create ?pool_pages ?pool_stripes ~vfs:vfss.(i)
+            ~name:(Printf.sprintf "%s_p%d" name i) ()
+        in
+        Partition.save (Warehouse.db wh) ~shard:i spec;
+        init_progress (Warehouse.db wh);
+        wh)
+  in
+  { spec; shards; vfss }
+
+let is_fact t table = String.equal table (Partition.table t.spec)
+
+let add_replica t ~table ~schema =
+  if is_fact t table then begin
+    let key = Partition.key_column t.spec in
+    if Schema.key_arity schema < 1 || (Schema.column schema 0).Schema.name <> key then
+      invalid_arg
+        (Printf.sprintf "Partitioned.add_replica: %s's leading key column must be %s" table
+           key)
+  end;
+  Array.iter (fun wh -> Warehouse.add_replica wh ~table ~schema) t.shards
+
+let load_replica t ~table rows =
+  if is_fact t table then begin
+    let schema =
+      match Db.table_opt (Warehouse.db t.shards.(0)) table with
+      | Some tbl -> Table.schema tbl
+      | None -> invalid_arg (Printf.sprintf "Partitioned.load_replica: no replica %s" table)
+    in
+    let buckets = Array.make (partitions t) [] in
+    List.iter
+      (fun row ->
+        let p = Partition.route_row t.spec schema row in
+        buckets.(p) <- row :: buckets.(p))
+      rows;
+    Array.iteri
+      (fun i bucket -> Warehouse.load_replica t.shards.(i) ~table (List.rev bucket))
+      buckets
+  end
+  else Array.iter (fun wh -> Warehouse.load_replica wh ~table rows) t.shards
+
+let define_view t view =
+  (match view with
+   | Spj_view.Select_project _ -> ()
+   | Spj_view.Join _ ->
+     invalid_arg
+       "Partitioned.define_view: join views need co-partitioned sides; only select-project \
+        views are supported");
+  Array.iter (fun wh -> Warehouse.define_view wh view) t.shards
+
+let define_agg_view t view = Array.iter (fun wh -> Warehouse.define_agg_view wh view) t.shards
+
+(* ---------- merged reads ---------- *)
+
+let replica_rows t table =
+  let rows =
+    if is_fact t table then
+      Array.to_list t.shards |> List.concat_map (fun wh -> Warehouse.replica_rows wh table)
+    else Warehouse.replica_rows t.shards.(0) table
+  in
+  List.sort Tuple.compare rows
+
+(* sum multiplicities of identical output rows across shards (a base row
+   lives on exactly one shard, but two shards' slices can project to the
+   same view row) *)
+let merge_counted rows_by_shard =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (List.iter (fun (row, count) ->
+         match Hashtbl.find_opt tbl row with
+         | Some c -> Hashtbl.replace tbl row (c + count)
+         | None ->
+           Hashtbl.add tbl row count;
+           order := row :: !order))
+    rows_by_shard;
+  List.rev_map (fun row -> (row, Hashtbl.find tbl row)) !order
+  |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
+
+let view_rows t name =
+  merge_counted (Array.to_list t.shards |> List.map (fun wh -> Warehouse.view_rows wh name))
+
+let merge_agg_value fn a b =
+  let add a b =
+    match a, b with
+    | Value.Int x, Value.Int y -> Value.Int (x + y)
+    | Value.Float x, Value.Float y -> Value.Float (x +. y)
+    | Value.Int x, Value.Float y | Value.Float y, Value.Int x ->
+      Value.Float (float_of_int x +. y)
+    | _ -> invalid_arg "Partitioned: non-numeric aggregate merge"
+  in
+  match fn with
+  | Agg_view.Count | Agg_view.Sum _ -> add a b
+  | Agg_view.Min _ -> if Value.compare a b <= 0 then a else b
+  | Agg_view.Max _ -> if Value.compare a b >= 0 then a else b
+
+let agg_view_rows t name =
+  (* the definition is identical on every shard; take it from shard 0's
+     registration to know group arity and aggregate functions *)
+  let adef =
+    match Warehouse.agg_view_def t.shards.(0) name with
+    | Some v -> v
+    | None -> raise Not_found
+  in
+  let groups = List.length adef.Agg_view.group_by in
+  let fns = List.map snd adef.Agg_view.aggregates in
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun wh ->
+      List.iter
+        (fun (row, count) ->
+          let key = Array.sub row 0 groups in
+          match Hashtbl.find_opt tbl key with
+          | None ->
+            Hashtbl.add tbl key (row, count);
+            order := key :: !order
+          | Some (existing, c) ->
+            let merged = Array.copy existing in
+            List.iteri
+              (fun i fn ->
+                merged.(groups + i) <- merge_agg_value fn existing.(groups + i) row.(groups + i))
+              fns;
+            Hashtbl.replace tbl key (merged, c + count))
+        (Warehouse.agg_view_rows wh name))
+    t.shards;
+  List.rev_map (fun key -> Hashtbl.find tbl key) !order
+  |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
+
+(* ---------- parallel refresh ---------- *)
+
+let take n xs =
+  let rec go n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] xs
+
+(* one shard's valve-governed apply: the same AIMD loop as the monolithic
+   integrate_op_deltas_batched, but reading this shard's own lock.wait
+   p95 — backpressure on one partition leaves the others' run lengths
+   alone *)
+let refresh_shard policy wh ods =
+  let db = Warehouse.db wh in
+  let metrics = Db.metrics db in
+  let wm = watermark_of wh in
+  let pending = List.filter (fun od -> od.Op_delta.txn_id > wm) ods in
+  let target = ref policy.Warehouse.max_batch in
+  let rec go acc = function
+    | [] -> acc
+    | rest ->
+      let run, rest = take !target rest in
+      Metrics.observe metrics "warehouse.batch_size" (float_of_int (List.length run));
+      let last =
+        List.fold_left (fun acc od -> max acc od.Op_delta.txn_id) 0 run
+      in
+      let mark txn = set_progress db txn last in
+      let acc = Warehouse.add_stats acc (Warehouse.integrate_op_delta_run_marked wh ~mark run) in
+      let p95 = Metrics.percentile metrics "lock.wait" 0.95 in
+      if p95 > policy.Warehouse.lock_wait_p95_s then
+        target := max policy.Warehouse.min_batch (!target / 2)
+      else target := min policy.Warehouse.max_batch (!target + 1);
+      Metrics.set_gauge metrics "warehouse.batch_size_target" (float_of_int !target);
+      go acc rest
+  in
+  go Warehouse.zero_stats pending
+
+let refresh ?(policy = Warehouse.default_batch_policy) ~pool t buckets =
+  Warehouse.validate_batch_policy policy;
+  if Array.length buckets <> partitions t then
+    invalid_arg
+      (Printf.sprintf "Partitioned.refresh: %d buckets for %d partitions"
+         (Array.length buckets) (partitions t));
+  Domain_pool.run_all pool
+    (List.init (partitions t) (fun i () -> refresh_shard policy t.shards.(i) buckets.(i)))
+  |> List.fold_left Warehouse.add_stats Warehouse.zero_stats
+
+(* ---------- crash re-adoption ---------- *)
+
+let reopen ?pool_pages ?pool_stripes ~replicas ~views ~agg_views ~spec ~name ~vfss () =
+  if Array.length vfss <> Partition.partitions spec then
+    invalid_arg
+      (Printf.sprintf "Partitioned.reopen: %d shard file systems for %d partitions"
+         (Array.length vfss) (Partition.partitions spec));
+  let catalog =
+    List.map (fun (table, schema) -> (table, schema, None)) replicas
+    @ List.map (fun v -> (Spj_view.name v, Warehouse.view_backing_schema v, None)) views
+    @ List.map
+        (fun (v : Agg_view.t) -> (v.Agg_view.name, Warehouse.agg_view_backing_schema v, None))
+        agg_views
+    @ [
+        (Partition.spec_table, Partition.spec_schema, None);
+        (progress_table, progress_schema, None);
+      ]
+  in
+  let shards =
+    Array.mapi
+      (fun i vfs ->
+        Vfs.crash_reset vfs;
+        let db, (_ : Dw_txn.Recovery.stats) =
+          Db.reopen ?pool_pages ?pool_stripes ~vfs ~name:(Printf.sprintf "%s_p%d" name i)
+            ~tables:catalog ()
+        in
+        (match Partition.load db with
+         | Some (shard, persisted) when shard = i && Partition.equal persisted spec -> ()
+         | Some (shard, persisted) ->
+           invalid_arg
+             (Printf.sprintf
+                "Partitioned.reopen: shard %d holds spec %s (shard %d), expected %s" i
+                (Partition.to_string persisted) shard (Partition.to_string spec))
+         | None ->
+           invalid_arg (Printf.sprintf "Partitioned.reopen: shard %d has no persisted spec" i));
+        let wh = Warehouse.attach ~db () in
+        List.iter (fun (table, _) -> Warehouse.attach_replica wh ~table) replicas;
+        List.iter (Warehouse.attach_view wh) views;
+        List.iter (Warehouse.attach_agg_view wh) agg_views;
+        wh)
+      vfss
+  in
+  { spec; shards; vfss }

@@ -1,0 +1,153 @@
+(** The partitioned warehouse: one engine shard per partition, refreshed
+    in parallel.
+
+    The engine ({!Dw_engine.Db}) is single-writer — its WAL, undo logs
+    and trigger path assume one mutating domain — so partitioning is
+    {e physical}: a partitioned warehouse is [partitions spec] complete
+    {!Warehouse.t} shards, each over its own {!Dw_storage.Vfs} (own WAL,
+    buffer pool, lock table and metrics registry), each owning exactly
+    the fact-table rows the {!Partition} spec routes to it.  Replicated
+    (dimension) tables are copied whole into every shard.  Because the
+    shards share no mutable engine state, {!refresh} can apply
+    independent partitions' delta buckets concurrently, one
+    {!Dw_util.Domain_pool} worker per shard, and each shard keeps the
+    PR 3 AIMD backpressure valve working against {e its own} [lock.wait]
+    p95 — a hot partition throttles without slowing its siblings.
+
+    {b Equivalence.}  The staged-and-partitioned refresh is logically
+    equivalent to {!Warehouse.integrate_op_deltas} on a monolithic
+    warehouse: every routed statement executes on the one shard owning
+    its rows, broadcast statements execute everywhere but only match
+    each shard's own rows, and per-partition delta order preserves
+    source commit order.  Merged reads ({!replica_rows}, {!view_rows},
+    {!agg_view_rows}) return sorted logical state, pinned equal to the
+    sequential integrator by a qcheck property (heap order is the one
+    thing scheduling may permute).  Aggregate merging combines COUNT and
+    SUM additively and MIN/MAX by comparison; exactness therefore relies
+    on associative addition — the pinned workloads aggregate integer
+    columns, and float SUMs may differ in low-order bits from the
+    monolithic accumulation order.
+
+    {b Crash semantics.}  Each shard stores an applied-through source
+    transaction id ([__refresh_progress]) committed in the same shard
+    transaction as every run it applies, so a crash mid-refresh leaves
+    every shard at a source-transaction boundary of its own bucket
+    stream, and re-running {!refresh} with the same buckets after
+    {!reopen} applies only what is missing — exactly-once per shard. *)
+
+module Schema = Dw_relation.Schema
+module Tuple = Dw_relation.Tuple
+module Db = Dw_engine.Db
+module Op_delta = Dw_core.Op_delta
+module Spj_view = Dw_core.Spj_view
+module Agg_view = Dw_core.Agg_view
+module Vfs = Dw_storage.Vfs
+module Domain_pool = Dw_util.Domain_pool
+
+type t
+(** A partitioned warehouse: [Partition.partitions spec] shards. *)
+
+val create :
+  ?pool_pages:int ->
+  ?pool_stripes:int ->
+  ?op_delay:float ->
+  spec:Partition.t ->
+  name:string ->
+  unit ->
+  t
+(** Build the shards, each over a fresh in-memory {!Vfs} (created with
+    [op_delay] simulated seconds per I/O — the experiments' I/O-bound
+    knob), persist [spec] into every shard's metadata, and create the
+    per-shard [__refresh_progress] watermark table.  [pool_pages] and
+    [pool_stripes] are per shard. *)
+
+val spec : t -> Partition.t
+(** The placement spec the warehouse was created (or reopened) with. *)
+
+val partitions : t -> int
+(** Shard count ([Partition.partitions (spec t)]). *)
+
+val shard : t -> int -> Warehouse.t
+(** Direct access to one shard (tests and metrics inspection; shard
+    registries are [Db.metrics (Warehouse.db (shard t i))]). *)
+
+val vfss : t -> Vfs.t array
+(** The per-shard file systems, index-aligned with shards — what a
+    crash explorer arms faults on and {!reopen} re-adopts. *)
+
+val add_replica : t -> table:string -> schema:Schema.t -> unit
+(** Create the replica on every shard.  For the partitioned fact table
+    ([Partition.table (spec t)]) the schema's leading key column must be
+    the spec's key column (raises [Invalid_argument] otherwise); any
+    other table is treated as replicated — every shard holds a full
+    copy. *)
+
+val load_replica : t -> table:string -> Tuple.t list -> unit
+(** Initial load: fact-table rows are routed each to its owning shard;
+    replicated-table rows are copied to every shard. *)
+
+val define_view : t -> Spj_view.t -> unit
+(** Define a select-project view on every shard (each maintains it over
+    its own row slice).  Join views raise [Invalid_argument]: their
+    cross-partition row pairs would be invisible to every shard. *)
+
+val define_agg_view : t -> Agg_view.t -> unit
+(** Define an aggregate view on every shard; reads merge the per-shard
+    groups ({!agg_view_rows}).  All of COUNT/SUM/MIN/MAX merge. *)
+
+val replica_rows : t -> string -> Tuple.t list
+(** Merged logical contents: the fact table is the concatenation of the
+    shards' slices, a replicated table is shard 0's copy; both sorted
+    (heap order is shard-local and scheduling-dependent). *)
+
+val view_rows : t -> string -> (Tuple.t * int) list
+(** Merged materialized view rows: per-shard multiplicities summed per
+    output row (each base row lives on exactly one shard), sorted. *)
+
+val agg_view_rows : t -> string -> (Tuple.t * int) list
+(** Merged aggregate view rows: group cardinalities and COUNT/SUM
+    combine additively, MIN/MAX by comparison, sorted by group. *)
+
+val watermarks : t -> int array
+(** Per-shard applied-through source transaction id (0 before any
+    refresh) — the exactly-once filter {!refresh} applies. *)
+
+val refresh :
+  ?policy:Warehouse.batch_policy ->
+  pool:Domain_pool.t ->
+  t ->
+  Op_delta.t list array ->
+  Warehouse.stats
+(** Apply staged per-partition delta buckets (index-aligned with shards,
+    as produced by [Dw_etl.Stage.split]) concurrently, one pool task per
+    shard.  Each shard filters its bucket by its watermark, then applies
+    valve-governed runs: each run is one shard transaction
+    ({!Warehouse.integrate_op_delta_run_marked}) carrying the watermark
+    advance, its size observed into that shard's [warehouse.batch_size]
+    histogram; the run-length target halves (floored at
+    [policy.min_batch]) when the {e shard's own} [lock.wait] p95 exceeds
+    [policy.lock_wait_p95_s] and recovers +1 otherwise — the per-
+    partition valve.  Returns summed stats (durations add across shards;
+    wall-clock is the caller's to measure).  Raises [Invalid_argument]
+    on a bucket array of the wrong length or an invalid policy. *)
+
+val reopen :
+  ?pool_pages:int ->
+  ?pool_stripes:int ->
+  replicas:(string * Schema.t) list ->
+  views:Spj_view.t list ->
+  agg_views:Agg_view.t list ->
+  spec:Partition.t ->
+  name:string ->
+  vfss:Vfs.t array ->
+  unit ->
+  t
+(** Re-adopt a crashed partitioned warehouse from its shards' surviving
+    bytes: per shard, {!Vfs.crash_reset} + {!Db.reopen} (catalog built
+    from [replicas], the views' backing schemas and the metadata
+    tables), then re-attach replicas, views and aggregate views without
+    re-materializing anything.  The persisted spec of every shard must
+    match [spec] (raises [Invalid_argument] on mismatch or a missing
+    spec row — the shard bytes belong to a different layout).  After
+    reopen, re-running {!refresh} with the same buckets completes an
+    interrupted refresh exactly-once. *)

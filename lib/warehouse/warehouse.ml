@@ -400,6 +400,9 @@ let agg_view_rows t name =
         rows := (agg_out_of ast row, agg_count_of ast.aback_schema row) :: !rows);
     List.sort (fun (a, _) (b, _) -> Tuple.compare a b) !rows
 
+let agg_view_def t name =
+  Option.map (fun ast -> ast.adef) (Hashtbl.find_opt t.agg_views name)
+
 let recompute_agg_view t name =
   match Hashtbl.find_opt t.agg_views name with
   | None -> raise Not_found
@@ -645,8 +648,11 @@ let validate_batch_policy p =
     invalid_arg "Warehouse: batch_policy.lock_wait_p95_s < 0"
 
 (* apply a run of consecutive source transactions as ONE warehouse
-   transaction, re-executing every statement in source commit order *)
-let integrate_op_delta_run (t : t) ods =
+   transaction, re-executing every statement in source commit order; the
+   mark callback runs inside the same transaction so progress records
+   (the partitioned refresh's per-shard watermark) commit atomically
+   with the run *)
+let integrate_op_delta_run_marked (t : t) ~mark ods =
   Metrics.with_span (Db.metrics t.db) "warehouse.refresh" @@ fun () ->
   let start = Metrics.now (Db.metrics t.db) in
   let row_ops0 = t.row_ops in
@@ -661,13 +667,16 @@ let integrate_op_delta_run (t : t) ods =
               | Ok _ -> ()
               | Error e -> invalid_arg ("Warehouse.integrate_op_delta_run: " ^ e))
             od.Op_delta.ops)
-        ods);
+        ods;
+      mark txn);
   {
     txns = 1;
     statements = !statements;
     row_ops = t.row_ops - row_ops0;
     duration = Metrics.now (Db.metrics t.db) -. start;
   }
+
+let integrate_op_delta_run (t : t) ods = integrate_op_delta_run_marked t ~mark:ignore ods
 
 let take n xs =
   let rec go n acc = function
@@ -725,6 +734,65 @@ let attach_replica t ~table =
         on = [ Trigger.On_insert; Trigger.On_delete; Trigger.On_update ];
         action = (fun ctx event -> maintain_views t table ctx event);
       }
+
+let view_backing_schema view = backing_schema (Spj_view.output_schema view)
+let agg_view_backing_schema view = backing_schema_keyed (Agg_view.output_schema view)
+
+(* register an existing view's definition without creating or
+   materializing its backing table — the resume path after a crash, where
+   the backing table's bytes were recovered by Db.reopen and only the
+   in-memory registration was lost *)
+let attach_view t view =
+  let name = Spj_view.name view in
+  if Hashtbl.mem t.views name || Hashtbl.mem t.viewonly name then
+    invalid_arg (Printf.sprintf "Warehouse.attach_view: %s already attached" name);
+  (match Spj_view.validate view with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Warehouse.attach_view: " ^ e));
+  if Db.table_opt t.db name = None then
+    invalid_arg (Printf.sprintf "Warehouse.attach_view: no backing table %s" name);
+  let out_schema = Spj_view.output_schema view in
+  Hashtbl.add t.views name
+    { def = view; backing = name; out_schema; back_schema = backing_schema out_schema };
+  List.iter
+    (fun source ->
+      let cell =
+        match Hashtbl.find_opt t.by_source source with
+        | Some cell -> cell
+        | None ->
+          let cell = ref [] in
+          Hashtbl.add t.by_source source cell;
+          cell
+      in
+      cell := name :: !cell)
+    (Spj_view.source_tables view)
+
+let attach_agg_view t view =
+  let name = view.Agg_view.name in
+  if Hashtbl.mem t.agg_views name || Hashtbl.mem t.views name then
+    invalid_arg (Printf.sprintf "Warehouse.attach_agg_view: %s already attached" name);
+  (match Agg_view.validate view with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Warehouse.attach_agg_view: " ^ e));
+  if Db.table_opt t.db name = None then
+    invalid_arg (Printf.sprintf "Warehouse.attach_agg_view: no backing table %s" name);
+  let aout_schema = Agg_view.output_schema view in
+  Hashtbl.add t.agg_views name
+    {
+      adef = view;
+      abacking = name;
+      aout_schema;
+      aback_schema = backing_schema_keyed aout_schema;
+    };
+  let cell =
+    match Hashtbl.find_opt t.agg_by_source view.Agg_view.table with
+    | Some cell -> cell
+    | None ->
+      let cell = ref [] in
+      Hashtbl.add t.agg_by_source view.Agg_view.table cell;
+      cell
+  in
+  cell := name :: !cell
 
 let int_key schema tuple =
   if Schema.key_arity schema <> 1 then

@@ -68,6 +68,11 @@ val agg_view_rows : t -> string -> (Tuple.t * int) list
 val recompute_agg_view : t -> string -> (Tuple.t * int) list
 (** Recompute from replica detail rows (ground truth for tests). *)
 
+val agg_view_def : t -> string -> Dw_core.Agg_view.t option
+(** The definition an aggregate view was registered with ([None] if no
+    such view) — {!Partitioned} reads it back to know group arity and
+    aggregate functions when merging per-shard view slices. *)
+
 val replica_rows : t -> string -> Tuple.t list
 (** Current replica contents, in heap scan order. *)
 
@@ -142,6 +147,14 @@ val integrate_op_delta_run : t -> Op_delta.t list -> stats
     integrator; callers must pass whole, consecutive source
     transactions. *)
 
+val integrate_op_delta_run_marked : t -> mark:(Db.txn -> unit) -> Op_delta.t list -> stats
+(** {!integrate_op_delta_run} plus a [mark] callback invoked inside the
+    same warehouse transaction, after the run's statements — the
+    partitioned refresh ({!Partitioned.refresh}) stores its per-shard
+    applied-through transaction id there, so the run and its progress
+    record commit or roll back together (exactly-once under
+    re-delivery of the same delta stream after a crash). *)
+
 val integrate_op_deltas_batched : ?policy:batch_policy -> t -> Op_delta.t list -> stats
 (** Apply the stream in valve-governed runs (see above).  Equivalent to
     {!integrate_op_deltas} in final warehouse state for any policy —
@@ -191,6 +204,28 @@ val attach_replica : t -> table:string -> unit
     replica and re-install its view-maintenance trigger (the persistent
     half of {!add_replica}, which also creates the table).  Raises
     [Invalid_argument] if the table is missing or already attached. *)
+
+val attach_view : t -> Spj_view.t -> unit
+(** Register a view definition whose backing table already exists in
+    [t]'s database (the persistent half of {!define_view}): validates
+    the definition and hooks it back into trigger maintenance {e without}
+    creating or re-materializing the backing table — its recovered
+    contents are trusted.  Raises [Invalid_argument] if the backing
+    table is missing, the definition is invalid, or the name is already
+    attached. *)
+
+val attach_agg_view : t -> Dw_core.Agg_view.t -> unit
+(** {!attach_view} for aggregate views (the persistent half of
+    {!define_agg_view}). *)
+
+val view_backing_schema : Spj_view.t -> Schema.t
+(** Schema of the backing table {!define_view} creates for this view
+    (output columns as key plus the [__count] multiplicity column) —
+    what a {!Db.reopen} catalog entry for the backing table needs. *)
+
+val agg_view_backing_schema : Dw_core.Agg_view.t -> Schema.t
+(** Backing-table schema for an aggregate view (group columns as key,
+    aggregate columns, [__count] group cardinality). *)
 
 val integrate_op_delta_marked : t -> mark:(Db.txn -> unit) -> Op_delta.t -> stats
 (** {!integrate_op_delta}, plus a [mark] callback invoked inside the same

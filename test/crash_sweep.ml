@@ -39,6 +39,16 @@ let () =
        ~stride:1 ());
   check "bootstrap (standard)"
     (Dw_experiments.Exp_bootstrap.explore_bootstrap ~stride:4 ());
+  (* partitioned refresh: one shard fail-stops mid-refresh, the whole
+     fleet is re-adopted from bytes and the staged buckets re-applied —
+     merged state must match the sequential integrator and every shard's
+     watermark must reach its bucket's last transaction *)
+  check "partitioned (exhaustive)"
+    (Dw_experiments.Exp_partition.explore_partitioned
+       ~spec:{ Dw_experiments.Exp_partition.c_rows = 48; c_txns = 10; c_parts = 3; c_seed = 11 }
+       ~stride:1 ());
+  check "partitioned (standard)"
+    (Dw_experiments.Exp_partition.explore_partitioned ~stride:3 ());
   (* domain-pool clean shutdown with a sweep mid-flight: a batch is
      draining (some tasks still queued, some raising) while another domain
      issues the shutdown — the batch must complete, the error must

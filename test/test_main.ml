@@ -20,6 +20,7 @@ let () =
       ("crash", Test_crash.suite);
       ("mvcc", Test_mvcc.suite);
       ("parallel", Test_parallel.suite);
+      ("partition", Test_partition.suite);
       ("properties", Test_properties.suite);
       ("scheduler", Test_scheduler.suite);
     ]
