@@ -11,7 +11,7 @@
 let usage () =
   print_endline
     "usage: main.exe [--scale N] \
-     [t1|t2|t3|t5|t6|f2|f2r|f3|t4|w1|w2|w2r|w1agg|w3|w5|s1|r1|v1|ablate|micro|all ...]";
+     [t1|t2|t3|t5|t6|f2|f2r|f3|t4|w1|w2|w2r|w1agg|w3|w5|w6|s1|r1|v1|ablate|micro|all ...]";
   exit 1
 
 let () =
@@ -53,6 +53,7 @@ let () =
   if want "w3" then Dw_experiments.Exp_mvcc.run_w3 ~scale;
   if want "w5" then Dw_experiments.Exp_parallel.run_w5 ~scale;
   if want "t6" then Dw_experiments.Exp_partition.run_t6 ~scale;
+  if want "w6" then Dw_experiments.Exp_chaos.run_bench ~scale;
   if want "s1" then Dw_experiments.Exp_snapshot.run ~scale;
   if want "r1" then Dw_experiments.Exp_reconcile.run ~scale;
   if want "ablate" then Dw_experiments.Exp_ablation.run_all ~scale;

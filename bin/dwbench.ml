@@ -50,6 +50,8 @@ let experiments =
      fun ~scale -> E.Exp_parallel.run_w5 ~scale);
     ("t6", "partitioned warehouse: refresh window vs partition count, staged parallel apply",
      fun ~scale -> E.Exp_partition.run_t6 ~scale);
+    ("w6", "chaos: flapping shard, circuit breakers, degraded reads, online shard rebuild",
+     fun ~scale -> E.Exp_chaos.run_bench ~scale);
     ("s1", "Section 3.1.2: snapshot differential vs other methods",
      fun ~scale -> E.Exp_snapshot.run ~scale);
     ("r1", "Sections 2.2/4.1: replicated sources and reconciliation",

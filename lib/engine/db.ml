@@ -903,9 +903,14 @@ let reopen ?(pool_pages = 256) ?(pool_stripes = 1) ?(archive_log = false) ~vfs ~
     (fun (tname, schema, ts_column) ->
       let fname = heap_file_name name tname in
       (* a crash can predate the table's first page — attach still works
-         on an empty file *)
+         on an empty file.  The index rebuild is deferred to [recover]: a
+         crash mid-checkpoint can leave heap pages that together show one
+         key at two rids (new page flushed, old page's delete not), which
+         only WAL redo/undo resolves *)
       let file = Vfs.open_or_create vfs fname in
-      let table = Table.attach ~pool:t.pool ~file ~name:tname ~schema ~ts_column in
+      let table =
+        Table.attach ~rebuild_index:false ~pool:t.pool ~file ~name:tname ~schema ~ts_column
+      in
       Hashtbl.add t.tables tname table)
     table_specs;
   let stats = recover t in

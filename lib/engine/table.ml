@@ -121,7 +121,7 @@ let rebuild_indexes t =
   t.ts_index <-
     (match t.ts_index with Some _ -> Some (Btree.of_sorted (sort !ts_bindings)) | None -> None)
 
-let attach ~pool ~file ~name ~schema ~ts_column =
+let attach ~rebuild_index ~pool ~file ~name ~schema ~ts_column =
   let ts_col_idx = ts_col_idx_of ~name ~schema ts_column in
   let t =
     {
@@ -134,7 +134,7 @@ let attach ~pool ~file ~name ~schema ~ts_column =
       ts_index = (match ts_col_idx with Some _ -> Some (Btree.create ()) | None -> None);
     }
   in
-  rebuild_indexes t;
+  if rebuild_index then rebuild_indexes t;
   t
 
 let scan t f = Heap_file.iter t.heap f

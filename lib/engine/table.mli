@@ -24,6 +24,7 @@ val create :
     it gets a secondary index. *)
 
 val attach :
+  rebuild_index:bool ->
   pool:Dw_storage.Buffer_pool.t ->
   file:Dw_storage.Vfs.file ->
   name:string ->
@@ -33,7 +34,14 @@ val attach :
 (** Re-adopt a heap file that already holds pages (post-crash re-open):
     the heap is attached rather than created and both indexes are rebuilt
     from its live records.  The schema must match the one the file was
-    written with. *)
+    written with.
+
+    [rebuild_index] must be false for callers that run WAL recovery
+    next: a crash mid-checkpoint can leave heap pages whose union holds
+    one key at two rids (the page with the re-insert flushed, the page
+    with the old row's delete not yet), so an index built before
+    redo/undo would see duplicate keys — recovery calls
+    {!rebuild_indexes} itself once the heap is consistent. *)
 
 val name : t -> string
 val schema : t -> Schema.t

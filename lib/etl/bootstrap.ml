@@ -7,6 +7,7 @@ module Value = Dw_relation.Value
 module Expr = Dw_relation.Expr
 module Metrics = Dw_util.Metrics
 module Prng = Dw_util.Prng
+module Backoff = Dw_util.Backoff
 module Ast = Dw_sql.Ast
 module Op_delta = Dw_core.Op_delta
 module Opdelta_capture = Dw_core.Opdelta_capture
@@ -78,6 +79,9 @@ type t = {
   wm : Watermark.t;
   metrics : Metrics.t;
   rng : Prng.t;
+  backoff : Backoff.t;
+  restrict : Op_delta.t -> Op_delta.t;  (* delta slice filter (shard rebuild) *)
+  owns : int -> bool;  (* chunk-row key ownership (shard rebuild) *)
   resumed : bool;
   mutable row : Run_state.row;  (* in-memory mirror of the durable state row *)
   mutable target : int;         (* AIMD chunk-size target *)
@@ -93,22 +97,19 @@ type t = {
 
 let schema_of_wh wh_db name = Option.map Table.schema (Db.table_opt wh_db name)
 
-(* bounded retry with equal-jitter exponential backoff on transient VFS
-   faults; [Fault.Crash] is never caught — that is the fail-stop the
-   crash harness watches for.  The retried unit is always a whole
-   warehouse transaction or queue operation, both of which roll back
-   cleanly on the fault, so re-running is safe. *)
+(* bounded retry with equal-jitter exponential backoff
+   (Dw_util.Backoff) on transient VFS faults; [Fault.Crash] is never
+   caught — that is the fail-stop the crash harness watches for.  The
+   retried unit is always a whole warehouse transaction or queue
+   operation, both of which roll back cleanly on the fault, so
+   re-running is safe. *)
 let with_retry t f =
   let rec attempt n =
     try f ()
     with Vfs.Fault.Transient _ when n < t.cfg.max_retries ->
       Metrics.incr t.metrics "bootstrap.retry";
-      if t.cfg.backoff_s > 0.0 then begin
-        let base = t.cfg.backoff_s *. (2.0 ** float_of_int n) in
-        let pause = (base /. 2.0) +. Prng.float t.rng (base /. 2.0) in
-        Metrics.observe t.metrics "bootstrap.backoff" pause;
-        Unix.sleepf pause
-      end;
+      let pause = Backoff.wait t.backoff ~attempt:n in
+      if pause > 0.0 then Metrics.observe t.metrics "bootstrap.backoff" pause;
       attempt (n + 1)
   in
   attempt 0
@@ -133,8 +134,9 @@ let pending_max_txn ~wh_db queue =
         | Ok (Frame.Wm_low _ | Frame.Wm_high _) | Error _ -> acc)
       0 (Pq.peek_run queue ~max:n)
 
-let start ?(config = default_config) ?(hook = fun (_ : phase) -> ()) ~owner ~source ~capture
-    ~table ~queue ~warehouse ~watermark () =
+let start ?(config = default_config) ?(hook = fun (_ : phase) -> ())
+    ?(restrict = fun (od : Op_delta.t) -> od) ?(owns = fun (_ : int) -> true) ~owner ~source
+    ~capture ~table ~queue ~warehouse ~watermark () =
   validate_config config;
   if String.equal owner "" then invalid_arg "Bootstrap.start: empty owner";
   let wh_db = Warehouse.db warehouse in
@@ -205,6 +207,9 @@ let start ?(config = default_config) ?(hook = fun (_ : phase) -> ()) ~owner ~sou
         wm = watermark;
         metrics;
         rng;
+        backoff = Backoff.create ~base_s:config.backoff_s ~seed:config.seed ();
+        restrict;
+        owns;
         resumed;
         row;
         target = config.chunk_max;
@@ -291,6 +296,10 @@ let key_of tuple = match tuple.(0) with Value.Int k -> k | _ -> assert false
    its touched keys recorded for the chunk dedup; outside, plain
    statement re-execution. *)
 let apply_delta t od =
+  (* slice first (a shard rebuild keeps only the ops routed to its
+     partition — the restriction preserves txn ids, so [last_txn] still
+     advances over transactions whose every op belongs elsewhere) *)
+  let od = t.restrict od in
   let od = { od with Op_delta.ops =
                List.filter
                  (fun (op : Op_delta.op) ->
@@ -324,9 +333,15 @@ let apply_chunk t touched =
   | [] -> t.chunks_exhausted <- true
   | rows ->
     let chunk_idx = t.row.Run_state.chunks_done in
+    (* the cursor advances over every selected key — including keys a
+       shard rebuild does not own, which must still be stepped past or
+       the keyset scan would loop on them forever *)
     let max_key = List.fold_left (fun acc r -> max acc (key_of r)) min_int rows in
-    let n_rows = List.length rows in
-    let n_loaded = List.length (List.filter (fun r -> not (Hashtbl.mem touched (key_of r))) rows) in
+    let owned = List.filter (fun r -> t.owns (key_of r)) rows in
+    let n_rows = List.length owned in
+    let n_loaded =
+      List.length (List.filter (fun r -> not (Hashtbl.mem touched (key_of r))) owned)
+    in
     let marked = ref t.row in
     let mark txn =
       let row =
@@ -339,7 +354,9 @@ let apply_chunk t touched =
     in
     let loaded =
       with_retry t (fun () ->
-          Warehouse.load_chunk t.wh ~table:t.table ~skip:(Hashtbl.mem touched) ~mark rows)
+          Warehouse.load_chunk t.wh ~table:t.table
+            ~skip:(fun k -> (not (t.owns k)) || Hashtbl.mem touched k)
+            ~mark rows)
     in
     assert (loaded = n_loaded);
     t.row <- !marked;
@@ -462,11 +479,17 @@ let abort t reason =
   journal t (Printf.sprintf "abort|%s|%s" t.row.Run_state.run_id reason);
   (* best-effort lease release; the state row stays Bootstrapping so the
      table is visibly half-loaded and a later run resumes, never double
-     runs *)
+     runs.  Re-read under the transaction and release only a lease we
+     still hold: an abort caused by losing the lease must not clobber
+     the new owner's row (its cursor has moved past our stale copy) *)
   (try
-     let row = { t.row with Run_state.lease_owner = ""; lease_expiry = 0.0 } in
-     Db.with_txn t.wh_db (fun txn -> Run_state.put t.wh_db txn row);
-     t.row <- row
+     Db.with_txn t.wh_db (fun txn ->
+         match Run_state.get t.wh_db txn ~table:t.row.Run_state.table with
+         | Some row when String.equal row.Run_state.lease_owner t.owner ->
+           let row = { row with Run_state.lease_owner = ""; lease_expiry = 0.0 } in
+           Run_state.put t.wh_db txn row;
+           t.row <- row
+         | Some _ | None -> ())
    with Vfs.Fault.Transient _ -> ());
   Error (Failed reason)
 

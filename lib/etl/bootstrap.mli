@@ -81,6 +81,8 @@ type t
 val start :
   ?config:config ->
   ?hook:(phase -> unit) ->
+  ?restrict:(Dw_core.Op_delta.t -> Dw_core.Op_delta.t) ->
+  ?owns:(int -> bool) ->
   owner:string ->
   source:Db.t ->
   capture:Dw_core.Opdelta_capture.t ->
@@ -97,7 +99,16 @@ val start :
     replica table must already exist in the warehouse, and its primary
     key must be a single INT column.  A [Bootstrapping] state row from a
     crashed run resumes from its durable cursor; a [Complete] row makes
-    the subsequent {!run} a no-op (plus the idempotent handoff). *)
+    the subsequent {!run} a no-op (plus the idempotent handoff).
+
+    [restrict] and [owns] carve a {e slice} bootstrap out of the full
+    one — how {!Rebuild} reloads a single partition of a partitioned
+    fleet.  [restrict] maps every replayed delta transaction to the
+    subset of its ops the target owns (it must preserve [txn_id], so
+    the exactly-once mark still advances over fully-foreign
+    transactions); [owns] filters chunk rows by primary key (the keyset
+    cursor still steps over foreign keys, they are just never loaded).
+    The defaults keep everything. *)
 
 val run : t -> (progress, error) result
 (** Drive the state machine to completion: chunk cycles until the keyset

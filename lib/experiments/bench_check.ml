@@ -22,7 +22,7 @@ exception Reject of string
 let fail fmt = Printf.ksprintf (fun msg -> raise (Reject msg)) fmt
 
 (* the quick-mode subset whose metrics the strict gates reference *)
-let gated_ids = [ "t3"; "w1"; "t5"; "w3"; "w4"; "w5"; "t6" ]
+let gated_ids = [ "t3"; "w1"; "t5"; "w3"; "w4"; "w5"; "t6"; "w6" ]
 
 let require_member name j =
   match Json.member name j with
@@ -69,6 +69,10 @@ let required_gauges =
     "w5.speedup_d4"; "w5.identical"; "w5.partitions";
     "t6.window_p1_s"; "t6.window_p4_s"; "t6.speedup_p4"; "t6.identical";
     "t6.partitions";
+    "w6.identical"; "w6.converged_with_source"; "w6.trips"; "w6.probes";
+    "w6.probe_failures"; "w6.recovered"; "w6.rebuilds"; "w6.readmitted";
+    "w6.degraded_reads"; "w6.fleet_stalls"; "w6.fail_closed_raised";
+    "w6.staleness_txns"; "w6.recovery_s"; "w6.delta_txns";
   ]
 
 let check_experiment seen gauges j =
@@ -171,7 +175,33 @@ let check_gates ~quick seen gauges =
   let t6_speedup = gauge "t6.speedup_p4" in
   if (not quick) && t6_speedup < 1.8 then
     fail "t6: refresh window shrink at 4 partitions is %gx, expected >= 1.8x" t6_speedup;
-  if t6_speedup <= 0.0 then fail "t6: refresh window ratio is %gx" t6_speedup
+  if t6_speedup <= 0.0 then fail "t6: refresh window ratio is %gx" t6_speedup;
+  (* w6's deterministic acceptance: under a flapping shard the fleet
+     keeps answering degraded reads with zero stalls, the breaker trips
+     and probes (at least one self-heal), the quarantined shard is
+     rebuilt online exactly once and re-admitted, and the healed merged
+     state is byte-identical to the sequential integrator *)
+  if gauge "w6.identical" <> 1.0 then
+    fail "w6: healed fleet diverges from the sequential integrator";
+  if gauge "w6.converged_with_source" <> 1.0 then
+    fail "w6: healed fleet diverges from the live source";
+  if gauge "w6.trips" < 2.0 then
+    fail "w6: breaker tripped %g times, expected >= 2 (flap + terminal outage)"
+      (gauge "w6.trips");
+  if gauge "w6.probes" < 1.0 then fail "w6: no half-open probe was admitted";
+  if gauge "w6.probe_failures" < 1.0 then
+    fail "w6: no probe failure recorded under the terminal outage";
+  if gauge "w6.recovered" < 1.0 then fail "w6: no shard self-healed through a probe";
+  if gauge "w6.rebuilds" <> 1.0 then
+    fail "w6: %g rebuilds recorded, expected exactly 1" (gauge "w6.rebuilds");
+  if gauge "w6.readmitted" <> 1.0 then
+    fail "w6: %g readmissions recorded, expected exactly 1" (gauge "w6.readmitted");
+  if gauge "w6.degraded_reads" < 1.0 then
+    fail "w6: no degraded read answered while a shard was out";
+  if gauge "w6.fleet_stalls" <> 0.0 then
+    fail "w6: %g degraded reads stalled, expected 0" (gauge "w6.fleet_stalls");
+  if gauge "w6.fail_closed_raised" <> 1.0 then
+    fail "w6: `Fail_closed did not refuse to read around a quarantined shard"
 
 let validate ?(strict = true) doc =
   try

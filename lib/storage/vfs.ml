@@ -8,6 +8,13 @@ module Fault = struct
   exception Crash of { op : string; index : int }
   exception Transient of string
 
+  type window = { from_event : int; until_event : int }  (* [from, until) *)
+
+  type sustained =
+    | Error_rate of { window : window; write_p : float; fsync_p : float }
+    | Latency of { window : window; delay_s : float }
+    | Crash_flap of { window : window; period_on : int; period_off : int }
+
   type t = {
     prng : Prng.t;
     mutable fail_stop_after : int;  (* crash on event #n (0-based); -1 = never *)
@@ -15,12 +22,31 @@ module Fault = struct
     mutable write_fail_p : float;   (* transient write failure (nothing persisted) *)
     mutable fsync_fail_p : float;   (* transient fsync failure *)
     mutable read_flip_p : float;    (* flip one bit of a returned read buffer *)
+    sustained : sustained list;     (* event-windowed plans; survive {!reset_crash} *)
     mutable events : int;           (* write/fsync events seen so far *)
     mutable crashed : bool;
   }
 
+  let check_window = function
+    | { from_event; until_event } when from_event < 0 || until_event < from_event ->
+      invalid_arg "Vfs.Fault: bad sustained window"
+    | _ -> ()
+
+  let check_sustained = function
+    | Error_rate { window; write_p; fsync_p } ->
+      check_window window;
+      if write_p < 0.0 || write_p > 1.0 || fsync_p < 0.0 || fsync_p > 1.0 then
+        invalid_arg "Vfs.Fault: error rate outside [0, 1]"
+    | Latency { window; delay_s } ->
+      check_window window;
+      if delay_s < 0.0 then invalid_arg "Vfs.Fault: negative latency"
+    | Crash_flap { window; period_on; period_off } ->
+      check_window window;
+      if period_on < 1 || period_off < 0 then invalid_arg "Vfs.Fault: bad flap period"
+
   let make ?(fail_stop_after = -1) ?(tear_on_crash = true) ?(write_fail_p = 0.0)
-      ?(fsync_fail_p = 0.0) ?(read_flip_p = 0.0) ~seed () =
+      ?(fsync_fail_p = 0.0) ?(read_flip_p = 0.0) ?(sustained = []) ~seed () =
+    List.iter check_sustained sustained;
     {
       prng = Prng.create ~seed;
       fail_stop_after;
@@ -28,12 +54,52 @@ module Fault = struct
       write_fail_p;
       fsync_fail_p;
       read_flip_p;
+      sustained;
       events = 0;
       crashed = false;
     }
 
   let events t = t.events
   let crashed t = t.crashed
+
+  let in_window w idx = idx >= w.from_event && idx < w.until_event
+
+  (* is event [idx] inside the ON phase of an armed crash-flap window? *)
+  let flap_crashing t idx =
+    List.exists
+      (function
+        | Crash_flap { window; period_on; period_off } ->
+          in_window window idx
+          && (idx - window.from_event) mod (period_on + period_off) < period_on
+        | Error_rate _ | Latency _ -> false)
+      t.sustained
+
+  (* effective transient (write, fsync) probabilities at event [idx]:
+     the base rates raised by whichever error windows are active *)
+  let rates t idx =
+    List.fold_left
+      (fun (wp, fp) s ->
+        match s with
+        | Error_rate { window; write_p; fsync_p } when in_window window idx ->
+          (Float.max wp write_p, Float.max fp fsync_p)
+        | Error_rate _ | Latency _ | Crash_flap _ -> (wp, fp))
+      (t.write_fail_p, t.fsync_fail_p) t.sustained
+
+  (* summed extra delay of the latency windows active at event [idx] *)
+  let extra_delay t idx =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | Latency { window; delay_s } when in_window window idx -> acc +. delay_s
+        | Latency _ | Error_rate _ | Crash_flap _ -> acc)
+      0.0 t.sustained
+
+  (* "the process restarted, the device did not get replaced": clear the
+     dead flag and the one-shot fail-stop, keep the sustained schedule
+     and the event counter so a flap keeps flapping across restarts *)
+  let reset_crash t =
+    t.crashed <- false;
+    t.fail_stop_after <- -1
 end
 
 (* growable byte store for the in-memory backend: random-access reads and
@@ -114,6 +180,13 @@ let crash_reset t =
      recovery code runs against the surviving bytes undisturbed *)
   Hashtbl.reset t.open_files;
   t.fault <- None
+
+let revive t =
+  (* restart the process but keep the device on its fault schedule: the
+     sustained plan and event counter survive, so a shard revived during
+     a flap's ON phase crashes again on its next durability event *)
+  Hashtbl.reset t.open_files;
+  match t.fault with Some p -> Fault.reset_crash p | None -> ()
 
 let check_name name =
   if name = "" || String.contains name '/' then invalid_arg ("Vfs: bad file name " ^ name)
@@ -215,7 +288,7 @@ let fault_event t op kind =
     check_dead t op;
     let idx = p.Fault.events in
     p.Fault.events <- idx + 1;
-    if idx = p.Fault.fail_stop_after then begin
+    if idx = p.Fault.fail_stop_after || Fault.flap_crashing p idx then begin
       p.Fault.crashed <- true;
       Metrics.incr t.metrics "fault.crashes";
       match kind with
@@ -226,15 +299,21 @@ let fault_event t op kind =
       | `Write _ | `Fsync -> raise (Fault.Crash { op; index = idx })
     end
     else begin
+      let write_p, fsync_p = Fault.rates p idx in
       let transient_p, counter =
         match kind with
-        | `Write _ -> (p.Fault.write_fail_p, "fault.transient_writes")
-        | `Fsync -> (p.Fault.fsync_fail_p, "fault.transient_fsyncs")
+        | `Write _ -> (write_p, "fault.transient_writes")
+        | `Fsync -> (fsync_p, "fault.transient_fsyncs")
       in
       if transient_p > 0.0 && Prng.float p.Fault.prng 1.0 < transient_p then begin
         Metrics.incr t.metrics counter;
         raise (Fault.Transient op)
       end;
+      (match Fault.extra_delay p idx with
+       | d when d > 0.0 ->
+         Metrics.incr t.metrics "fault.latency_spikes";
+         Unix.sleepf d
+       | _ -> ());
       `Proceed
     end
 

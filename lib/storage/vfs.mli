@@ -26,17 +26,48 @@ type file
     writes and fsyncs can fail transiently (nothing persisted, retryable),
     and reads can have one bit flipped (exercises checksum paths).
 
+    Beyond the one-shot fail-stop, a plan can carry {e sustained}
+    schedules — event-windowed degradations for chaos experiments that
+    need a fault to persist across retries and restarts: raised transient
+    error rates, latency spikes, and crash {e flap} schedules (the shard
+    dies, comes back, dies again on a deterministic period).  Sustained
+    schedules survive {!revive} (unlike the whole plan, which
+    {!crash_reset} detaches), so a flapping device keeps flapping until
+    the window closes.
+
     Counters: [fault.crashes], [fault.torn_writes],
-    [fault.transient_writes], [fault.transient_fsyncs], [fault.bitflips]. *)
+    [fault.transient_writes], [fault.transient_fsyncs], [fault.bitflips],
+    [fault.latency_spikes]. *)
 module Fault : sig
   exception Crash of { op : string; index : int }
   (** Fail-stop: the simulated process is dead.  Every subsequent
       operation on the same [t] raises [Crash] again until
-      {!crash_reset}. *)
+      {!crash_reset} or {!revive}. *)
 
   exception Transient of string
   (** A retryable failure: the operation had no effect (transient write)
       or did not reach durability (transient fsync). *)
+
+  type window = { from_event : int; until_event : int }
+  (** Half-open event-index range [from_event, until_event) a sustained
+      schedule is active over. *)
+
+  type sustained =
+    | Error_rate of { window : window; write_p : float; fsync_p : float }
+        (** Within the window, transient write/fsync probabilities are
+            raised to at least these values (max with the base rates). *)
+    | Latency of { window : window; delay_s : float }
+        (** Within the window, every write/fsync sleeps an extra
+            [delay_s] (overlapping windows sum); counted under
+            [fault.latency_spikes]. *)
+    | Crash_flap of { window : window; period_on : int; period_off : int }
+        (** Within the window, events whose phase
+            [(idx - from_event) mod (period_on + period_off)] is below
+            [period_on] fail-stop the process.  After {!revive} the next
+            durability event lands back on the schedule — still in an ON
+            phase, the shard crashes again; in an OFF gap, it works until
+            the next ON phase.  [period_off = 0] means dead for the whole
+            window. *)
 
   type t
 
@@ -46,9 +77,13 @@ module Fault : sig
     ?write_fail_p:float ->   (* transient write failure probability, default 0 *)
     ?fsync_fail_p:float ->   (* transient fsync failure probability, default 0 *)
     ?read_flip_p:float ->    (* per-read single-bit corruption probability, default 0 *)
+    ?sustained:sustained list ->  (* event-windowed schedules, default [] *)
     seed:int ->
     unit ->
     t
+  (** Raises [Invalid_argument] on a malformed sustained schedule:
+      negative window bound, probability outside [0, 1], negative
+      latency, [period_on < 1], or [period_off < 0]. *)
 
   val events : t -> int
   (** Write/fsync events seen so far — run a workload with a never-crashing
@@ -79,6 +114,14 @@ val crash_reset : t -> unit
     open-file accounting (no descriptor survives a crash) and detaches the
     fault plan so recovery code runs fault-free.  File contents are
     untouched. *)
+
+val revive : t -> unit
+(** Restart the process but keep the device on its fault schedule: clears
+    the open-file accounting and the plan's dead flag (and any one-shot
+    fail-stop), but the sustained schedules and the event counter
+    survive.  This is the half-open probe's view of the world — a revived
+    shard whose flap window is still in an ON phase crashes again on its
+    next durability event.  No-op on the plan if none is attached. *)
 
 val create : t -> string -> file
 (** Create (truncate if it exists) and open. *)

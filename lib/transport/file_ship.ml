@@ -1,30 +1,23 @@
 module Vfs = Dw_storage.Vfs
 module Metrics = Dw_util.Metrics
-module Prng = Dw_util.Prng
+module Backoff = Dw_util.Backoff
 
 type stats = { bytes : int; chunks : int; retries : int }
 
-(* Retry a faultable operation with bounded, jittered exponential
-   backoff ("equal jitter": half the doubled base is fixed, half is
-   uniform random, so concurrent retriers decorrelate without ever
-   retrying sooner than half the nominal pause).  Chunk writes go
-   through [Vfs.write_at] at a fixed offset, so re-running after a
-   transient or torn write simply overwrites the partial data — the
-   retry is idempotent. *)
-let with_retry ~metrics ~max_retries ~backoff_s ~rng ~retries f =
+(* Retry a faultable operation with bounded equal-jitter exponential
+   backoff (Dw_util.Backoff).  Chunk writes go through [Vfs.write_at]
+   at a fixed offset, so re-running after a transient or torn write
+   simply overwrites the partial data — the retry is idempotent. *)
+let with_retry ~metrics ~max_retries ~backoff ~retries f =
   let rec attempt n =
     try f ()
     with Vfs.Fault.Transient _ when n < max_retries ->
       incr retries;
       Metrics.incr metrics "retry.ship";
-      if backoff_s > 0.0 then begin
-        let base = backoff_s *. (2.0 ** float_of_int n) in
-        let pause = (base /. 2.0) +. Prng.float rng (base /. 2.0) in
-        (* backoff time is where a flaky link actually hurts the
-           maintenance window: record the distribution, not just a count *)
-        Metrics.observe metrics "ship.backoff" pause;
-        Unix.sleepf pause
-      end;
+      let pause = Backoff.wait backoff ~attempt:n in
+      (* backoff time is where a flaky link actually hurts the
+         maintenance window: record the distribution, not just a count *)
+      if pause > 0.0 then Metrics.observe metrics "ship.backoff" pause;
       attempt (n + 1)
   in
   attempt 0
@@ -39,9 +32,9 @@ let ship ?(chunk_size = 64 * 1024) ?(max_retries = 8) ?(backoff_s = 0.0) ?(jitte
     let out = Vfs.create dst dst_name in
     let total = Vfs.size src_file in
     let retries = ref 0 in
-    let rng = Prng.create ~seed:jitter_seed in
+    let backoff = Backoff.create ~base_s:backoff_s ~seed:jitter_seed () in
     let retrying f =
-      with_retry ~metrics:(Vfs.metrics dst) ~max_retries ~backoff_s ~rng ~retries f
+      with_retry ~metrics:(Vfs.metrics dst) ~max_retries ~backoff ~retries f
     in
     let result =
       try
@@ -96,8 +89,8 @@ let ship_messages ?(block_size = 64 * 1024) ?(max_retries = 8) ?(backoff_s = 0.0
   let out = Vfs.create dst dst_name in
   let metrics = Vfs.metrics dst in
   let retries = ref 0 in
-  let rng = Prng.create ~seed:jitter_seed in
-  let retrying f = with_retry ~metrics ~max_retries ~backoff_s ~rng ~retries f in
+  let backoff = Backoff.create ~base_s:backoff_s ~seed:jitter_seed () in
+  let retrying f = with_retry ~metrics ~max_retries ~backoff ~retries f in
   let blocks = pack_blocks ~block_size msgs in
   let result =
     try

@@ -1,0 +1,24 @@
+type t = {
+  base_s : float;
+  max_s : float;
+  sleep : float -> unit;
+  prng : Prng.t;
+}
+
+let create ?(sleep = Unix.sleepf) ?(max_s = infinity) ~base_s ~seed () =
+  if base_s < 0.0 then invalid_arg "Backoff.create: base_s < 0";
+  if not (max_s > 0.0) then invalid_arg "Backoff.create: max_s <= 0";
+  { base_s; max_s; sleep; prng = Prng.create ~seed }
+
+let pause_s t ~attempt =
+  if attempt < 0 then invalid_arg "Backoff.pause_s: attempt < 0";
+  if t.base_s <= 0.0 then 0.0
+  else begin
+    let base = Float.min t.max_s (t.base_s *. (2.0 ** float_of_int attempt)) in
+    (base /. 2.0) +. Prng.float t.prng (base /. 2.0)
+  end
+
+let wait t ~attempt =
+  let pause = pause_s t ~attempt in
+  if pause > 0.0 then t.sleep pause;
+  pause

@@ -1,0 +1,35 @@
+(** Equal-jitter exponential backoff, deterministic under a seed.
+
+    One policy object owns a seeded {!Prng.t} and a sleep function, so
+    every consumer of retry pauses in the tree ({!Dw_transport.File_ship},
+    {!Dw_etl.Bootstrap}, the {!Breaker}) draws from the same
+    distribution: for attempt [n] (0-based) the pause is
+
+    {[ base/2 * 2^n  +  uniform(0, base/2 * 2^n) ]}
+
+    — half the doubled base is fixed, half is uniform random, so
+    concurrent retriers decorrelate without ever retrying sooner than
+    half the nominal pause.  Two policies built with the same seed
+    produce identical pause sequences, which is what makes retry-heavy
+    tests and crash sweeps reproducible.
+
+    Sleeping is pluggable: the default is [Unix.sleepf], tests pass the
+    advance function of a {!Sim_clock.t} (or [ignore]) so backoff costs
+    logical time only. *)
+
+type t
+
+val create : ?sleep:(float -> unit) -> ?max_s:float -> base_s:float -> seed:int -> unit -> t
+(** [base_s] is the nominal first-attempt pause; [0.0] disables pausing
+    entirely (and never consumes the Prng, so a zero-backoff run stays
+    bit-identical to one without a policy).  [max_s] caps the doubled
+    base (default: no cap).  Raises [Invalid_argument] on a negative
+    [base_s]. *)
+
+val pause_s : t -> attempt:int -> float
+(** Draw the jittered pause for 0-based [attempt] without sleeping
+    (consumes one Prng draw unless [base_s] is 0). *)
+
+val wait : t -> attempt:int -> float
+(** {!pause_s}, then sleep it (skipped when 0); returns the pause so
+    callers can observe it into a histogram. *)

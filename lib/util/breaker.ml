@@ -1,0 +1,106 @@
+type state = Closed | Open | Half_open
+
+type config = {
+  failure_threshold : int;
+  reset_timeout_s : float;
+  probe_successes : int;
+  max_reset_timeout_s : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    failure_threshold = 3;
+    reset_timeout_s = 30.0;
+    probe_successes = 1;
+    max_reset_timeout_s = 300.0;
+    seed = 17;
+  }
+
+type t = {
+  cfg : config;
+  clock : unit -> float;
+  dwell : Backoff.t;  (* pause_s only; the breaker never sleeps *)
+  mutable st : state;
+  mutable failures : int;  (* consecutive, since last success *)
+  mutable successes : int;  (* consecutive half-open probe successes *)
+  mutable reopens : int;  (* consecutive trips without an intervening close *)
+  mutable deadline : float;  (* Open: clock time the next probe is admitted *)
+  mutable trips : int;
+  mutable probes : int;
+}
+
+let create ?(config = default_config) ~clock () =
+  if config.failure_threshold < 1 then invalid_arg "Breaker: failure_threshold < 1";
+  if config.probe_successes < 1 then invalid_arg "Breaker: probe_successes < 1";
+  if config.reset_timeout_s < 0.0 then invalid_arg "Breaker: reset_timeout_s < 0";
+  {
+    cfg = config;
+    clock;
+    dwell =
+      Backoff.create ~sleep:ignore ~max_s:(Float.max config.max_reset_timeout_s epsilon_float)
+        ~base_s:config.reset_timeout_s ~seed:config.seed ();
+    st = Closed;
+    failures = 0;
+    successes = 0;
+    reopens = 0;
+    deadline = 0.0;
+    trips = 0;
+    probes = 0;
+  }
+
+let state t = t.st
+let consecutive_failures t = t.failures
+let trips t = t.trips
+let probes t = t.probes
+
+let trip t =
+  t.st <- Open;
+  t.trips <- t.trips + 1;
+  t.successes <- 0;
+  (* equal-jitter dwell, doubling with every reopen since the last close *)
+  t.deadline <- t.clock () +. Backoff.pause_s t.dwell ~attempt:t.reopens;
+  t.reopens <- t.reopens + 1
+
+let allow t =
+  match t.st with
+  | Closed | Half_open -> true
+  | Open ->
+    if t.clock () >= t.deadline then begin
+      t.st <- Half_open;
+      t.probes <- t.probes + 1;
+      true
+    end
+    else false
+
+let record_success t =
+  match t.st with
+  | Closed -> t.failures <- 0
+  | Half_open ->
+    t.successes <- t.successes + 1;
+    if t.successes >= t.cfg.probe_successes then begin
+      t.st <- Closed;
+      t.failures <- 0;
+      t.successes <- 0;
+      t.reopens <- 0
+    end
+  | Open -> ()  (* a straggling success while refused changes nothing *)
+
+let record_failure t =
+  match t.st with
+  | Closed ->
+    t.failures <- t.failures + 1;
+    if t.failures >= t.cfg.failure_threshold then trip t
+  | Half_open ->
+    t.failures <- t.failures + 1;
+    trip t
+  | Open -> ()
+
+let reset t =
+  t.st <- Closed;
+  t.failures <- 0;
+  t.successes <- 0;
+  t.reopens <- 0;
+  t.deadline <- 0.0
+
+let force_open t = if t.st <> Open then trip t

@@ -1,0 +1,76 @@
+(** A clock-driven circuit breaker: trip after consecutive failures,
+    dwell open, half-open probe, close after consecutive probe
+    successes.
+
+    The breaker is a pure state machine over an injected clock — pass
+    [Metrics.now] of a registry (Sim_clock-compatible) and the whole
+    trip/dwell/probe cycle runs on logical time in tests.  Re-trips
+    back off: every reopen doubles the open dwell (equal-jitter via
+    {!Backoff}, deterministic under [config.seed], capped at
+    [max_reset_timeout_s]) so a flapping resource is probed less and
+    less often until it stays up.
+
+    State machine:
+    - [Closed]: calls allowed.  [record_failure] increments the
+      consecutive-failure count; reaching [failure_threshold] trips to
+      [Open].  [record_success] resets the count.
+    - [Open]: calls refused until the jittered dwell elapses, at which
+      point the next {!allow} transitions to [Half_open] and admits a
+      probe.
+    - [Half_open]: calls allowed (probes).  [probe_successes]
+      consecutive successes close the breaker (dwell backoff resets);
+      one failure reopens it with a doubled dwell.
+
+    A breaker is owned by one shard's refresh task; calls are not
+    serialised internally (rounds synchronise via the domain pool's
+    join). *)
+
+type state = Closed | Open | Half_open
+
+type config = {
+  failure_threshold : int;  (** consecutive failures that trip (>= 1) *)
+  reset_timeout_s : float;  (** first open dwell; 0 probes immediately *)
+  probe_successes : int;  (** consecutive probe successes to close (>= 1) *)
+  max_reset_timeout_s : float;  (** dwell cap under repeated re-trips *)
+  seed : int;  (** dwell jitter seed *)
+}
+
+val default_config : config
+(** threshold 3, dwell 30 s capped at 300 s, 1 probe success, seed 17. *)
+
+type t
+
+val create : ?config:config -> clock:(unit -> float) -> unit -> t
+(** Raises [Invalid_argument] on a non-positive threshold or probe
+    count, or a negative dwell. *)
+
+val state : t -> state
+(** Current state.  Reading it never transitions; only {!allow} moves
+    [Open] to [Half_open]. *)
+
+val allow : t -> bool
+(** May the protected call proceed?  [Closed]/[Half_open]: yes.
+    [Open]: yes exactly when the dwell has elapsed on the clock, in
+    which case the breaker moves to [Half_open] and the admitted call
+    is the probe. *)
+
+val record_success : t -> unit
+val record_failure : t -> unit
+
+val consecutive_failures : t -> int
+(** Consecutive failures since the last success (meaningful in
+    [Closed]: [> 0] is the "suspect" signal). *)
+
+val trips : t -> int
+(** Transitions into [Open], ever (including half-open probe failures
+    that reopen). *)
+
+val probes : t -> int
+(** Half-open probes admitted by {!allow}, ever. *)
+
+val reset : t -> unit
+(** Force-close and clear counts — operator re-admission after an
+    out-of-band repair (e.g. a shard rebuild). *)
+
+val force_open : t -> unit
+(** Trip immediately regardless of counts — operator quarantine. *)

@@ -10,17 +10,89 @@ module Agg_view = Dw_core.Agg_view
 module Vfs = Dw_storage.Vfs
 module Domain_pool = Dw_util.Domain_pool
 module Metrics = Dw_util.Metrics
+module Breaker = Dw_util.Breaker
+module Backoff = Dw_util.Backoff
+
+(* ---------- shard health ---------- *)
+
+type health = Healthy | Suspect | Quarantined | Rebuilding
+
+let health_to_string = function
+  | Healthy -> "healthy"
+  | Suspect -> "suspect"
+  | Quarantined -> "quarantined"
+  | Rebuilding -> "rebuilding"
+
+let health_code = function Healthy -> 0 | Suspect -> 1 | Quarantined -> 2 | Rebuilding -> 3
+
+type health_config = {
+  breaker : Breaker.config;
+  max_retries : int;
+  retry_backoff_s : float;
+  refresh_timeout_s : float;
+}
+
+let default_health_config =
+  {
+    breaker = Breaker.default_config;
+    max_retries = 2;
+    retry_backoff_s = 0.0;
+    refresh_timeout_s = infinity;
+  }
+
+let validate_health_config c =
+  if c.max_retries < 0 then invalid_arg "Partitioned: max_retries < 0";
+  if c.retry_backoff_s < 0.0 then invalid_arg "Partitioned: retry_backoff_s < 0";
+  if not (c.refresh_timeout_s > 0.0) then invalid_arg "Partitioned: refresh_timeout_s <= 0"
+
+(* per-shard circuit state.  All mutation happens on the caller's domain
+   (the guarded refresh does its breaker bookkeeping sequentially, before
+   dispatch and after the pool barrier); pool tasks only touch their own
+   shard's [retry] backoff. *)
+type shard_state = {
+  breaker : Breaker.t;
+  retry : Backoff.t;
+  mutable health : health;
+  mutable last_watermark : int;  (* best known; served when the shard is unreadable *)
+  mutable last_error : string option;
+}
 
 type t = {
   spec : Partition.t;
   shards : Warehouse.t array;
   vfss : Vfs.t array;
+  name : string;
+  op_delay : float;
+  pool_pages : int option;
+  pool_stripes : int option;
+  hcfg : health_config;
+  hmetrics : Metrics.t;  (* fleet registry: health.* / breaker.* / degraded.*, breaker clock *)
+  states : shard_state array;
+  (* registration order, for rebuilding a shard from scratch *)
+  mutable replicas : (string * Schema.t) list;
+  mutable views : Spj_view.t list;
+  mutable agg_views : Agg_view.t list;
 }
 
 let spec t = t.spec
 let partitions t = Array.length t.shards
 let shard t i = t.shards.(i)
 let vfss t = t.vfss
+let health_metrics t = t.hmetrics
+let shard_health t i = t.states.(i).health
+let healths t = Array.map (fun s -> s.health) t.states
+let shard_breaker t i = t.states.(i).breaker
+
+let publish_health t =
+  let healthy = ref 0 in
+  Array.iteri
+    (fun i s ->
+      if s.health = Healthy then incr healthy;
+      Metrics.set_gauge t.hmetrics
+        (Printf.sprintf "health.shard%d" i)
+        (float_of_int (health_code s.health)))
+    t.states;
+  Metrics.set_gauge t.hmetrics "health.healthy_shards" (float_of_int !healthy)
 
 (* ---------- per-shard refresh watermark ---------- *)
 
@@ -59,8 +131,25 @@ let watermarks t = Array.map watermark_of t.shards
 
 (* ---------- construction ---------- *)
 
-let create ?pool_pages ?pool_stripes ?(op_delay = 0.0) ~spec ~name () =
+let mk_state t_hmetrics (hcfg : health_config) i =
+  {
+    breaker =
+      Breaker.create
+        ~config:{ hcfg.breaker with Breaker.seed = hcfg.breaker.Breaker.seed + i }
+        ~clock:(fun () -> Metrics.now t_hmetrics)
+        ();
+    retry =
+      Backoff.create ~base_s:hcfg.retry_backoff_s ~seed:(hcfg.breaker.Breaker.seed + i) ();
+    health = Healthy;
+    last_watermark = 0;
+    last_error = None;
+  }
+
+let create ?pool_pages ?pool_stripes ?(op_delay = 0.0) ?(health = default_health_config)
+    ?metrics ~spec ~name () =
+  validate_health_config health;
   let n = Partition.partitions spec in
+  let hmetrics = match metrics with Some m -> m | None -> Metrics.create () in
   let vfss = Array.init n (fun _ -> Vfs.in_memory ~op_delay ()) in
   let shards =
     Array.init n (fun i ->
@@ -72,7 +161,25 @@ let create ?pool_pages ?pool_stripes ?(op_delay = 0.0) ~spec ~name () =
         init_progress (Warehouse.db wh);
         wh)
   in
-  { spec; shards; vfss }
+  let t =
+    {
+      spec;
+      shards;
+      vfss;
+      name;
+      op_delay;
+      pool_pages;
+      pool_stripes;
+      hcfg = health;
+      hmetrics;
+      states = Array.init n (fun i -> mk_state hmetrics health i);
+      replicas = [];
+      views = [];
+      agg_views = [];
+    }
+  in
+  publish_health t;
+  t
 
 let is_fact t table = String.equal table (Partition.table t.spec)
 
@@ -84,7 +191,8 @@ let add_replica t ~table ~schema =
         (Printf.sprintf "Partitioned.add_replica: %s's leading key column must be %s" table
            key)
   end;
-  Array.iter (fun wh -> Warehouse.add_replica wh ~table ~schema) t.shards
+  Array.iter (fun wh -> Warehouse.add_replica wh ~table ~schema) t.shards;
+  t.replicas <- t.replicas @ [ (table, schema) ]
 
 let load_replica t ~table rows =
   if is_fact t table then begin
@@ -112,19 +220,29 @@ let define_view t view =
      invalid_arg
        "Partitioned.define_view: join views need co-partitioned sides; only select-project \
         views are supported");
-  Array.iter (fun wh -> Warehouse.define_view wh view) t.shards
+  Array.iter (fun wh -> Warehouse.define_view wh view) t.shards;
+  t.views <- t.views @ [ view ]
 
-let define_agg_view t view = Array.iter (fun wh -> Warehouse.define_agg_view wh view) t.shards
+let define_agg_view t view =
+  Array.iter (fun wh -> Warehouse.define_agg_view wh view) t.shards;
+  t.agg_views <- t.agg_views @ [ view ]
 
 (* ---------- merged reads ---------- *)
 
-let replica_rows t table =
+let indices t = List.init (partitions t) Fun.id
+
+let replica_rows_of t idxs table =
   let rows =
     if is_fact t table then
-      Array.to_list t.shards |> List.concat_map (fun wh -> Warehouse.replica_rows wh table)
-    else Warehouse.replica_rows t.shards.(0) table
+      List.concat_map (fun i -> Warehouse.replica_rows t.shards.(i) table) idxs
+    else
+      match idxs with
+      | [] -> invalid_arg "Partitioned: no shard to serve a replicated table"
+      | i :: _ -> Warehouse.replica_rows t.shards.(i) table
   in
   List.sort Tuple.compare rows
+
+let replica_rows t table = replica_rows_of t (indices t) table
 
 (* sum multiplicities of identical output rows across shards (a base row
    lives on exactly one shard, but two shards' slices can project to the
@@ -143,8 +261,10 @@ let merge_counted rows_by_shard =
   List.rev_map (fun row -> (row, Hashtbl.find tbl row)) !order
   |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
 
-let view_rows t name =
-  merge_counted (Array.to_list t.shards |> List.map (fun wh -> Warehouse.view_rows wh name))
+let view_rows_of t idxs name =
+  merge_counted (List.map (fun i -> Warehouse.view_rows t.shards.(i) name) idxs)
+
+let view_rows t name = view_rows_of t (indices t) name
 
 let merge_agg_value fn a b =
   let add a b =
@@ -160,11 +280,16 @@ let merge_agg_value fn a b =
   | Agg_view.Min _ -> if Value.compare a b <= 0 then a else b
   | Agg_view.Max _ -> if Value.compare a b >= 0 then a else b
 
-let agg_view_rows t name =
-  (* the definition is identical on every shard; take it from shard 0's
-     registration to know group arity and aggregate functions *)
+let agg_view_rows_of t idxs name =
+  (* the definition is identical on every shard; take it from the first
+     serving shard's registration to know group arity and aggregates *)
+  let first =
+    match idxs with
+    | [] -> invalid_arg "Partitioned: no shard to serve an aggregate view"
+    | i :: _ -> i
+  in
   let adef =
-    match Warehouse.agg_view_def t.shards.(0) name with
+    match Warehouse.agg_view_def t.shards.(first) name with
     | Some v -> v
     | None -> raise Not_found
   in
@@ -172,8 +297,8 @@ let agg_view_rows t name =
   let fns = List.map snd adef.Agg_view.aggregates in
   let tbl = Hashtbl.create 64 in
   let order = ref [] in
-  Array.iter
-    (fun wh ->
+  List.iter
+    (fun i ->
       List.iter
         (fun (row, count) ->
           let key = Array.sub row 0 groups in
@@ -184,14 +309,16 @@ let agg_view_rows t name =
           | Some (existing, c) ->
             let merged = Array.copy existing in
             List.iteri
-              (fun i fn ->
-                merged.(groups + i) <- merge_agg_value fn existing.(groups + i) row.(groups + i))
+              (fun j fn ->
+                merged.(groups + j) <- merge_agg_value fn existing.(groups + j) row.(groups + j))
               fns;
             Hashtbl.replace tbl key (merged, c + count))
-        (Warehouse.agg_view_rows wh name))
-    t.shards;
+        (Warehouse.agg_view_rows t.shards.(i) name))
+    idxs;
   List.rev_map (fun key -> Hashtbl.find tbl key) !order
   |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
+
+let agg_view_rows t name = agg_view_rows_of t (indices t) name
 
 (* ---------- parallel refresh ---------- *)
 
@@ -232,56 +359,421 @@ let refresh_shard policy wh ods =
   in
   go Warehouse.zero_stats pending
 
-let refresh ?(policy = Warehouse.default_batch_policy) ~pool t buckets =
-  Warehouse.validate_batch_policy policy;
+let check_buckets t buckets =
   if Array.length buckets <> partitions t then
     invalid_arg
       (Printf.sprintf "Partitioned.refresh: %d buckets for %d partitions"
-         (Array.length buckets) (partitions t));
+         (Array.length buckets) (partitions t))
+
+let refresh ?(policy = Warehouse.default_batch_policy) ~pool t buckets =
+  Warehouse.validate_batch_policy policy;
+  check_buckets t buckets;
   Domain_pool.run_all pool
     (List.init (partitions t) (fun i () -> refresh_shard policy t.shards.(i) buckets.(i)))
   |> List.fold_left Warehouse.add_stats Warehouse.zero_stats
 
 (* ---------- crash re-adoption ---------- *)
 
-let reopen ?pool_pages ?pool_stripes ~replicas ~views ~agg_views ~spec ~name ~vfss () =
+let shard_catalog ~replicas ~views ~agg_views ~extra =
+  List.map (fun (table, schema) -> (table, schema, None)) replicas
+  @ List.map (fun v -> (Spj_view.name v, Warehouse.view_backing_schema v, None)) views
+  @ List.map
+      (fun (v : Agg_view.t) -> (v.Agg_view.name, Warehouse.agg_view_backing_schema v, None))
+      agg_views
+  @ List.map (fun (table, schema) -> (table, schema, None)) extra
+  @ [
+      (Partition.spec_table, Partition.spec_schema, None);
+      (progress_table, progress_schema, None);
+    ]
+
+(* re-adopt one shard's surviving bytes: reopen + recover, verify the
+   persisted placement belongs to this slot, re-attach replicas/views *)
+let adopt_shard ?pool_pages ?pool_stripes ~replicas ~views ~agg_views ~extra ~spec ~name ~vfs i
+    =
+  let catalog = shard_catalog ~replicas ~views ~agg_views ~extra in
+  let db, (_ : Dw_txn.Recovery.stats) =
+    Db.reopen ?pool_pages ?pool_stripes ~vfs ~name:(Printf.sprintf "%s_p%d" name i)
+      ~tables:catalog ()
+  in
+  (match Partition.load db with
+   | Some (shard, persisted) when shard = i && Partition.equal persisted spec -> ()
+   | Some (shard, persisted) ->
+     invalid_arg
+       (Printf.sprintf "Partitioned.reopen: shard %d holds spec %s (shard %d), expected %s" i
+          (Partition.to_string persisted) shard (Partition.to_string spec))
+   | None ->
+     invalid_arg (Printf.sprintf "Partitioned.reopen: shard %d has no persisted spec" i));
+  let wh = Warehouse.attach ~db () in
+  List.iter (fun (table, _) -> Warehouse.attach_replica wh ~table) replicas;
+  List.iter (Warehouse.attach_view wh) views;
+  List.iter (Warehouse.attach_agg_view wh) agg_views;
+  wh
+
+let reopen ?pool_pages ?pool_stripes ?(op_delay = 0.0) ?(health = default_health_config)
+    ?metrics ~replicas ~views ~agg_views ~spec ~name ~vfss () =
+  validate_health_config health;
   if Array.length vfss <> Partition.partitions spec then
     invalid_arg
       (Printf.sprintf "Partitioned.reopen: %d shard file systems for %d partitions"
          (Array.length vfss) (Partition.partitions spec));
-  let catalog =
-    List.map (fun (table, schema) -> (table, schema, None)) replicas
-    @ List.map (fun v -> (Spj_view.name v, Warehouse.view_backing_schema v, None)) views
-    @ List.map
-        (fun (v : Agg_view.t) -> (v.Agg_view.name, Warehouse.agg_view_backing_schema v, None))
-        agg_views
-    @ [
-        (Partition.spec_table, Partition.spec_schema, None);
-        (progress_table, progress_schema, None);
-      ]
-  in
+  let hmetrics = match metrics with Some m -> m | None -> Metrics.create () in
   let shards =
     Array.mapi
       (fun i vfs ->
         Vfs.crash_reset vfs;
-        let db, (_ : Dw_txn.Recovery.stats) =
-          Db.reopen ?pool_pages ?pool_stripes ~vfs ~name:(Printf.sprintf "%s_p%d" name i)
-            ~tables:catalog ()
-        in
-        (match Partition.load db with
-         | Some (shard, persisted) when shard = i && Partition.equal persisted spec -> ()
-         | Some (shard, persisted) ->
-           invalid_arg
-             (Printf.sprintf
-                "Partitioned.reopen: shard %d holds spec %s (shard %d), expected %s" i
-                (Partition.to_string persisted) shard (Partition.to_string spec))
-         | None ->
-           invalid_arg (Printf.sprintf "Partitioned.reopen: shard %d has no persisted spec" i));
-        let wh = Warehouse.attach ~db () in
-        List.iter (fun (table, _) -> Warehouse.attach_replica wh ~table) replicas;
-        List.iter (Warehouse.attach_view wh) views;
-        List.iter (Warehouse.attach_agg_view wh) agg_views;
-        wh)
+        adopt_shard ?pool_pages ?pool_stripes ~replicas ~views ~agg_views ~extra:[] ~spec
+          ~name ~vfs i)
       vfss
   in
-  { spec; shards; vfss }
+  let t =
+    {
+      spec;
+      shards;
+      vfss;
+      name;
+      op_delay;
+      pool_pages;
+      pool_stripes;
+      hcfg = health;
+      hmetrics;
+      states = Array.init (Array.length shards) (fun i -> mk_state hmetrics health i);
+      replicas;
+      views;
+      agg_views;
+    }
+  in
+  Array.iteri (fun i s -> s.last_watermark <- watermark_of t.shards.(i)) t.states;
+  publish_health t;
+  t
+
+(* ---------- guarded refresh: breaker-driven health transitions ---------- *)
+
+type shard_outcome =
+  | Applied of Warehouse.stats
+  | Skipped of health
+  | Failed of string
+
+(* a failure was recorded against shard [i]; derive its health from the
+   breaker and count trip transitions *)
+let apply_failure t i msg =
+  let s = t.states.(i) in
+  let trips_before = Breaker.trips s.breaker in
+  Breaker.record_failure s.breaker;
+  Metrics.incr t.hmetrics "health.refresh_failures";
+  if Breaker.trips s.breaker > trips_before then Metrics.incr t.hmetrics "breaker.trips";
+  s.last_error <- Some msg;
+  (match s.health with
+   | Rebuilding -> ()  (* rebuild owns the shard; the breaker still learns *)
+   | Healthy | Suspect | Quarantined ->
+     s.health <-
+       (match Breaker.state s.breaker with
+        | Breaker.Open | Breaker.Half_open -> Quarantined
+        | Breaker.Closed -> Suspect))
+
+let apply_success t i wm =
+  let s = t.states.(i) in
+  Breaker.record_success s.breaker;
+  s.last_watermark <- wm;
+  s.last_error <- None;
+  match Breaker.state s.breaker with
+  | Breaker.Closed ->
+    if s.health = Quarantined then Metrics.incr t.hmetrics "health.recovered";
+    (match s.health with Rebuilding -> () | _ -> s.health <- Healthy)
+  | Breaker.Half_open | Breaker.Open -> ()  (* more probes needed; stays quarantined *)
+
+(* half-open probe admission: restart the shard's simulated process over
+   its surviving bytes.  [Vfs.revive] keeps any sustained fault schedule
+   armed, so a shard probed inside a flap's ON window crashes again right
+   here — which is the probe failing, not an error of ours. *)
+let probe_reopen t i =
+  Metrics.incr t.hmetrics "breaker.probes";
+  Vfs.revive t.vfss.(i);
+  match
+    adopt_shard ?pool_pages:t.pool_pages ?pool_stripes:t.pool_stripes ~replicas:t.replicas
+      ~views:t.views ~agg_views:t.agg_views ~extra:[] ~spec:t.spec ~name:t.name
+      ~vfs:t.vfss.(i) i
+  with
+  | wh ->
+    t.shards.(i) <- wh;
+    Ok ()
+  | exception Vfs.Fault.Crash { op; index } ->
+    Error (Printf.sprintf "probe reopen crashed on %s at event %d" op index)
+  | exception Vfs.Fault.Transient op -> Error ("probe reopen transient fault on " ^ op)
+
+let refresh_guarded ?(policy = Warehouse.default_batch_policy) ~pool t buckets =
+  Warehouse.validate_batch_policy policy;
+  check_buckets t buckets;
+  let n = partitions t in
+  (* sequential pre-pass: decide, per shard, attempt / skip / failed probe *)
+  let plan =
+    Array.init n (fun i ->
+        let s = t.states.(i) in
+        match s.health with
+        | Rebuilding -> `Skip Rebuilding
+        | Healthy | Suspect -> `Attempt
+        | Quarantined ->
+          if Breaker.allow s.breaker then
+            match probe_reopen t i with
+            | Ok () -> `Attempt
+            | Error msg ->
+              Metrics.incr t.hmetrics "breaker.probe_failures";
+              `Probe_failed msg
+          else `Skip Quarantined)
+  in
+  (* parallel attempts: pool tasks touch only their own shard (its
+     warehouse, its registry, its retry backoff) — never the breaker or
+     the fleet registry, whose bookkeeping stays on this domain *)
+  let attempts =
+    List.filter_map (fun i -> match plan.(i) with `Attempt -> Some i | _ -> None)
+      (List.init n Fun.id)
+  in
+  let task i () =
+    let s = t.states.(i) in
+    let started = Unix.gettimeofday () in
+    let retries = ref 0 in
+    let rec go attempt =
+      match refresh_shard policy t.shards.(i) buckets.(i) with
+      | stats -> Ok stats
+      | exception Vfs.Fault.Transient _ when attempt < t.hcfg.max_retries ->
+        incr retries;
+        ignore (Backoff.wait s.retry ~attempt : float);
+        go (attempt + 1)
+      | exception Vfs.Fault.Transient op ->
+        Error
+          (Printf.sprintf "transient fault on %s persisted after %d retries" op
+             t.hcfg.max_retries)
+      | exception Vfs.Fault.Crash { op; index } ->
+        Error (Printf.sprintf "crash on %s at event %d" op index)
+    in
+    let result = go 0 in
+    (result, !retries, Unix.gettimeofday () -. started)
+  in
+  let results = Domain_pool.run_all pool (List.map (fun i -> task i) attempts) in
+  (* sequential post-pass: breaker bookkeeping and health transitions *)
+  let by_shard = Hashtbl.create 8 in
+  List.iter2 (fun i r -> Hashtbl.replace by_shard i r) attempts results;
+  let outcomes =
+    Array.init n (fun i ->
+        match plan.(i) with
+        | `Skip h ->
+          Metrics.incr t.hmetrics "health.refresh_skipped";
+          Skipped h
+        | `Probe_failed msg ->
+          apply_failure t i msg;
+          Failed msg
+        | `Attempt -> (
+          let result, retries, elapsed = Hashtbl.find by_shard i in
+          if retries > 0 then Metrics.add t.hmetrics "health.retries" retries;
+          match result with
+          | Ok stats ->
+            (* post-hoc timeout breach: the work applied (and stays
+               applied — the watermark advanced), but a shard this slow
+               counts against its breaker like a failure *)
+            if elapsed >= t.hcfg.refresh_timeout_s then begin
+              Metrics.incr t.hmetrics "health.timeout_breaches";
+              apply_failure t i
+                (Printf.sprintf "refresh took %.3fs (timeout %.3fs)" elapsed
+                   t.hcfg.refresh_timeout_s)
+            end
+            else apply_success t i (watermark_of t.shards.(i));
+            Applied stats
+          | Error msg ->
+            apply_failure t i msg;
+            Failed msg))
+  in
+  publish_health t;
+  let stats =
+    Array.fold_left
+      (fun acc -> function Applied s -> Warehouse.add_stats acc s | Skipped _ | Failed _ -> acc)
+      Warehouse.zero_stats outcomes
+  in
+  (stats, outcomes)
+
+(* ---------- degraded reads ---------- *)
+
+type read_policy = [ `Fail_closed | `Degraded ]
+
+type coverage = {
+  shards : int;
+  served : int list;
+  skipped : (int * health) list;
+  watermarks : int array;
+  max_watermark : int;
+}
+
+exception Unhealthy of (int * health) list
+
+let serving t i = match t.states.(i).health with
+  | Healthy | Suspect -> true
+  | Quarantined | Rebuilding -> false
+
+(* run [f i] over the serving shards; a shard that faults mid-read is
+   recorded against its breaker and moved to the skipped set.  Under
+   [`Fail_closed] any skipped shard (pre-existing or new) aborts the
+   read. *)
+let read_checked (type a) ~policy t (f : int -> a) : (int * a) list * (int * health) list =
+  let served = ref [] and skipped = ref [] in
+  List.iter
+    (fun i ->
+      if serving t i then begin
+        match f i with
+        | v -> served := (i, v) :: !served
+        | exception (Vfs.Fault.Crash _ | Vfs.Fault.Transient _) ->
+          Metrics.incr t.hmetrics "degraded.read_failures";
+          apply_failure t i "read fault";
+          skipped := (i, t.states.(i).health) :: !skipped
+      end
+      else skipped := (i, t.states.(i).health) :: !skipped)
+    (indices t);
+  let served = List.rev !served and skipped = List.rev !skipped in
+  if skipped <> [] then publish_health t;
+  (match policy with
+   | `Fail_closed -> if skipped <> [] then raise (Unhealthy skipped)
+   | `Degraded -> if served = [] then raise (Unhealthy skipped));
+  if skipped <> [] then begin
+    Metrics.incr t.hmetrics "degraded.reads";
+    Metrics.add t.hmetrics "degraded.skipped_shards" (List.length skipped)
+  end;
+  (served, skipped)
+
+let coverage_of (t : t) ~served ~skipped =
+  let wms =
+    Array.mapi
+      (fun i s ->
+        (* best-effort: a shard can serve its scan from cached pages and
+           still fault on the watermark probe (reading the progress table
+           opens a transaction, which touches the device) — fall back to
+           its last known watermark rather than failing the read *)
+        if List.mem_assoc i served then
+          match watermark_of t.shards.(i) with
+          | wm ->
+            s.last_watermark <- wm;
+            wm
+          | exception (Vfs.Fault.Crash _ | Vfs.Fault.Transient _) -> s.last_watermark
+        else s.last_watermark)
+      t.states
+  in
+  {
+    shards = partitions t;
+    served = List.map fst served;
+    skipped;
+    watermarks = wms;
+    max_watermark = Array.fold_left max 0 wms;
+  }
+
+let replica_rows_checked ?(policy = `Fail_closed) t table =
+  if is_fact t table then begin
+    let served, skipped =
+      read_checked ~policy t (fun i -> Warehouse.replica_rows t.shards.(i) table)
+    in
+    (List.sort Tuple.compare (List.concat_map snd served), coverage_of t ~served ~skipped)
+  end
+  else begin
+    (* replicated table: one serving shard answers for the fleet *)
+    let served, skipped = read_checked ~policy t (fun i -> i) in
+    let rows = replica_rows_of t (List.map fst served) table in
+    (rows, coverage_of t ~served ~skipped)
+  end
+
+let view_rows_checked ?(policy = `Fail_closed) t name =
+  let served, skipped =
+    read_checked ~policy t (fun i -> Warehouse.view_rows t.shards.(i) name)
+  in
+  (merge_counted (List.map snd served), coverage_of t ~served ~skipped)
+
+let agg_view_rows_checked ?(policy = `Fail_closed) t name =
+  let served, skipped = read_checked ~policy t (fun i -> i) in
+  let rows = agg_view_rows_of t (List.map fst served) name in
+  (rows, coverage_of t ~served ~skipped)
+
+(* ---------- quarantined-shard rebuild ---------- *)
+
+let fleet_watermark t =
+  List.fold_left
+    (fun acc i -> if serving t i then max acc (watermark_of t.shards.(i)) else acc)
+    0 (indices t)
+
+let begin_rebuild ?donor t i =
+  let s = t.states.(i) in
+  (match s.health with
+   | Quarantined -> ()
+   | h ->
+     invalid_arg
+       (Printf.sprintf "Partitioned.begin_rebuild: shard %d is %s, not quarantined" i
+          (health_to_string h)));
+  let replicated = List.filter (fun (table, _) -> not (is_fact t table)) t.replicas in
+  let donor =
+    match donor with
+    | Some d ->
+      if not (serving t d) then
+        invalid_arg (Printf.sprintf "Partitioned.begin_rebuild: donor shard %d is not serving" d);
+      Some d
+    | None -> List.find_opt (fun j -> j <> i && serving t j) (indices t)
+  in
+  if replicated <> [] && donor = None then
+    invalid_arg "Partitioned.begin_rebuild: no serving donor shard for replicated tables";
+  (* fresh device, empty shard — the quarantined bytes are abandoned *)
+  let vfs = Vfs.in_memory ~op_delay:t.op_delay () in
+  let wh =
+    Warehouse.create ?pool_pages:t.pool_pages ?pool_stripes:t.pool_stripes ~vfs
+      ~name:(Printf.sprintf "%s_p%d" t.name i) ()
+  in
+  Partition.save (Warehouse.db wh) ~shard:i t.spec;
+  init_progress (Warehouse.db wh);
+  List.iter
+    (fun (table, schema) ->
+      Warehouse.add_replica wh ~table ~schema;
+      if not (is_fact t table) then
+        Warehouse.load_replica wh ~table
+          (Warehouse.replica_rows t.shards.(Option.get donor) table))
+    t.replicas;
+  List.iter (Warehouse.define_view wh) t.views;
+  List.iter (Warehouse.define_agg_view wh) t.agg_views;
+  (* the donor copy is bulk-unlogged; checkpoint so a kill during the
+     rebuild can still recover the dimension rows from the heap *)
+  Db.checkpoint (Warehouse.db wh);
+  t.vfss.(i) <- vfs;
+  t.shards.(i) <- wh;
+  s.health <- Rebuilding;
+  s.last_error <- None;
+  Metrics.incr t.hmetrics "health.rebuilds";
+  publish_health t;
+  wh
+
+let reattach_rebuilding ?(extra = []) t i =
+  let s = t.states.(i) in
+  if s.health <> Rebuilding then
+    invalid_arg
+      (Printf.sprintf "Partitioned.reattach_rebuilding: shard %d is %s" i
+         (health_to_string s.health));
+  Vfs.crash_reset t.vfss.(i);
+  t.shards.(i) <-
+    adopt_shard ?pool_pages:t.pool_pages ?pool_stripes:t.pool_stripes ~replicas:t.replicas
+      ~views:t.views ~agg_views:t.agg_views ~extra ~spec:t.spec ~name:t.name ~vfs:t.vfss.(i) i
+
+let readmit t i ~watermark =
+  let s = t.states.(i) in
+  if s.health <> Rebuilding then
+    invalid_arg
+      (Printf.sprintf "Partitioned.readmit: shard %d is %s, not rebuilding" i
+         (health_to_string s.health));
+  let db = Warehouse.db t.shards.(i) in
+  (* spec verification: the bytes being re-admitted must carry this
+     slot's placement (catches re-admitting the wrong shard's rebuild) *)
+  (match Partition.load db with
+   | Some (shard, persisted) when shard = i && Partition.equal persisted t.spec -> ()
+   | _ -> invalid_arg (Printf.sprintf "Partitioned.readmit: shard %d spec mismatch" i));
+  (* the rebuilt shard must have caught up: re-admitting behind the
+     serving fleet would roll merged reads backwards *)
+  let fleet = fleet_watermark t in
+  if watermark < fleet then
+    invalid_arg
+      (Printf.sprintf "Partitioned.readmit: shard %d watermark %d behind fleet %d" i
+         watermark fleet);
+  Db.with_txn db (fun txn -> set_progress db txn watermark);
+  s.last_watermark <- watermark;
+  s.last_error <- None;
+  Breaker.reset s.breaker;
+  s.health <- Healthy;
+  Metrics.incr t.hmetrics "health.readmitted";
+  publish_health t

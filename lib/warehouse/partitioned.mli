@@ -47,10 +47,52 @@ module Domain_pool = Dw_util.Domain_pool
 type t
 (** A partitioned warehouse: [Partition.partitions spec] shards. *)
 
+(** {2 Shard health} — per-shard circuit state driving the guarded
+    refresh ({!refresh_guarded}) and degraded reads.
+
+    Each shard carries a {!Dw_util.Breaker} and walks
+    [Healthy -> Suspect -> Quarantined -> Rebuilding -> Healthy]:
+    refresh/read failures (fail-stop crashes, transient faults past the
+    retry budget, timeout breaches) count against the breaker;
+    [failure_threshold] consecutive failures trip it and quarantine the
+    shard.  A quarantined shard is excluded from refresh and from
+    degraded reads until the breaker's dwell elapses, when the next
+    {!refresh_guarded} admits one half-open {e probe}: the shard's
+    simulated process is restarted over its surviving bytes
+    ({!Vfs.revive} + reopen, keeping any sustained fault schedule armed)
+    and its bucket attempted; success closes the breaker, failure
+    re-trips it with a doubled (equal-jitter) dwell.  A shard that never
+    stabilises is rebuilt from scratch ({!begin_rebuild} /
+    {!readmit}). *)
+
+type health = Healthy | Suspect | Quarantined | Rebuilding
+
+val health_to_string : health -> string
+(** Lower-case state name, as reported in logs and [health.state.*]
+    gauges. *)
+
+type health_config = {
+  breaker : Dw_util.Breaker.config;
+      (** trip threshold, dwell, probe count, dwell cap, jitter seed
+          (per-shard breakers use [seed + shard index]) *)
+  max_retries : int;  (** in-task transient-fault retries per shard refresh *)
+  retry_backoff_s : float;  (** base of the equal-jitter in-task retry backoff *)
+  refresh_timeout_s : float;
+      (** post-hoc breach threshold (wall-clock seconds) on one shard's
+          refresh: the work stays applied, but the shard is counted
+          against its breaker *)
+}
+
+val default_health_config : health_config
+(** [{ breaker = Dw_util.Breaker.default_config; max_retries = 2;
+      retry_backoff_s = 0.0; refresh_timeout_s = infinity }]. *)
+
 val create :
   ?pool_pages:int ->
   ?pool_stripes:int ->
   ?op_delay:float ->
+  ?health:health_config ->
+  ?metrics:Dw_util.Metrics.t ->
   spec:Partition.t ->
   name:string ->
   unit ->
@@ -59,7 +101,11 @@ val create :
     [op_delay] simulated seconds per I/O — the experiments' I/O-bound
     knob), persist [spec] into every shard's metadata, and create the
     per-shard [__refresh_progress] watermark table.  [pool_pages] and
-    [pool_stripes] are per shard. *)
+    [pool_stripes] are per shard.  [metrics] is the {e fleet} registry:
+    it receives the [health.*], [breaker.*] and [degraded.*] series and
+    its clock ({!Dw_util.Metrics.now}, {!Dw_util.Metrics.use_sim_clock})
+    drives every breaker's dwell — deterministic under a
+    {!Dw_util.Sim_clock}. *)
 
 val spec : t -> Partition.t
 (** The placement spec the warehouse was created (or reopened) with. *)
@@ -134,6 +180,9 @@ val refresh :
 val reopen :
   ?pool_pages:int ->
   ?pool_stripes:int ->
+  ?op_delay:float ->
+  ?health:health_config ->
+  ?metrics:Dw_util.Metrics.t ->
   replicas:(string * Schema.t) list ->
   views:Spj_view.t list ->
   agg_views:Agg_view.t list ->
@@ -150,4 +199,126 @@ val reopen :
     match [spec] (raises [Invalid_argument] on mismatch or a missing
     spec row — the shard bytes belong to a different layout).  After
     reopen, re-running {!refresh} with the same buckets completes an
-    interrupted refresh exactly-once. *)
+    interrupted refresh exactly-once.  Health state starts over: every
+    shard [Healthy], breakers closed ([health], [metrics], [op_delay] as
+    in {!create}). *)
+
+(** {2 Guarded refresh, degraded reads, rebuild} *)
+
+val health_metrics : t -> Dw_util.Metrics.t
+(** The fleet registry passed to (or created by) {!create}/{!reopen}. *)
+
+val shard_health : t -> int -> health
+(** Shard [i]'s current state in the health machine. *)
+
+val healths : t -> health array
+(** Per-shard health, index-aligned with shards. *)
+
+val shard_breaker : t -> int -> Dw_util.Breaker.t
+(** Shard [i]'s breaker (tests and experiments inspect trip/probe
+    counts). *)
+
+type shard_outcome =
+  | Applied of Warehouse.stats  (** bucket applied (possibly after retries) *)
+  | Skipped of health  (** not attempted: breaker open or shard rebuilding *)
+  | Failed of string  (** attempted and failed; counted against the breaker *)
+
+val refresh_guarded :
+  ?policy:Warehouse.batch_policy ->
+  pool:Domain_pool.t ->
+  t ->
+  Op_delta.t list array ->
+  Warehouse.stats * shard_outcome array
+(** {!refresh} under the health state machine: healthy and suspect
+    shards apply their buckets concurrently (transient faults retried
+    in-task up to [max_retries] with equal-jitter backoff; a fail-stop
+    crash fails the shard immediately); a quarantined shard is skipped
+    until its breaker dwell elapses, then given one revive-and-reopen
+    probe; a rebuilding shard is always skipped (the rebuild owns it).
+    One shard's failure never fails the fleet — the summed stats cover
+    the shards that applied, and the outcome array says what happened
+    to each.  Deliver {e cumulative} buckets while any shard lags (the
+    per-shard watermark filter keeps re-delivery exactly-once).
+    Breaker bookkeeping runs on the calling domain only.
+
+    Metrics (fleet registry): [health.refresh_failures],
+    [health.refresh_skipped], [health.retries],
+    [health.timeout_breaches], [health.recovered], [breaker.trips],
+    [breaker.probes], [breaker.probe_failures], gauges
+    [health.shard<i>] (0 healthy / 1 suspect / 2 quarantined /
+    3 rebuilding) and [health.healthy_shards]. *)
+
+type read_policy = [ `Fail_closed | `Degraded ]
+
+type coverage = {
+  shards : int;  (** fleet size *)
+  served : int list;  (** shard indices that answered *)
+  skipped : (int * health) list;  (** unserved shards and why *)
+  watermarks : int array;
+      (** per-shard applied-through txn id; live for served shards
+          (falling back to the last known value when the watermark probe
+          itself faults), the last known value for skipped ones *)
+  max_watermark : int;
+      (** fleet-wide freshest watermark — [max_watermark -
+          watermarks.(i)] is shard [i]'s staleness in source
+          transactions *)
+}
+
+exception Unhealthy of (int * health) list
+(** A read could not be answered within policy: under [`Fail_closed]
+    any unserved shard; under [`Degraded] an empty serving set. *)
+
+val replica_rows_checked :
+  ?policy:read_policy -> t -> string -> Tuple.t list * coverage
+(** {!replica_rows} with an explicit availability policy.
+    [`Fail_closed] (default) raises {!Unhealthy} unless every shard
+    serves.  [`Degraded] answers from the serving (healthy + suspect)
+    shards only — for the fact table the merged rows are the union of
+    the served slices; a replicated table is answered by the first
+    serving shard — and reports the gap in the returned {!coverage}.  A
+    shard that faults {e during} the read is recorded against its
+    breaker and moved to the skipped set (under [`Fail_closed] the read
+    then raises).  Metrics: [degraded.reads], [degraded.skipped_shards],
+    [degraded.read_failures]. *)
+
+val view_rows_checked :
+  ?policy:read_policy -> t -> string -> (Tuple.t * int) list * coverage
+(** {!view_rows} with an availability policy (see
+    {!replica_rows_checked}). *)
+
+val agg_view_rows_checked :
+  ?policy:read_policy -> t -> string -> (Tuple.t * int) list * coverage
+(** {!agg_view_rows} with an availability policy (see
+    {!replica_rows_checked}). *)
+
+val begin_rebuild : ?donor:int -> t -> int -> Warehouse.t
+(** Abandon quarantined shard [i]'s bytes and swap in a fresh empty
+    shard over a fresh {!Vfs}: the partition spec and watermark table
+    are recreated, every registered replica table is re-created (the
+    fact table empty — {!Dw_etl.Bootstrap} with a shard slice reloads
+    it online — and replicated tables copied from [donor], default the
+    first serving shard, then checkpointed so the bulk copy survives a
+    kill during the rebuild), and views re-defined.  The shard enters
+    [Rebuilding]: refresh and reads skip it until {!readmit}.  Returns
+    the fresh shard for the rebuild driver.  Raises [Invalid_argument]
+    unless the shard is [Quarantined], or when replicated tables exist
+    but no serving donor does.  Replicated tables must stay quiescent
+    during the rebuild — the slice bootstrap replays fact-table deltas
+    only.  Counted under [health.rebuilds]. *)
+
+val reattach_rebuilding : ?extra:(string * Schema.t) list -> t -> int -> unit
+(** Resume a rebuild interrupted by a crash: {!Vfs.crash_reset} +
+    reopen shard [i] over its surviving bytes (catalog extended with
+    [extra] — the rebuild driver passes its [__bootstrap_state] table)
+    and swap the re-adopted warehouse in, leaving health [Rebuilding].
+    Raises [Invalid_argument] if the shard is not rebuilding. *)
+
+val readmit : t -> int -> watermark:int -> unit
+(** Complete shard [i]'s rebuild: verify the persisted spec belongs to
+    slot [i], require [watermark] (the rebuild's applied-through source
+    txn id) to be at least the serving fleet's maximum (re-admitting a
+    stale shard would roll merged reads backwards), persist it as the
+    shard's refresh watermark, reset the breaker and mark the shard
+    [Healthy].  Raises [Invalid_argument] on a non-rebuilding shard,
+    spec mismatch, or watermark lag.  Counted under
+    [health.readmitted]. *)

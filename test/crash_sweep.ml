@@ -49,6 +49,12 @@ let () =
        ~stride:1 ());
   check "partitioned (standard)"
     (Dw_experiments.Exp_partition.explore_partitioned ~stride:3 ());
+  (* online shard rebuild: the quarantined shard's slice bootstrap is
+     killed at every device event, resumed from the surviving bytes
+     (queue + __bootstrap_state live on the rebuilt shard's own Vfs),
+     and the re-admitted fleet must converge with the sequential
+     integrator at one watermark *)
+  check "rebuild (stride 2)" (Dw_experiments.Exp_chaos.explore_rebuild ~stride:2 ());
   (* domain-pool clean shutdown with a sweep mid-flight: a batch is
      draining (some tasks still queued, some raising) while another domain
      issues the shutdown — the batch must complete, the error must

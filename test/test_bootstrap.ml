@@ -125,6 +125,65 @@ let lease_refused () =
     check Alcotest.int "no chunks re-done" 0 p2.Bootstrap.chunks_this_run
   | Error _ -> Alcotest.fail "start after completion refused"
 
+(* ---------- lease contention on a simulated clock ---------- *)
+
+let with_sim_clock env =
+  let sim = Dw_util.Sim_clock.create () in
+  Metrics.use_sim_clock (Db.metrics (Warehouse.db env.EB.wh)) sim;
+  sim
+
+let lease_expiry_steal () =
+  (* an abandoned run's lease lapses on the registry clock; a new owner
+     steals it, and the stale handle aborts cleanly on its next renewal
+     instead of corrupting the winner's run *)
+  let env = EB.mk_env (spec ()) in
+  let sim = with_sim_clock env in
+  let stale = start_exn ~owner:"primary" env in
+  Dw_util.Sim_clock.advance sim (int_of_float Bootstrap.default_config.Bootstrap.lease_ttl_s + 1);
+  let winner =
+    match EB.start_bootstrap ~owner:"thief" env with
+    | Ok b -> b
+    | Error _ -> Alcotest.fail "expired lease not stolen"
+  in
+  (match Bootstrap.run stale with
+   | Error (Bootstrap.Failed msg) ->
+     check Alcotest.bool "stale run aborts on the lost lease" true
+       (has_prefix "lease lost" msg)
+   | Ok _ -> Alcotest.fail "stale handle ran to completion over a stolen lease"
+   | Error (Bootstrap.Lease_held _) -> Alcotest.fail "stale run refused at start, not renewal");
+  let p = run_exn winner in
+  check Alcotest.bool "thief completes" true p.Bootstrap.complete;
+  check Alcotest.bool "converged" true (EB.converged env)
+
+let lease_same_owner_reacquires () =
+  (* the same owner re-acquiring a live lease is a resume, not contention
+     — crash recovery must not have to wait out its own TTL *)
+  let env = EB.mk_env (spec ()) in
+  let (_ : Dw_util.Sim_clock.t) = with_sim_clock env in
+  let (_ : Bootstrap.t) = start_exn ~owner:"primary" env in
+  let b2 =
+    match EB.start_bootstrap ~owner:"primary" env with
+    | Ok b -> b
+    | Error _ -> Alcotest.fail "same owner refused its own live lease"
+  in
+  let p = run_exn b2 in
+  check Alcotest.bool "re-acquired handle completes" true p.Bootstrap.complete
+
+let lease_expired_single_winner () =
+  (* two acquirers arriving after the expiry: the first steal commits a
+     fresh lease, so the second must be refused *)
+  let env = EB.mk_env (spec ()) in
+  let sim = with_sim_clock env in
+  let (_ : Bootstrap.t) = start_exn ~owner:"primary" env in
+  Dw_util.Sim_clock.advance sim (int_of_float Bootstrap.default_config.Bootstrap.lease_ttl_s + 1);
+  (match EB.start_bootstrap ~owner:"a" env with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "first acquirer refused an expired lease");
+  match EB.start_bootstrap ~owner:"b" env with
+  | Error (Bootstrap.Lease_held { owner; _ }) -> check Alcotest.string "winner holds" "a" owner
+  | Ok _ -> Alcotest.fail "both acquirers won the expired lease"
+  | Error (Bootstrap.Failed e) -> Alcotest.fail e
+
 (* ---------- crash / resume ---------- *)
 
 let crash_mid_load_resumes () =
@@ -295,6 +354,9 @@ let suite =
     test "live writes converge" live_writes_converge;
     test "window dedup drops superseded chunk rows" window_dedup;
     test "lease refused while held, free after completion" lease_refused;
+    test "expired lease stolen, stale run aborts at renewal" lease_expiry_steal;
+    test "same owner re-acquires its own live lease" lease_same_owner_reacquires;
+    test "expired lease: exactly one acquirer wins" lease_expired_single_winner;
     test "crash mid-load resumes (<= 1 chunk re-done)" crash_mid_load_resumes;
     test "retry exhaustion aborts cleanly, then resumes" abort_then_resume;
     test "AIMD valve shrinks chunks under lock pressure" aimd_shrinks_under_lock_pressure;

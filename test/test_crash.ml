@@ -45,6 +45,21 @@ let fault_counters_exported () =
   check Alcotest.bool "fail-stop crashes counted" true (get "fault.crashes" > 0);
   check Alcotest.bool "some crashing writes were torn" true (get "fault.torn_writes" > 0)
 
+let flake_seeds_pinned () =
+  (* regression: these (seed, crash point) pairs used to fail with
+     "recovered db missing committed row" before Db.reopen deferred the
+     attach-time index rebuild until after WAL recovery — the secondary
+     index was built over a crash-inconsistent heap and served stale
+     rids.  Keep them pinned so the fix cannot silently regress. *)
+  List.iter
+    (fun (seed, index) ->
+      let spec = { Cs.small_db_spec with Cs.seed } in
+      let ops = Cs.ops_of_spec spec in
+      match Cs.run_db_crash_point spec ops ~totals:(Metrics.create ()) index with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "seed %d, event %d: %s" seed index msg)
+    [ (13, 22); (18, 22); (24, 22); (29, 23); (71, 23); (72, 22) ]
+
 let ship_under_heavy_transient_faults () =
   (* >= 20% of destination writes and fsyncs fail transiently; bounded
      retry must absorb every fault and keep the copy byte-identical *)
@@ -112,6 +127,7 @@ let suite =
     test "warehouse refresh idempotent on redelivery (stride 4)" refresh_strided;
     test "micro-batched refresh idempotent on redelivery (stride 2)" refresh_batched_strided;
     test "fault counters exported" fault_counters_exported;
+    test "index-rebuild-before-recovery flake seeds stay green" flake_seeds_pinned;
     test "ship under 25% transient faults" ship_under_heavy_transient_faults;
     QCheck_alcotest.to_alcotest prop_queue_random_crash_never_loses;
     QCheck_alcotest.to_alcotest prop_db_random_crash_exact_rows;

@@ -197,6 +197,113 @@ let pool_churn_integrity () =
       (Tuple.get Workload.parts_schema t "qty" = Value.Int 5)
   | None -> Alcotest.fail "row 10 missing"
 
+(* ---------- sustained fault plans (flap / error window / latency) ---------- *)
+
+module Metrics = Dw_util.Metrics
+
+let vfs_counter vfs name =
+  match List.assoc_opt name (Metrics.snapshot (Vfs.metrics vfs)) with
+  | Some v -> v
+  | None -> 0
+
+let sustained_flap_deterministic () =
+  (* flap phase is pure arithmetic over the event index: the schedule
+     survives revive (the probe's view), while crash_reset detaches the
+     whole plan (a fresh device) *)
+  let vfs = Vfs.in_memory () in
+  Vfs.set_fault vfs
+    (Some
+       (Vfs.Fault.make ~tear_on_crash:false
+          ~sustained:
+            [
+              Vfs.Fault.Crash_flap
+                {
+                  window = { from_event = 2; until_event = max_int };
+                  period_on = 1;
+                  period_off = 2;
+                };
+            ]
+          ~seed:3 ()));
+  let f = Vfs.create vfs "probe" in
+  let append () = ignore (Vfs.append f (Bytes.make 8 'x') : int) in
+  append ();
+  append ();
+  (match append () with
+   | () -> Alcotest.fail "event 2 is an ON phase: should crash"
+   | exception Vfs.Fault.Crash _ -> ());
+  (match append () with
+   | () -> Alcotest.fail "dead vfs accepted a write"
+   | exception Vfs.Fault.Crash _ -> ());
+  Vfs.revive vfs;
+  append ();
+  append ();
+  (match append () with
+   | () -> Alcotest.fail "event 5 is the next ON phase: should crash again"
+   | exception Vfs.Fault.Crash _ -> ());
+  Vfs.crash_reset vfs;
+  for _ = 1 to 10 do
+    append ()
+  done
+
+let sustained_error_rate_window () =
+  let vfs = Vfs.in_memory () in
+  Vfs.set_fault vfs
+    (Some
+       (Vfs.Fault.make
+          ~sustained:
+            [
+              Vfs.Fault.Error_rate
+                { window = { from_event = 0; until_event = 4 }; write_p = 1.0; fsync_p = 1.0 };
+            ]
+          ~seed:5 ()));
+  let f = Vfs.create vfs "probe" in
+  for i = 0 to 3 do
+    match Vfs.append f (Bytes.make 8 'x') with
+    | (_ : int) -> Alcotest.failf "event %d inside the window should fail transiently" i
+    | exception Vfs.Fault.Transient _ -> ()
+  done;
+  (* window closed: the write goes through, and the transient failures
+     left no bytes behind *)
+  ignore (Vfs.append f (Bytes.make 8 'x') : int);
+  check Alcotest.int "transient writes had no effect" 8 (Vfs.size f);
+  check Alcotest.int "every windowed write counted" 4 (vfs_counter vfs "fault.transient_writes")
+
+let sustained_latency_counted () =
+  let vfs = Vfs.in_memory () in
+  Vfs.set_fault vfs
+    (Some
+       (Vfs.Fault.make
+          ~sustained:
+            [ Vfs.Fault.Latency { window = { from_event = 0; until_event = 3 }; delay_s = 5e-4 } ]
+          ~seed:9 ()));
+  let f = Vfs.create vfs "probe" in
+  for _ = 1 to 5 do
+    ignore (Vfs.append f (Bytes.make 8 'x') : int)
+  done;
+  check Alcotest.int "exactly the windowed events spiked" 3
+    (vfs_counter vfs "fault.latency_spikes")
+
+let sustained_rejects_malformed () =
+  let mk sustained = Vfs.Fault.make ~sustained ~seed:1 () in
+  (match
+     mk
+       [
+         Vfs.Fault.Crash_flap
+           { window = { from_event = 0; until_event = 1 }; period_on = 0; period_off = 1 };
+       ]
+   with
+   | (_ : Vfs.Fault.t) -> Alcotest.fail "period_on = 0 accepted"
+   | exception Invalid_argument _ -> ());
+  match
+    mk
+      [
+        Vfs.Fault.Error_rate
+          { window = { from_event = 0; until_event = 1 }; write_p = 1.5; fsync_p = 0.0 };
+      ]
+  with
+  | (_ : Vfs.Fault.t) -> Alcotest.fail "probability > 1 accepted"
+  | exception Invalid_argument _ -> ()
+
 let suite =
   [
     test "steal then crash: losers undone" steal_then_crash_undone;
@@ -208,4 +315,8 @@ let suite =
     test "triggers stack in order" triggers_stack_in_order;
     test "truncated export rejected" truncated_export_rejected;
     test "pool churn integrity" pool_churn_integrity;
+    test "crash flap phases deterministic, revive vs crash_reset" sustained_flap_deterministic;
+    test "error-rate window raises then clears" sustained_error_rate_window;
+    test "latency spikes counted inside the window" sustained_latency_counted;
+    test "malformed sustained plans rejected" sustained_rejects_malformed;
   ]

@@ -411,6 +411,137 @@ let table_render () =
     (fun line -> check Alcotest.bool "aligned" true (String.length line >= 6))
     lines
 
+(* ---------- backoff ---------- *)
+
+module Backoff = Dw_util.Backoff
+module Breaker = Dw_util.Breaker
+
+let backoff_deterministic () =
+  let mk () = Backoff.create ~sleep:ignore ~base_s:0.5 ~seed:99 () in
+  let a = mk () and b = mk () in
+  for attempt = 0 to 9 do
+    check (Alcotest.float 0.0) "same pause sequence" (Backoff.pause_s a ~attempt)
+      (Backoff.pause_s b ~attempt)
+  done
+
+let backoff_equal_jitter_bounds () =
+  (* attempt n pauses in [base/2 * 2^n, base * 2^n): half fixed, half
+     uniform jitter — never sooner than half the nominal pause *)
+  let p = Backoff.create ~sleep:ignore ~base_s:1.0 ~seed:3 () in
+  for attempt = 0 to 6 do
+    let base = 2.0 ** float_of_int attempt in
+    let v = Backoff.pause_s p ~attempt in
+    check Alcotest.bool "pause in [base/2, base)" true (v >= base /. 2.0 && v < base)
+  done
+
+let backoff_cap () =
+  let p = Backoff.create ~sleep:ignore ~max_s:4.0 ~base_s:1.0 ~seed:5 () in
+  for attempt = 0 to 20 do
+    check Alcotest.bool "pause capped at max_s" true (Backoff.pause_s p ~attempt <= 4.0)
+  done
+
+let backoff_zero_base () =
+  let slept = ref 0.0 in
+  let p = Backoff.create ~sleep:(fun s -> slept := !slept +. s) ~base_s:0.0 ~seed:1 () in
+  for attempt = 0 to 5 do
+    check (Alcotest.float 0.0) "no pause" 0.0 (Backoff.wait p ~attempt)
+  done;
+  check (Alcotest.float 0.0) "never slept" 0.0 !slept
+
+let backoff_wait_sleeps () =
+  let slept = ref 0.0 in
+  let p = Backoff.create ~sleep:(fun s -> slept := !slept +. s) ~base_s:0.25 ~seed:11 () in
+  let p0 = Backoff.wait p ~attempt:0 in
+  let p1 = Backoff.wait p ~attempt:1 in
+  check (Alcotest.float 1e-9) "slept exactly the returned pauses" (p0 +. p1) !slept
+
+let backoff_rejects_bad_args () =
+  (match Backoff.create ~base_s:(-1.0) ~seed:1 () with
+   | (_ : Backoff.t) -> Alcotest.fail "negative base accepted"
+   | exception Invalid_argument _ -> ());
+  let p = Backoff.create ~sleep:ignore ~base_s:1.0 ~seed:1 () in
+  match Backoff.pause_s p ~attempt:(-1) with
+  | (_ : float) -> Alcotest.fail "negative attempt accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---------- circuit breaker (fake clock) ---------- *)
+
+let breaker_cfg =
+  {
+    Breaker.failure_threshold = 2;
+    reset_timeout_s = 8.0;
+    probe_successes = 1;
+    max_reset_timeout_s = 64.0;
+    seed = 21;
+  }
+
+let mk_breaker () =
+  let now = ref 0.0 in
+  let b = Breaker.create ~config:breaker_cfg ~clock:(fun () -> !now) () in
+  (b, now)
+
+let breaker_trips_at_threshold () =
+  let b, _now = mk_breaker () in
+  check Alcotest.bool "starts closed" true (Breaker.state b = Breaker.Closed);
+  check Alcotest.bool "closed allows" true (Breaker.allow b);
+  Breaker.record_failure b;
+  check Alcotest.int "one consecutive failure" 1 (Breaker.consecutive_failures b);
+  check Alcotest.bool "below threshold stays closed" true (Breaker.state b = Breaker.Closed);
+  Breaker.record_success b;
+  check Alcotest.int "success resets the count" 0 (Breaker.consecutive_failures b);
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  check Alcotest.bool "threshold trips open" true (Breaker.state b = Breaker.Open);
+  check Alcotest.int "one trip" 1 (Breaker.trips b);
+  check Alcotest.bool "open refuses before the dwell" false (Breaker.allow b)
+
+let breaker_dwell_then_probe_heals () =
+  let b, now = mk_breaker () in
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  (* first dwell is jittered in [4, 8): the full nominal dwell always
+     admits the probe, time zero never does *)
+  check Alcotest.bool "refused at trip time" false (Breaker.allow b);
+  now := 8.0;
+  check Alcotest.bool "probe admitted after the dwell" true (Breaker.allow b);
+  check Alcotest.bool "half-open" true (Breaker.state b = Breaker.Half_open);
+  check Alcotest.int "one probe" 1 (Breaker.probes b);
+  Breaker.record_success b;
+  check Alcotest.bool "probe success closes" true (Breaker.state b = Breaker.Closed)
+
+let breaker_failed_probe_doubles_dwell () =
+  let b, now = mk_breaker () in
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  now := 8.0;
+  check Alcotest.bool "probe admitted" true (Breaker.allow b);
+  Breaker.record_failure b;
+  check Alcotest.bool "failed probe reopens" true (Breaker.state b = Breaker.Open);
+  check Alcotest.int "reopen counts as a trip" 2 (Breaker.trips b);
+  (* second dwell is jittered in [8, 16): not elapsed just short of the
+     doubled nominal floor, always elapsed at the doubled ceiling *)
+  now := 8.0 +. 7.999;
+  check Alcotest.bool "still refused inside the doubled dwell" false (Breaker.allow b);
+  now := 8.0 +. 16.0;
+  check Alcotest.bool "re-probe after the doubled dwell" true (Breaker.allow b);
+  Breaker.record_success b;
+  check Alcotest.bool "closes again" true (Breaker.state b = Breaker.Closed);
+  (* closing resets the dwell backoff: the next trip dwells [4, 8) again *)
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  now := !now +. 8.0;
+  check Alcotest.bool "dwell backoff reset by the close" true (Breaker.allow b)
+
+let breaker_reset_and_force_open () =
+  let b, _now = mk_breaker () in
+  Breaker.force_open b;
+  check Alcotest.bool "force_open trips" true (Breaker.state b = Breaker.Open);
+  check Alcotest.bool "refused while quarantined" false (Breaker.allow b);
+  Breaker.reset b;
+  check Alcotest.bool "reset closes" true (Breaker.state b = Breaker.Closed);
+  check Alcotest.bool "allowed after reset" true (Breaker.allow b);
+  check Alcotest.int "counts cleared" 0 (Breaker.consecutive_failures b)
+
 let suite =
   [
     test "prng deterministic" prng_deterministic;
@@ -445,4 +576,14 @@ let suite =
     test "human bytes" human_bytes;
     test "human duration" human_duration;
     test "table render" table_render;
+    test "backoff deterministic under a seed" backoff_deterministic;
+    test "backoff equal-jitter bounds" backoff_equal_jitter_bounds;
+    test "backoff respects max_s" backoff_cap;
+    test "backoff zero base never pauses" backoff_zero_base;
+    test "backoff wait sleeps the drawn pause" backoff_wait_sleeps;
+    test "backoff rejects bad arguments" backoff_rejects_bad_args;
+    test "breaker trips at the failure threshold" breaker_trips_at_threshold;
+    test "breaker dwell then probe heals" breaker_dwell_then_probe_heals;
+    test "breaker failed probe doubles the dwell" breaker_failed_probe_doubles_dwell;
+    test "breaker reset and force_open" breaker_reset_and_force_open;
   ]
