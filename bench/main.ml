@@ -6,12 +6,43 @@
      dune exec bench/main.exe -- t1 f2   # selected experiments
      dune exec bench/main.exe -- --scale 2 all
 
-   Experiment ids: t1 t2 t3 t5 f2 f3 t4 w1 w2 s1 r1 v1 ablate micro (see DESIGN.md). *)
+   Experiment ids: t1 t2 t3 t5 f2 f3 t4 w1 w2 s1 r1 v1 t7 ablate micro
+   (see DESIGN.md). *)
+
+module E = Dw_experiments
+
+let runners =
+  [
+    ("t1", fun ~scale -> E.Exp_dump_load.run ~scale);
+    ("t2", fun ~scale -> ignore (E.Exp_timestamp.run_t2 ~scale));
+    ("t3", fun ~scale -> E.Exp_timestamp.run_t3 ~scale);
+    ("t5", fun ~scale -> E.Exp_batching.run_t5 ~scale);
+    ("f2", fun ~scale -> E.Exp_trigger.run ~scale);
+    ("f2r", fun ~scale -> E.Exp_trigger.run_remote ~scale);
+    ("f3", fun ~scale -> E.Exp_opdelta.run_f3 ~scale);
+    ("t4", fun ~scale -> E.Exp_opdelta.run_t4 ~scale);
+    ("v1", fun ~scale -> E.Exp_opdelta.run_v1 ~scale);
+    ("w1", fun ~scale -> E.Exp_warehouse.run_w1 ~scale);
+    ("w2", fun ~scale -> E.Exp_warehouse.run_w2 ~scale);
+    ("w2r", fun ~scale -> E.Exp_warehouse.run_w2_real ~scale);
+    ("w1agg", fun ~scale -> E.Exp_warehouse.run_w1_agg ~scale);
+    ("w3", fun ~scale -> E.Exp_mvcc.run_w3 ~scale);
+    ("w4", fun ~scale -> E.Exp_bootstrap.run_bench ~scale);
+    ("w5", fun ~scale -> E.Exp_parallel.run_w5 ~scale);
+    ("t6", fun ~scale -> E.Exp_partition.run_t6 ~scale);
+    ("w6", fun ~scale -> E.Exp_chaos.run_bench ~scale);
+    ("t7", fun ~scale -> E.Exp_planner.run_t7 ~scale);
+    ("s1", fun ~scale -> E.Exp_snapshot.run ~scale);
+    ("r1", fun ~scale -> E.Exp_reconcile.run ~scale);
+    ("ablate", fun ~scale -> E.Exp_ablation.run_all ~scale);
+    ("crash", fun ~scale -> E.Crash_sim.run_bench ~scale);
+    ("micro", fun ~scale:_ -> E.Micro.run ());
+  ]
+
+let valid_ids = List.map fst runners
 
 let usage () =
-  print_endline
-    "usage: main.exe [--scale N] \
-     [t1|t2|t3|t5|t6|f2|f2r|f3|t4|w1|w2|w2r|w1agg|w3|w5|w6|s1|r1|v1|ablate|micro|all ...]";
+  Printf.printf "usage: main.exe [--scale N] [%s|all ...]\n" (String.concat "|" valid_ids);
   exit 1
 
 let () =
@@ -29,6 +60,16 @@ let () =
     | x :: rest -> parse (String.lowercase_ascii x :: acc) rest
   in
   let selected = parse [] args in
+  (* a typo'd id must fail loudly, not silently run nothing *)
+  (match
+     List.filter (fun id -> id <> "all" && not (List.mem id valid_ids)) selected
+   with
+   | [] -> ()
+   | unknown ->
+     Printf.eprintf "unknown experiment id%s: %s (valid: %s, or 'all')\n"
+       (if List.length unknown = 1 then "" else "s")
+       (String.concat ", " unknown) (String.concat ", " valid_ids);
+     exit 1);
   let selected = if selected = [] || List.mem "all" selected then [ "all" ] else selected in
   let want id = List.mem id selected || List.mem "all" selected in
   let scale = !scale in
@@ -37,26 +78,6 @@ let () =
     "Delta-extraction experiment harness (scale %d; paper sizes are scaled to row counts, see \
      EXPERIMENTS.md)\n"
     scale;
-  if want "t1" then Dw_experiments.Exp_dump_load.run ~scale;
-  if want "t2" then ignore (Dw_experiments.Exp_timestamp.run_t2 ~scale);
-  if want "t3" then Dw_experiments.Exp_timestamp.run_t3 ~scale;
-  if want "t5" then Dw_experiments.Exp_batching.run_t5 ~scale;
-  if want "f2" then Dw_experiments.Exp_trigger.run ~scale;
-  if want "f2r" then Dw_experiments.Exp_trigger.run_remote ~scale;
-  if want "f3" then Dw_experiments.Exp_opdelta.run_f3 ~scale;
-  if want "t4" then Dw_experiments.Exp_opdelta.run_t4 ~scale;
-  if want "v1" then Dw_experiments.Exp_opdelta.run_v1 ~scale;
-  if want "w1" then Dw_experiments.Exp_warehouse.run_w1 ~scale;
-  if want "w2" then Dw_experiments.Exp_warehouse.run_w2 ~scale;
-  if want "w2r" then Dw_experiments.Exp_warehouse.run_w2_real ~scale;
-  if want "w1agg" then Dw_experiments.Exp_warehouse.run_w1_agg ~scale;
-  if want "w3" then Dw_experiments.Exp_mvcc.run_w3 ~scale;
-  if want "w5" then Dw_experiments.Exp_parallel.run_w5 ~scale;
-  if want "t6" then Dw_experiments.Exp_partition.run_t6 ~scale;
-  if want "w6" then Dw_experiments.Exp_chaos.run_bench ~scale;
-  if want "s1" then Dw_experiments.Exp_snapshot.run ~scale;
-  if want "r1" then Dw_experiments.Exp_reconcile.run ~scale;
-  if want "ablate" then Dw_experiments.Exp_ablation.run_all ~scale;
-  if want "micro" then Dw_experiments.Micro.run ();
+  List.iter (fun (id, run) -> if want id then run ~scale) runners;
   Printf.printf "\ntotal harness time: %s\n"
     (Dw_util.Fmt_util.human_duration (Unix.gettimeofday () -. total))

@@ -52,6 +52,8 @@ let experiments =
      fun ~scale -> E.Exp_partition.run_t6 ~scale);
     ("w6", "chaos: flapping shard, circuit breakers, degraded reads, online shard rebuild",
      fun ~scale -> E.Exp_chaos.run_bench ~scale);
+    ("t7", "cost-based planner vs static extraction methods under sustained shifting load",
+     fun ~scale -> E.Exp_planner.run_t7 ~scale);
     ("s1", "Section 3.1.2: snapshot differential vs other methods",
      fun ~scale -> E.Exp_snapshot.run ~scale);
     ("r1", "Sections 2.2/4.1: replicated sources and reconciliation",
@@ -68,6 +70,17 @@ let unknown_ids ids =
   List.filter
     (fun id -> id <> "all" && not (List.exists (fun (i, _, _) -> i = id) experiments))
     ids
+
+(* A typo'd experiment id must fail loudly (exit non-zero, valid ids in
+   the message), never silently run the remaining ids — a CI job that
+   misspells a gated id would otherwise pass without running it. *)
+let unknown_ids_error u =
+  let valid = List.map (fun (id, _, _) -> id) experiments in
+  `Error
+    ( false,
+      Printf.sprintf "unknown experiment id%s %s (valid: %s, or 'all')"
+        (if List.length u = 1 then "" else "s")
+        (String.concat ", " u) (String.concat ", " valid) )
 
 (* Run each selected experiment under a fresh sink registry: every
    counter/histogram mutation and finished span anywhere in the process
@@ -222,7 +235,7 @@ let run_cmd =
     if scale < 1 then `Error (false, "--scale must be >= 1")
     else
       match unknown_ids ids with
-      | u :: _ -> `Error (false, "unknown experiment " ^ u)
+      | _ :: _ as u -> unknown_ids_error u
       | [] ->
         E.Bench_support.set_quick quick;
         (match json with
@@ -245,7 +258,7 @@ let stats_cmd =
     if scale < 1 then `Error (false, "--scale must be >= 1")
     else
       match unknown_ids ids with
-      | u :: _ -> `Error (false, "unknown experiment " ^ u)
+      | _ :: _ as u -> unknown_ids_error u
       | [] ->
         E.Bench_support.set_quick quick;
         let results = run_captured ~scale ids in
@@ -253,6 +266,43 @@ let stats_cmd =
         `Ok ()
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ scale_arg $ quick_arg $ ids_arg))
+
+let compare_cmd =
+  let doc =
+    "Compare two dwbench --json documents with per-metric tolerances: the bench-regression \
+     gate.  Exits non-zero when the candidate regresses a gated gauge out of band."
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "tolerance" ] ~docv:"FACTOR"
+          ~doc:
+            "Scale every per-metric band by $(docv) (2.0 doubles all bands, 0.5 halves \
+             them; exact-match flags are unaffected).")
+  in
+  let base_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE") in
+  let cand_arg = Arg.(required & pos 1 (some file) None & info [] ~docv:"CANDIDATE") in
+  let read_doc path =
+    match Json.of_string (In_channel.with_open_bin path In_channel.input_all) with
+    | Ok doc -> Ok doc
+    | Error e -> Error (Printf.sprintf "%s does not parse: %s" path e)
+    | exception Sys_error e -> Error e
+  in
+  let run tolerance base cand =
+    if tolerance <= 0.0 then `Error (false, "--tolerance must be > 0")
+    else
+      match read_doc base, read_doc cand with
+      | Error e, _ | _, Error e -> `Error (false, e)
+      | Ok base, Ok cand -> (
+          match E.Bench_compare.compare_docs ~tolerance ~base ~cand () with
+          | Error e -> `Error (false, e)
+          | Ok report ->
+            print_string (E.Bench_compare.render report);
+            if report.E.Bench_compare.failures > 0 then exit 1;
+            `Ok ())
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(ret (const run $ tolerance_arg $ base_arg $ cand_arg))
 
 let demo_cmd =
   let doc = "A miniature end-to-end delta extraction walkthrough." in
@@ -283,4 +333,4 @@ let demo_cmd =
 let () =
   let doc = "delta-extraction experiment suite (Ram & Do, ICDE 2000 reproduction)" in
   let info = Cmd.info "dwbench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; stats_cmd; list_cmd; demo_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; stats_cmd; compare_cmd; list_cmd; demo_cmd ]))

@@ -8,6 +8,9 @@ module Heap_file = Dw_storage.Heap_file
 
 type stats = { records_scanned : int; log_bytes : int; committed_txns : int }
 
+let work_units ~log_records ~delta_rows =
+  float_of_int log_records +. float_of_int delta_rows
+
 (* one pass to find winners, one pass to pull this table's images *)
 let committed_dml ?(since_lsn = 0) db ~table =
   let wal = Db.wal db in

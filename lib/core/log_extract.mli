@@ -24,6 +24,14 @@ type stats = {
   committed_txns : int;    (** committed transactions touching the table *)
 }
 
+val work_units : log_records:int -> delta_rows:int -> float
+(** Deterministic extraction-work estimate in abstract row-visit units —
+    the cost hook {!Dw_etl.Planner} calibrates and compares across
+    methods.  A log extraction visits every retained record since the
+    watermark (all tables, commits, aborts) and emits the committed rows
+    of the one table asked for: [log_records + delta_rows].  The source
+    pays nothing — the paper's headline property of this method. *)
+
 val extract :
   ?since_lsn:Dw_txn.Wal.lsn ->
   Db.t ->

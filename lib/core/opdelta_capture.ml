@@ -166,6 +166,9 @@ let exec_txn t stmts =
     Db.abort t.db txn;
     Error "unknown table"
 
+let capture_units ~statements ~image_rows = float_of_int (statements + image_rows)
+let work_units ~statements = float_of_int statements
+
 let captured t = List.rev t.captured
 let captured_bytes t = t.captured_bytes
 

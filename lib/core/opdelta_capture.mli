@@ -53,6 +53,19 @@ val exec_txn : t -> Ast.stmt list -> (Db.exec_result list, string) result
     On [Error] (bad statement) the transaction is aborted and nothing is
     captured. *)
 
+val capture_units : statements:int -> image_rows:int -> float
+(** Deterministic {e source-side} overhead estimate in abstract row-visit
+    units: recording one statement costs roughly one row write at the
+    sink, plus one row read per hybrid before image — the Figure 3
+    overhead the planner charges against this method. *)
+
+val work_units : statements:int -> float
+(** Deterministic {e extraction-side} work estimate in abstract row-visit
+    units — the cost hook {!Dw_etl.Planner} calibrates and compares
+    across methods: draining the capture log visits each recorded
+    statement once, {e independent of how many rows each statement
+    touched} (the paper's Section 4 headline). *)
+
 val captured : t -> Op_delta.t list
 (** All Op-Deltas captured through this wrapper, oldest first (in-memory
     mirror of the sink; survives sink truncation). *)

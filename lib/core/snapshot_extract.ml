@@ -8,6 +8,9 @@ type algorithm = Sort_merge | Partitioned_hash of int | Window of int | External
 
 type stats = { rows : int; dumped_rows : int; dump_bytes : int; scratch_bytes : int }
 
+let work_units ~table_rows ~delta_rows =
+  (2.0 *. float_of_int table_rows) +. float_of_int delta_rows
+
 let entry_to_change = function
   | Snapshot_diff.Added t -> Delta.Insert t
   | Snapshot_diff.Removed t -> Delta.Delete t

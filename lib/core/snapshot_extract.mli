@@ -24,6 +24,14 @@ type stats = {
   scratch_bytes : int;    (** partition traffic (Partitioned_hash only) *)
 }
 
+val work_units : table_rows:int -> delta_rows:int -> float
+(** Deterministic extraction-work estimate in abstract row-visit units —
+    the cost hook {!Dw_etl.Planner} calibrates and compares across
+    methods.  A snapshot round dumps the whole current table and re-reads
+    the previous snapshot for the diff: [2 * table_rows + delta_rows].
+    The paper's verdict (most expensive method) is this term's
+    [table_rows] factor, paid even when the delta is empty. *)
+
 val extract :
   Db.t ->
   table:string ->

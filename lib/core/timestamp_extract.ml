@@ -15,6 +15,8 @@ type output =
 
 type stats = { rows : int; bytes_out : int; scanned_rows : int }
 
+let work_units ~table_rows ~delta_rows = float_of_int table_rows +. float_of_int delta_rows
+
 let matching_rows ~via db ~table ~since =
   let tbl = Db.table db table in
   let ts_col =

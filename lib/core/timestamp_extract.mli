@@ -29,6 +29,13 @@ type stats = {
   scanned_rows : int;   (** rows visited at the source *)
 }
 
+val work_units : table_rows:int -> delta_rows:int -> float
+(** Deterministic extraction-work estimate in abstract row-visit units —
+    the cost hook {!Dw_etl.Planner} calibrates and compares across
+    methods.  A timestamp extraction scans every source row (the paper's
+    common no-index case) and writes each qualifying row out:
+    [table_rows + delta_rows]. *)
+
 val extract :
   ?via:[ `Scan | `Ts_index ] ->  (* default `Scan: the paper's common case *)
   ?restrict:Expr.t ->

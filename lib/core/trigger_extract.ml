@@ -60,6 +60,9 @@ let install db ~table =
 
 let uninstall db h = Db.remove_trigger db ~table:h.source h.trigger_name
 
+let capture_units ~images = float_of_int images
+let work_units ~images = float_of_int images
+
 let strip h row = Array.sub row 2 (Schema.arity h.schema)
 
 let collect ?(drain = false) db h =

@@ -29,6 +29,18 @@ val uninstall : Db.t -> handle -> unit
 val delta_table_name : handle -> string
 val source_table : handle -> string
 
+val capture_units : images:int -> float
+(** Deterministic {e source-side} overhead estimate in abstract row-visit
+    units: each captured image is one extra triggered insert inside the
+    user transaction (an update writes two) — the Figure 2 overhead the
+    planner charges against this method when source contention matters. *)
+
+val work_units : images:int -> float
+(** Deterministic {e extraction-side} work estimate in abstract row-visit
+    units — the cost hook {!Dw_etl.Planner} calibrates and compares
+    across methods: {!collect} reads each captured image back out of the
+    delta table once. *)
+
 val collect : ?drain:bool -> Db.t -> handle -> Delta.t
 (** Rows in capture order.  [drain] (default false) empties the delta
     table afterwards. *)

@@ -23,10 +23,22 @@ type method_ =
   | Log
   | Snapshot of Snapshot_extract.algorithm
   | Op_delta_wrapper
+  | Planned
+      (** let {!Planner} pick the extraction method each round from
+          observed statistics; the capture trigger {e and} the Op-Delta
+          wrapper are both installed so every method's channel is
+          available when the planner switches to it *)
 
 type transport =
   | Direct              (** hand the delta over in memory *)
   | Queued of string    (** through a persistent queue on the warehouse Vfs *)
+
+type signals = {
+  lock_wait_p95_s : float;  (** source lock-wait p95 the planner scores *)
+  ship_p95_s : float;       (** transport/queue latency p95 per message *)
+}
+(** Environment signals a [Planned] pipeline cannot measure from its own
+    channels — sampled once per round from the [signals] callback. *)
 
 type t
 
@@ -38,6 +50,11 @@ val create :
   ?capture_images:bool ->
   (* force hybrid before-image capture in the Op-Delta wrapper (default
      false); required if the pipeline will {!bootstrap} *)
+  ?planner:Planner.t ->
+  (* the planner a [Planned] pipeline consults (default: a fresh one
+     with {!Planner.default_config}); ignored for static methods *)
+  ?signals:(unit -> signals) ->
+  (* per-round environment sample for [Planned] mode (default: zeros) *)
   source:Db.t ->
   warehouse:Warehouse.t ->
   table:string ->
@@ -46,26 +63,55 @@ val create :
   unit ->
   t
 (** Installs whatever the method needs at the source (the capture trigger,
-    the Op-Delta wrapper) and the watermark store.  The warehouse must
-    already have the destination replica ([table], or the transform rule's
-    destination).  [Log] requires the source to run with archive logging
-    or an extraction cadence faster than checkpoints. *)
+    the Op-Delta wrapper — both for [Planned]) and the watermark store.
+    The warehouse must already have the destination replica ([table], or
+    the transform rule's destination).  [Log] requires the source to run
+    with archive logging or an extraction cadence faster than checkpoints;
+    a [Planned] pipeline checks this itself and marks the log method
+    ineligible when archiving is off.
+
+    A [Planned] pipeline expects the application to submit its
+    transactions through {!capture} (like [Op_delta_wrapper]) and the
+    driver to {!Db.advance_day} the source between rounds (the timestamp
+    channel distinguishes rounds by day). *)
 
 val capture : t -> Opdelta_capture.t option
-(** For [Op_delta_wrapper] pipelines: the wrapper the application must
-    submit its transactions through.  [None] for other methods. *)
+(** For [Op_delta_wrapper] and [Planned] pipelines: the wrapper the
+    application must submit its transactions through.  [None] for other
+    methods. *)
+
+val planner : t -> Planner.t option
+(** The planner of a [Planned] pipeline (decision history, switch count);
+    [None] for static methods. *)
+
+val fallbacks : t -> int
+(** How many planned rounds overrode the planner's choice for
+    correctness (timestamp chosen while the round's delta carried
+    deletes). *)
 
 type round_stats = {
   round : int;
   extracted_changes : int;
   shipped_bytes : int;       (** wire volume that crossed the transport *)
+  extract_units : float;
+      (** extraction work in abstract row-visit units (the per-method
+          [work_units] hooks) — the cost the planner predicts *)
+  method_used : string;
+      (** {!Planner.method_name} of the channel that actually ran this
+          round (for static pipelines, the configured method) *)
   integration : Warehouse.stats;
   total_seconds : float;
 }
 
 val run_round : t -> (round_stats, string) result
 (** Extract-ship-transform-integrate everything since the last round, then
-    advance the watermark. *)
+    advance the watermark.  In [Planned] mode: drain every channel, score
+    the methods against blended per-round observations, integrate through
+    the chosen channel, and append the decision to the warehouse's
+    [__planner_log] — with two correctness overrides (timestamp falls
+    back to the trigger delta when the round carried deletes; a snapshot
+    round with a stale baseline dumps a fresh one and integrates the
+    trigger delta). *)
 
 val rounds : t -> int
 (** Rounds run so far. *)

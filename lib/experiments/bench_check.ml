@@ -22,7 +22,7 @@ exception Reject of string
 let fail fmt = Printf.ksprintf (fun msg -> raise (Reject msg)) fmt
 
 (* the quick-mode subset whose metrics the strict gates reference *)
-let gated_ids = [ "t3"; "w1"; "t5"; "w3"; "w4"; "w5"; "t6"; "w6" ]
+let gated_ids = [ "t3"; "w1"; "t5"; "w3"; "w4"; "w5"; "t6"; "w6"; "t7" ]
 
 let require_member name j =
   match Json.member name j with
@@ -47,6 +47,7 @@ let required_histograms =
     "wal.fsync"; "pool.miss"; "warehouse.refresh"; "wal.group_size"; "warehouse.batch_size";
     "w3.olap_latency_snapshot"; "w3.olap_latency_locking"; "bootstrap.chunk_rows";
     "w5.olap_latency_d1"; "w5.olap_latency_d4"; "stage.bucket_ops";
+    "loadgen.latency_ms";
   ]
 
 (* deterministic results only: counter ratios and invariant flags, not
@@ -73,6 +74,13 @@ let required_gauges =
     "w6.probe_failures"; "w6.recovered"; "w6.rebuilds"; "w6.readmitted";
     "w6.degraded_reads"; "w6.fleet_stalls"; "w6.fail_closed_raised";
     "w6.staleness_txns"; "w6.recovery_s"; "w6.delta_txns";
+    "t7.units_planned"; "t7.units_trigger"; "t7.units_log"; "t7.units_op_delta";
+    "t7.units_snapshot"; "t7.units_timestamp";
+    "t7.planner_units"; "t7.best_static_units"; "t7.worst_static_units";
+    "t7.vs_best"; "t7.below_worst"; "t7.identical"; "t7.statics_identical";
+    "t7.timestamp_diverged"; "t7.switches"; "t7.fallbacks"; "t7.rounds";
+    "t7.offered"; "t7.admitted"; "t7.shed"; "t7.slo_breaches";
+    "t7.slo_attainment"; "t7.worst_p95_ms";
   ]
 
 let check_experiment seen gauges j =
@@ -201,7 +209,45 @@ let check_gates ~quick seen gauges =
   if gauge "w6.fleet_stalls" <> 0.0 then
     fail "w6: %g degraded reads stalled, expected 0" (gauge "w6.fleet_stalls");
   if gauge "w6.fail_closed_raised" <> 1.0 then
-    fail "w6: `Fail_closed did not refuse to read around a quarantined shard"
+    fail "w6: `Fail_closed did not refuse to read around a quarantined shard";
+  (* t7's acceptance: every arm (except timestamp, which is expected to
+     diverge — its method cannot see deletes) converges to the source;
+     the planner's end-to-end refresh cost sits within 1.15x of the best
+     static method AND strictly below the worst static method in every
+     workload phase; the shifting mix forces at least one method switch
+     without any correctness fallback; and the scan-heavy overload phase
+     exercises the AIMD valve (shedding + SLO breaches).  All of it is
+     virtual-time work units over a seeded load, so the gates bind in
+     quick and full mode alike *)
+  if gauge "t7.identical" <> 1.0 then
+    fail "t7: planned arm's warehouse diverges from the source";
+  if gauge "t7.statics_identical" <> 1.0 then
+    fail "t7: a non-timestamp static arm's warehouse diverges from the source";
+  if gauge "t7.timestamp_diverged" <> 1.0 then
+    fail "t7: the timestamp arm converged despite deletes - the delete phases are not \
+          exercising its known blind spot";
+  let vs_best = gauge "t7.vs_best" in
+  if vs_best <= 0.0 then fail "t7: planner/best-static ratio is %g" vs_best;
+  if vs_best > 1.15 then
+    fail "t7: planner cost is %.3gx the best static method, expected <= 1.15x" vs_best;
+  if gauge "t7.below_worst" <> 1.0 then
+    fail "t7: planner is not strictly below the worst static method in every phase";
+  if gauge "t7.switches" < 1.0 then
+    fail "t7: planner never switched methods across the mix shifts";
+  if gauge "t7.fallbacks" <> 0.0 then
+    fail "t7: %g correctness fallbacks, expected 0 (the planner should price ineligible \
+          methods out, not trip the pipeline override)" (gauge "t7.fallbacks");
+  if gauge "t7.rounds" < 1.0 then fail "t7: no refresh rounds recorded";
+  if gauge "t7.admitted" < 1.0 then fail "t7: load generator admitted no operations";
+  if gauge "t7.offered" < gauge "t7.admitted" then
+    fail "t7: offered (%g) below admitted (%g)" (gauge "t7.offered") (gauge "t7.admitted");
+  if gauge "t7.shed" < 1.0 then
+    fail "t7: the valve shed nothing - the scan-heavy phase is not overloading the server";
+  if gauge "t7.slo_breaches" < 1.0 then
+    fail "t7: no SLO breaches - admission control was never provoked";
+  if gauge "t7.slo_attainment" <= 0.0 || gauge "t7.slo_attainment" >= 1.0 then
+    fail "t7: SLO attainment %g outside (0, 1) despite recorded breaches"
+      (gauge "t7.slo_attainment")
 
 let validate ?(strict = true) doc =
   try

@@ -5,8 +5,8 @@
 
 val gated_ids : string list
 (** The experiment ids whose metrics the strict gates reference
-    ([t3 w1 t5 w3 w4 w5 t6]); strict validation only makes sense on
-    documents covering all of them. *)
+    ([t3 w1 t5 w3 w4 w5 t6 w6 t7]); strict validation only makes sense
+    on documents covering all of them. *)
 
 val validate : ?strict:bool -> Dw_util.Json.t -> (string, string) result
 (** [validate doc] checks the stable document shape (top-level keys,
@@ -15,7 +15,8 @@ val validate : ?strict:bool -> Dw_util.Json.t -> (string, string) result
     histogram/gauge inventory plus the deterministic relational gates
     (group-commit fsync reduction, lock-free snapshot reads, bootstrap
     resume cost, lease exclusion, crash-sweep convergence, parallel-OLAP
-    result identity, partitioned-refresh identity).  The W5 speedup gate
+    result identity, partitioned-refresh identity, planner-vs-static cost
+    envelope with warehouse identity on every T7 arm).  The W5 speedup gate
     (>= 2x at 4 domains) and the T6 refresh-window gate (>= 1.8x shrink
     at 4 partitions) bind only when the document's top-level [quick]
     flag is false — quick workloads are too small for stable ratios.  [Ok] carries a one-line

@@ -1,0 +1,178 @@
+module Json = Dw_util.Json
+module Fmt_util = Dw_util.Fmt_util
+
+type rule =
+  | Flag
+  | Near of float
+  | Lower_better of float
+  | Higher_better of float
+
+(* Tolerance design: wall-clock windows/latencies vary wildly across CI
+   runners, so they only fail on large regressions (and never on
+   improvements); counter-derived ratios and the t7 work-unit scores are
+   deterministic modulo intentional code change, so they get tight
+   two-sided bands; invariant flags admit no drift at all. *)
+let rules =
+  [
+    (* t5 — batching ablation: deterministic fsync/txn ratios and
+       message counts, wall-clock refresh windows *)
+    ("t5.fsync_per_txn_g1", Near 0.1);
+    ("t5.fsync_per_txn_g4", Near 0.1);
+    ("t5.fsync_per_txn_g16", Near 0.1);
+    ("t5.queue_fsync_per_msg_single", Near 0.1);
+    ("t5.queue_fsync_per_msg_batched", Near 0.1);
+    ("t5.ship_blocks", Near 0.1);
+    ("t5.ship_msgs", Near 0.1);
+    ("t5.txns_sequential", Near 0.1);
+    ("t5.txns_batched", Near 0.1);
+    ("t5.window_sequential_s", Lower_better 3.0);
+    ("t5.window_batched_s", Lower_better 3.0);
+    (* w5 — domain-parallel OLAP: identity flag, wall-clock qps/p95 *)
+    ("w5.identical", Flag);
+    ("w5.partitions", Flag);
+    ("w5.olap_qps_d1", Higher_better 0.75);
+    ("w5.olap_qps_d4", Higher_better 0.75);
+    ("w5.olap_p95_d1_s", Lower_better 3.0);
+    ("w5.olap_p95_d4_s", Lower_better 3.0);
+    ("w5.speedup_d4", Higher_better 0.6);
+    (* t6 — partitioned refresh: identity flag, wall-clock windows *)
+    ("t6.identical", Flag);
+    ("t6.partitions", Flag);
+    ("t6.window_p1_s", Lower_better 3.0);
+    ("t6.window_p4_s", Lower_better 3.0);
+    ("t6.speedup_p4", Higher_better 0.6);
+    (* t7 — planner vs statics: everything is virtual-time work units,
+       so the whole block is deterministic; bands only absorb intended
+       cost-model retuning, not noise *)
+    ("t7.identical", Flag);
+    ("t7.statics_identical", Flag);
+    ("t7.timestamp_diverged", Flag);
+    ("t7.below_worst", Flag);
+    ("t7.planner_units", Near 0.2);
+    ("t7.best_static_units", Near 0.2);
+    ("t7.worst_static_units", Near 0.2);
+    ("t7.vs_best", Near 0.2);
+    ("t7.switches", Near 0.5);
+    ("t7.rounds", Near 0.25);
+    ("t7.offered", Near 0.25);
+    ("t7.admitted", Near 0.25);
+    ("t7.shed", Near 0.5);
+  ]
+
+type verdict = Pass | Fail | Missing_baseline | Missing_candidate
+
+type outcome = {
+  key : string;
+  rule : rule;
+  base : float option;
+  cand : float option;
+  verdict : verdict;
+}
+
+type report = { outcomes : outcome list; compared : int; failures : int }
+
+(* flatten one document's experiments into a gauge table *)
+let gauges_of doc =
+  match Json.member "experiments" doc with
+  | None -> Error "missing \"experiments\""
+  | Some exps -> (
+      match Json.to_list exps with
+      | None -> Error "\"experiments\" is not a list"
+      | Some exps ->
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun e ->
+            match Json.member "gauges" e with
+            | Some (Json.Obj fields) ->
+              List.iter
+                (fun (name, v) ->
+                  match Json.to_number v with
+                  | Some x -> Hashtbl.replace tbl name x
+                  | None -> ())
+                fields
+            | _ -> ())
+          exps;
+        Ok tbl)
+
+let quick_of doc = match Json.member "quick" doc with Some (Json.Bool b) -> b | _ -> false
+
+let eval ~tolerance rule base cand =
+  let scaled t = t *. tolerance in
+  let rel_above b limit = cand > b *. (1.0 +. limit) in
+  let rel_below b limit = cand < b *. (1.0 -. limit) in
+  match rule with
+  | Flag -> if cand = base then Pass else Fail
+  | Near t ->
+    let denom = Float.max (Float.abs base) 1e-9 in
+    if Float.abs (cand -. base) /. denom <= scaled t then Pass else Fail
+  | Lower_better t -> if rel_above base (scaled t) then Fail else Pass
+  | Higher_better t -> if rel_below base (scaled t) then Fail else Pass
+
+let compare_docs ?(tolerance = 1.0) ~base ~cand () =
+  if tolerance <= 0.0 || Float.is_nan tolerance then
+    invalid_arg "Bench_compare.compare_docs: tolerance must be > 0";
+  match gauges_of base, gauges_of cand with
+  | Error e, _ -> Error ("baseline: " ^ e)
+  | _, Error e -> Error ("candidate: " ^ e)
+  | Ok bt, Ok ct ->
+    if quick_of base <> quick_of cand then
+      Error
+        (Printf.sprintf
+           "mode mismatch: baseline is a %s run, candidate is a %s run - regenerate the \
+            baseline in the same mode"
+           (if quick_of base then "quick" else "full")
+           (if quick_of cand then "quick" else "full"))
+    else begin
+      let outcomes =
+        List.map
+          (fun (key, rule) ->
+            let base = Hashtbl.find_opt bt key in
+            let cand = Hashtbl.find_opt ct key in
+            let verdict =
+              match base, cand with
+              | None, _ -> Missing_baseline
+              | Some _, None -> Missing_candidate
+              | Some b, Some c -> eval ~tolerance rule b c
+            in
+            { key; rule; base; cand; verdict })
+          rules
+      in
+      let count v = List.length (List.filter (fun o -> o.verdict = v) outcomes) in
+      Ok
+        {
+          outcomes;
+          compared = List.length outcomes - count Missing_baseline - count Missing_candidate;
+          failures = count Fail + count Missing_candidate;
+        }
+    end
+
+let rule_name = function
+  | Flag -> "exact"
+  | Near t -> Printf.sprintf "+-%.0f%%" (t *. 100.0)
+  | Lower_better t -> Printf.sprintf "<= +%.0f%%" (t *. 100.0)
+  | Higher_better t -> Printf.sprintf ">= -%.0f%%" (t *. 100.0)
+
+let verdict_name = function
+  | Pass -> "ok"
+  | Fail -> "FAIL"
+  | Missing_baseline -> "no baseline"
+  | Missing_candidate -> "MISSING"
+
+let render r =
+  let num = function Some v -> Printf.sprintf "%.6g" v | None -> "-" in
+  let change o =
+    match o.base, o.cand with
+    | Some b, Some c when Float.abs b > 1e-9 -> Printf.sprintf "%+.1f%%" ((c -. b) /. b *. 100.0)
+    | _ -> "-"
+  in
+  let table =
+    Fmt_util.table
+      ~header:[ "gauge"; "baseline"; "candidate"; "change"; "band"; "verdict" ]
+      ~rows:
+        (List.map
+           (fun o -> [ o.key; num o.base; num o.cand; change o; rule_name o.rule; verdict_name o.verdict ])
+           r.outcomes)
+  in
+  Printf.sprintf "%s\nbench-compare: %d gauges compared, %d failure%s\n" table r.compared
+    r.failures
+    (if r.failures = 1 then "" else "s")

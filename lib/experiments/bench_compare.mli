@@ -1,0 +1,59 @@
+(** Bench-regression gate: compare a fresh dwbench --json document
+    against a committed baseline (BENCH_dwbench.json) with per-metric,
+    direction-aware tolerances.
+
+    {!Bench_check} gates a single document against absolute invariants;
+    this module gates {e drift between two documents} — the CI step that
+    fails a PR whose quick-bench run regresses the gated t5.*/w5.*/t6.*
+    window/throughput keys or the deterministic t7.* planner keys out of
+    band.  Wall-clock keys get loose regress-only tolerances (CI runners
+    are noisy; improvements never fail), deterministic unit/ratio keys
+    get tight two-sided ones, and invariant flags must match exactly.
+    Both documents must come from the same mode (quick vs full) — the
+    committed baseline is a quick run precisely so CI compares
+    apples-to-apples. *)
+
+module Json = Dw_util.Json
+
+type rule =
+  | Flag  (** invariant 0/1 (or exact count): must be exactly equal *)
+  | Near of float  (** deterministic value: |rel change| <= tolerance *)
+  | Lower_better of float  (** latency/window: fail only above [base * (1 + tol)] *)
+  | Higher_better of float  (** throughput/speedup: fail only below [base * (1 - tol)] *)
+
+val rules : (string * rule) list
+(** The gated keys and their tolerances, one entry per gauge this gate
+    watches (the Bench_check t5/w5/t6/t7 acceptance keys). *)
+
+type verdict =
+  | Pass
+  | Fail
+  | Missing_baseline
+      (** key absent in the baseline document (an older baseline predating
+          the metric) — reported, never failing *)
+  | Missing_candidate  (** key absent in the fresh run — always failing *)
+
+type outcome = {
+  key : string;
+  rule : rule;
+  base : float option;  (** baseline value, if present *)
+  cand : float option;  (** candidate value, if present *)
+  verdict : verdict;
+}
+
+type report = {
+  outcomes : outcome list;  (** in {!rules} order *)
+  compared : int;  (** keys present in both documents *)
+  failures : int;
+}
+
+val compare_docs :
+  ?tolerance:float -> base:Json.t -> cand:Json.t -> unit -> (report, string) result
+(** Gate [cand] against [base].  [tolerance] (default 1.0) scales every
+    rule's tolerance — 2.0 doubles all bands, 0.5 halves them; [Flag]
+    rules are unaffected.  [Error] on malformed documents or a quick/full
+    mode mismatch (those are not "regressions", the comparison itself is
+    invalid).  Raises [Invalid_argument] if [tolerance <= 0]. *)
+
+val render : report -> string
+(** Human-readable comparison table plus a pass/fail summary line. *)

@@ -1,0 +1,276 @@
+module Ast = Dw_sql.Ast
+module Sim_clock = Dw_util.Sim_clock
+module Metrics = Dw_util.Metrics
+module Prng = Dw_util.Prng
+
+type phase_kind = Insert_heavy | Update_heavy | Scan_heavy
+
+let phase_name = function
+  | Insert_heavy -> "insert-heavy"
+  | Update_heavy -> "update-heavy"
+  | Scan_heavy -> "scan-heavy"
+
+type phase = { kind : phase_kind; rate : int; seconds : int }
+
+type config = {
+  phases : phase list;
+  slo_ms : float;
+  service_fixed_ms : float;
+  service_per_row_ms : float;
+  update_size : int;
+  scan_rows : int;
+  aimd_decrease : float;
+  aimd_increase : int;
+  min_rate : int;
+}
+
+let default_config =
+  {
+    phases =
+      [
+        { kind = Insert_heavy; rate = 40; seconds = 30 };
+        { kind = Update_heavy; rate = 40; seconds = 30 };
+        { kind = Scan_heavy; rate = 40; seconds = 30 };
+      ];
+    slo_ms = 250.0;
+    service_fixed_ms = 1.0;
+    service_per_row_ms = 0.4;
+    update_size = 8;
+    scan_rows = 160;
+    aimd_decrease = 0.5;
+    aimd_increase = 8;
+    min_rate = 4;
+  }
+
+let validate_config c =
+  let bad fmt = Printf.ksprintf invalid_arg ("Load_gen.validate_config: " ^^ fmt) in
+  let finite name v = if Float.is_nan v || v = infinity then bad "%s is not finite" name in
+  if c.phases = [] then bad "phases is empty";
+  List.iteri
+    (fun i p ->
+      if p.rate < 1 then bad "phase %d rate %d < 1" i p.rate;
+      if p.seconds < 1 then bad "phase %d seconds %d < 1" i p.seconds)
+    c.phases;
+  finite "slo_ms" c.slo_ms;
+  if c.slo_ms <= 0.0 then bad "slo_ms %g <= 0" c.slo_ms;
+  finite "service_fixed_ms" c.service_fixed_ms;
+  if c.service_fixed_ms < 0.0 then bad "service_fixed_ms %g < 0" c.service_fixed_ms;
+  finite "service_per_row_ms" c.service_per_row_ms;
+  if c.service_per_row_ms < 0.0 then bad "service_per_row_ms %g < 0" c.service_per_row_ms;
+  if c.update_size < 1 then bad "update_size %d < 1" c.update_size;
+  if c.scan_rows < 1 then bad "scan_rows %d < 1" c.scan_rows;
+  finite "aimd_decrease" c.aimd_decrease;
+  if c.aimd_decrease <= 0.0 || c.aimd_decrease >= 1.0 then
+    bad "aimd_decrease %g outside (0, 1)" c.aimd_decrease;
+  if c.aimd_increase < 1 then bad "aimd_increase %d < 1" c.aimd_increase;
+  if c.min_rate < 1 then bad "min_rate %d < 1" c.min_rate
+
+type op = Dml of Workload.op | Scan of int
+
+let op_rows _cfg = function
+  | Dml (Workload.Mix_insert _) -> 1
+  | Dml (Workload.Mix_update (_, size)) | Dml (Workload.Mix_delete (_, size)) -> size
+  | Scan rows -> rows
+
+type tick_stats = {
+  tick : int;
+  phase : phase_kind;
+  phase_tick : int;
+  offered : int;
+  admitted : int;
+  shed : int;
+  ops : op list;
+  p95_ms : float;
+  slo_met : bool;
+  valve : int;
+  lock_wait_p95_s : float;
+}
+
+type t = {
+  cfg : config;
+  metrics : Metrics.t;
+  prng : Prng.t;
+  seed : int;
+  clock : Sim_clock.t;
+  total : int;  (* total configured seconds *)
+  mutable tick_no : int;
+  mutable next_id : int;
+  mutable valve : int;
+  mutable server_free_ms : float;  (* single-server queue horizon *)
+  (* summary accumulators *)
+  mutable sum_offered : int;
+  mutable sum_admitted : int;
+  mutable sum_shed : int;
+  mutable breaches : int;
+  mutable worst_p95 : float;
+}
+
+let create ?(config = default_config) ?metrics ?(seed = 42) ~clock ~existing_ids () =
+  validate_config config;
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  {
+    cfg = config;
+    metrics;
+    prng = Prng.create ~seed;
+    seed;
+    clock;
+    total = List.fold_left (fun acc p -> acc + p.seconds) 0 config.phases;
+    tick_no = 0;
+    next_id = existing_ids + 1;
+    valve = (match config.phases with p :: _ -> p.rate | [] -> 1);
+    server_free_ms = 0.0;
+    sum_offered = 0;
+    sum_admitted = 0;
+    sum_shed = 0;
+    breaches = 0;
+    worst_p95 = 0.0;
+  }
+
+let total_seconds t = t.total
+let finished t = t.tick_no >= t.total
+
+(* which phase a (1-based) tick falls in, plus the tick's offset in it *)
+let phase_at t tick =
+  let rec go start = function
+    | [] -> invalid_arg "Load_gen.tick: past the last phase"
+    | p :: rest -> if tick <= start + p.seconds then (p, tick - start) else go (start + p.seconds) rest
+  in
+  go 0 t.cfg.phases
+
+(* per-phase mix weights out of 20 draws: the dominant statement shape
+   shifts enough that the cheapest extraction method changes with it *)
+let draw_op t kind =
+  let existing = max 1 (t.next_id - 1) in
+  let range_start size = 1 + Prng.int t.prng (max 1 (existing - size)) in
+  let insert () =
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    Dml (Workload.Mix_insert id)
+  in
+  let update () = Dml (Workload.Mix_update (range_start t.cfg.update_size, t.cfg.update_size)) in
+  let small_update () = Dml (Workload.Mix_update (range_start 2, 2)) in
+  let delete () = Dml (Workload.Mix_delete (range_start 2, 2)) in
+  let scan () = Scan t.cfg.scan_rows in
+  let d = Prng.int t.prng 20 in
+  match kind with
+  | Insert_heavy ->
+    (* 17/20 insert, 2/20 small update, 1/20 scan — no deletes, so the
+       timestamp method stays eligible in this phase *)
+    if d < 17 then insert () else if d < 19 then small_update () else scan ()
+  | Update_heavy ->
+    (* 14/20 range update, 2/20 delete, 3/20 insert, 1/20 scan: many rows
+       from few statements *)
+    if d < 14 then update ()
+    else if d < 16 then delete ()
+    else if d < 19 then insert ()
+    else scan ()
+  | Scan_heavy ->
+    (* 15/20 scan, 2/20 insert, 2/20 small update, 1/20 delete: a trickle
+       of changes under read contention *)
+    if d < 15 then scan ()
+    else if d < 17 then insert ()
+    else if d < 19 then small_update ()
+    else delete ()
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let tick t =
+  if finished t then invalid_arg "Load_gen.tick: all phases finished";
+  t.tick_no <- t.tick_no + 1;
+  let phase, phase_tick = phase_at t t.tick_no in
+  (* a phase change resets the valve to the new target: the valve damps
+     overload, not phase transitions *)
+  if phase_tick = 1 then t.valve <- phase.rate;
+  let offered = phase.rate in
+  let admitted = min offered (max t.cfg.min_rate t.valve) in
+  let shed = offered - admitted in
+  (* shed ops still consume PRNG draws so admission does not change the
+     op sequence the admitted prefix sees *)
+  let ops = List.init offered (fun _ -> draw_op t phase.kind) in
+  let admitted_ops = List.filteri (fun i _ -> i < admitted) ops in
+  (* open loop: arrival i is pinned to the offered rate's timeline *)
+  let tick_start = float_of_int (t.tick_no - 1) *. 1000.0 in
+  let gap = 1000.0 /. float_of_int offered in
+  let latencies = Array.make (max 1 admitted) 0.0 in
+  let waits = Array.make (max 1 admitted) 0.0 in
+  t.server_free_ms <- Float.max t.server_free_ms tick_start;
+  List.iteri
+    (fun i op ->
+      let arrival = tick_start +. (float_of_int i *. gap) in
+      let service =
+        t.cfg.service_fixed_ms
+        +. (t.cfg.service_per_row_ms *. float_of_int (op_rows t.cfg op))
+      in
+      let start = Float.max arrival t.server_free_ms in
+      let completion = start +. service in
+      t.server_free_ms <- completion;
+      latencies.(i) <- completion -. arrival;
+      waits.(i) <- start -. arrival)
+    admitted_ops;
+  Array.sort compare latencies;
+  Array.sort compare waits;
+  let p95_ms = if admitted = 0 then 0.0 else percentile latencies 0.95 in
+  let lock_wait_p95_s = if admitted = 0 then 0.0 else percentile waits 0.95 /. 1000.0 in
+  let slo_met = p95_ms <= t.cfg.slo_ms in
+  (* AIMD: halve on breach, creep back while the SLO holds *)
+  t.valve <-
+    (if slo_met then min phase.rate (t.valve + t.cfg.aimd_increase)
+     else max t.cfg.min_rate (int_of_float (float_of_int t.valve *. t.cfg.aimd_decrease)));
+  Sim_clock.advance t.clock 1000;
+  t.sum_offered <- t.sum_offered + offered;
+  t.sum_admitted <- t.sum_admitted + admitted;
+  t.sum_shed <- t.sum_shed + shed;
+  if not slo_met then t.breaches <- t.breaches + 1;
+  t.worst_p95 <- Float.max t.worst_p95 p95_ms;
+  Metrics.add t.metrics "loadgen.offered" offered;
+  Metrics.add t.metrics "loadgen.admitted" admitted;
+  Metrics.add t.metrics "loadgen.shed" shed;
+  if not slo_met then Metrics.incr t.metrics "loadgen.slo_breaches";
+  Metrics.set_gauge t.metrics "loadgen.valve" (float_of_int t.valve);
+  Metrics.set_gauge t.metrics "loadgen.p95_ms" p95_ms;
+  Metrics.observe t.metrics "loadgen.latency_ms" p95_ms;
+  {
+    tick = t.tick_no;
+    phase = phase.kind;
+    phase_tick;
+    offered;
+    admitted;
+    shed;
+    ops = admitted_ops;
+    p95_ms;
+    slo_met;
+    valve = t.valve;
+    lock_wait_p95_s;
+  }
+
+let stmts_of_op t ~day = function
+  | Scan _ -> []
+  | Dml op -> Workload.op_to_stmts ~seed:t.seed ~day op
+
+type summary = {
+  ticks : int;
+  total_offered : int;
+  total_admitted : int;
+  total_shed : int;
+  slo_breaches : int;
+  slo_attainment : float;
+  worst_p95_ms : float;
+}
+
+let summary t =
+  {
+    ticks = t.tick_no;
+    total_offered = t.sum_offered;
+    total_admitted = t.sum_admitted;
+    total_shed = t.sum_shed;
+    slo_breaches = t.breaches;
+    slo_attainment =
+      (if t.tick_no = 0 then 1.0
+       else float_of_int (t.tick_no - t.breaches) /. float_of_int t.tick_no);
+    worst_p95_ms = t.worst_p95;
+  }

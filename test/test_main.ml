@@ -21,6 +21,7 @@ let () =
       ("mvcc", Test_mvcc.suite);
       ("parallel", Test_parallel.suite);
       ("partition", Test_partition.suite);
+      ("planner", Test_planner.suite);
       ("properties", Test_properties.suite);
       ("scheduler", Test_scheduler.suite);
     ]

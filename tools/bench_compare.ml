@@ -1,0 +1,45 @@
+(* CI bench-regression gate: compare a fresh dwbench --json document
+   against the committed baseline with the per-metric tolerance table in
+   Dw_experiments.Bench_compare.
+
+     bench_compare BASELINE CANDIDATE [TOLERANCE]
+
+   Exit 0 when every gated gauge is within band, 1 on regression or
+   missing candidate gauges, 2 on unreadable/invalid input.  TOLERANCE
+   (default 1.0) scales every band - the CI job can loosen a noisy
+   runner without editing the table. *)
+
+let read_doc path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e ->
+    Printf.eprintf "bench_compare: cannot read %s: %s\n" path e;
+    exit 2
+  | text -> (
+      match Dw_util.Json.of_string text with
+      | Ok doc -> doc
+      | Error e ->
+        Printf.eprintf "bench_compare: %s does not parse: %s\n" path e;
+        exit 2)
+
+let () =
+  let base_path, cand_path, tolerance =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c, 1.0)
+    | [| _; b; c; t |] -> (
+        match float_of_string_opt t with
+        | Some t when t > 0.0 -> (b, c, t)
+        | _ ->
+          Printf.eprintf "bench_compare: TOLERANCE must be a number > 0, got %S\n" t;
+          exit 2)
+    | _ ->
+      Printf.eprintf "usage: bench_compare BASELINE CANDIDATE [TOLERANCE]\n";
+      exit 2
+  in
+  let base = read_doc base_path and cand = read_doc cand_path in
+  match Dw_experiments.Bench_compare.compare_docs ~tolerance ~base ~cand () with
+  | Error e ->
+    Printf.eprintf "bench_compare: %s\n" e;
+    exit 2
+  | Ok report ->
+    print_string (Dw_experiments.Bench_compare.render report);
+    if report.Dw_experiments.Bench_compare.failures > 0 then exit 1
